@@ -1,0 +1,137 @@
+// Reproduces paper Figures 16-19 (Appendix E): skylines over complex
+// queries (joins + aggregates) on the MusicBrainz-shaped dataset —
+// dimensions vs. time/memory and executors vs. time/memory, for the
+// complete (Listing 11/14) and incomplete (Listing 12) base queries.
+//
+// Paper shapes to look for:
+//  * the reference rewriting is significantly slower on the hard
+//    configurations and less stable overall;
+//  * memory is comparable across algorithms; executors beyond a small
+//    count stop paying off (joins add their own distribution costs).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+// Skyline dimensions over the base query output (paper Table 13 order).
+const std::vector<std::string>& MusicBrainzDimensions() {
+  static const std::vector<std::string> kDims = {
+      "rating MAX",     "rating_count MAX", "length MIN",
+      "video MAX",      "num_tracks MAX",   "min_position MIN"};
+  return kDims;
+}
+
+// Listing 11 (complete) / Listing 12 (incomplete) base queries.
+std::string BaseQuery(bool complete) {
+  const char* recording = complete ? "recording_complete" : "recording_incomplete";
+  return StrCat(
+      "SELECT r.id, ifnull(r.length, 0) AS length, r.video, "
+      "ifnull(rm.rating, 0) AS rating, "
+      "ifnull(rm.rating_count, 0) AS rating_count, "
+      "recording_tracks.num_tracks, recording_tracks.min_position "
+      "FROM ", recording, " r LEFT OUTER JOIN ("
+      "SELECT ri.id AS id, count(ti.recording) AS num_tracks, "
+      "min(ti.position) AS min_position "
+      "FROM ", recording, " ri JOIN track ti ON ti.recording = ri.id "
+      "GROUP BY ri.id) recording_tracks USING (id) "
+      "JOIN recording_meta rm USING (id)");
+}
+
+std::string ComplexSkylineSql(bool complete, size_t dims) {
+  std::vector<std::string> items(MusicBrainzDimensions().begin(),
+                                 MusicBrainzDimensions().begin() + dims);
+  return StrCat("SELECT * FROM (", BaseQuery(complete), ") SKYLINE OF ",
+                complete ? "COMPLETE " : "", JoinStrings(items, ", "));
+}
+
+void DimsSweep(Session* session, bool complete, int executors,
+               const BenchConfig& config, const char* value,
+               const char* figure) {
+  const auto& algorithms =
+      complete ? CompleteAlgorithms() : IncompleteAlgorithms();
+  std::vector<std::string> labels;
+  for (size_t d = 1; d <= 6; ++d) labels.push_back(std::to_string(d));
+  std::vector<std::string> names;
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (size_t dims = 1; dims <= 6; ++dims) {
+      row.push_back(RunCell(session, ComplexSkylineSql(complete, dims),
+                            algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(StrCat(figure, " | dims vs ", value, " | musicbrainz",
+                     complete ? "" : "_incomplete",
+                     " complex query | executors: ", executors),
+              names, labels, rows, static_cast<int>(names.size()) - 1, value);
+}
+
+void ExecutorsSweep(Session* session, bool complete, size_t dims,
+                    const BenchConfig& config, const char* value,
+                    const char* figure) {
+  const auto& algorithms =
+      complete ? CompleteAlgorithms() : IncompleteAlgorithms();
+  const int executor_steps[] = {1, 2, 3, 5, 10};
+  std::vector<std::string> labels;
+  for (int e : executor_steps) labels.push_back(std::to_string(e));
+  std::vector<std::string> names;
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (int executors : executor_steps) {
+      row.push_back(RunCell(session, ComplexSkylineSql(complete, dims),
+                            algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(StrCat(figure, " | executors vs ", value, " | musicbrainz",
+                     complete ? "" : "_incomplete",
+                     " complex query | dims: ", dims),
+              names, labels, rows, static_cast<int>(names.size()) - 1, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  datagen::MusicBrainzOptions opts;
+  opts.num_recordings = static_cast<size_t>(6000 * config.scale);
+  auto mb = datagen::GenerateMusicBrainz(opts);
+  SL_CHECK_OK(session.catalog()->RegisterTable(mb.recording_complete));
+  SL_CHECK_OK(session.catalog()->RegisterTable(mb.recording_incomplete));
+  SL_CHECK_OK(session.catalog()->RegisterTable(mb.recording_meta));
+  SL_CHECK_OK(session.catalog()->RegisterTable(mb.track));
+  std::printf("musicbrainz: %zu recordings, %zu tracks (paper: ~1.5M)\n",
+              mb.recording_complete->num_rows(), mb.track->num_rows());
+
+  // Figure 16: dims vs time (executors 3; --grid adds 1 and 10).
+  DimsSweep(&session, true, 3, config, "time", "Fig 16");
+  DimsSweep(&session, false, 3, config, "time", "Fig 16");
+  // Figure 17: dims vs memory.
+  DimsSweep(&session, true, 3, config, "memory", "Fig 17");
+  // Figure 18: executors vs time at 6 dimensions.
+  ExecutorsSweep(&session, true, 6, config, "time", "Fig 18");
+  ExecutorsSweep(&session, false, 6, config, "time", "Fig 18");
+  // Figure 19: executors vs memory.
+  ExecutorsSweep(&session, true, 6, config, "memory", "Fig 19");
+
+  if (config.grid) {
+    for (int executors : {1, 10}) {
+      DimsSweep(&session, true, executors, config, "time", "Fig 16 grid");
+      DimsSweep(&session, false, executors, config, "time", "Fig 16 grid");
+    }
+    ExecutorsSweep(&session, true, 3, config, "time", "Fig 18 grid");
+    ExecutorsSweep(&session, false, 3, config, "memory", "Fig 19 grid");
+  }
+  return 0;
+}

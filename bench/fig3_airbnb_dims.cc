@@ -1,0 +1,74 @@
+// Reproduces paper Figure 3 + Tables 3/4 (and Figure 11 with --grid):
+// number of skyline dimensions (1-6) vs. execution time on the Inside
+// Airbnb dataset, complete and incomplete variants, 5 executors.
+//
+// Paper shapes to look for:
+//  * the specialized algorithms beat "reference" at (almost) every point;
+//  * "distributed complete" is the best algorithm on complete data;
+//  * the reference algorithm degrades fastest as dimensions grow.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+void RunSweep(Session* session, const std::string& table, bool complete_data,
+              size_t num_tuples, int executors, const BenchConfig& config) {
+  const auto& algorithms =
+      complete_data ? CompleteAlgorithms() : IncompleteAlgorithms();
+  std::vector<std::string> names;
+  std::vector<std::string> labels;
+  for (size_t d = 1; d <= 6; ++d) labels.push_back(std::to_string(d));
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (size_t dims = 1; dims <= 6; ++dims) {
+      const std::string sql =
+          SkylineSql(table, AirbnbDimensions(), dims, complete_data);
+      row.push_back(RunCell(session, sql, algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(
+      StrCat("Fig 3/11 + Tables 3/4 | dims vs time | dataset: ", table, " (",
+             num_tuples, " tuples) | executors: ", executors),
+      names, labels, rows, static_cast<int>(names.size()) - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  datagen::AirbnbOptions opts;
+  opts.num_rows = static_cast<size_t>(9000 * config.scale);
+  opts.incomplete = true;
+  opts.table_name = "airbnb_incomplete";
+  auto incomplete = datagen::GenerateAirbnb(opts);
+  auto complete = datagen::CompleteSubset(*incomplete, "airbnb");
+  SL_CHECK_OK(session.catalog()->RegisterTable(incomplete));
+  SL_CHECK_OK(session.catalog()->RegisterTable(complete));
+  std::printf("airbnb: %zu complete / %zu incomplete tuples (paper: 820,698 / "
+              "1,193,465)\n",
+              complete->num_rows(), incomplete->num_rows());
+
+  RunSweep(&session, "airbnb", true, complete->num_rows(), 5, config);
+  RunSweep(&session, "airbnb_incomplete", false, incomplete->num_rows(), 5,
+           config);
+
+  if (config.grid) {
+    for (int executors : {2, 3, 10}) {  // 5 covered above (Figure 11 grid)
+      RunSweep(&session, "airbnb", true, complete->num_rows(), executors,
+               config);
+      RunSweep(&session, "airbnb_incomplete", false, incomplete->num_rows(),
+               executors, config);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces paper Figure 4 + Tables 5/6 (and Figure 12 with --grid):
+// number of skyline dimensions (1-6) vs. execution time on the DSB
+// store_sales dataset, 10 executors; the incomplete sweep uses a smaller
+// dataset, like the paper ("to avoid timeouts").
+//
+// Paper shapes to look for:
+//  * the 1-dimension anomaly on complete data: ss_quantity is
+//    low-cardinality, so the 1-dim skyline keeps ~1% of all tuples and the
+//    reference algorithm collapses (2463 s in Table 5) while the single-
+//    dimension-optimized native plan is fastest of all;
+//  * adding dimension 2 *shrinks* the skyline (ties become comparable) and
+//    the reference recovers before degrading again at 5-6 dimensions.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+void RunSweep(Session* session, const std::string& table, bool complete_data,
+              size_t num_tuples, int executors, const BenchConfig& config,
+              const char* figure) {
+  const auto& algorithms =
+      complete_data ? CompleteAlgorithms() : IncompleteAlgorithms();
+  std::vector<std::string> names;
+  std::vector<std::string> labels;
+  for (size_t d = 1; d <= 6; ++d) labels.push_back(std::to_string(d));
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (size_t dims = 1; dims <= 6; ++dims) {
+      const std::string sql =
+          SkylineSql(table, StoreSalesDimensions(), dims, complete_data);
+      row.push_back(RunCell(session, sql, algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(StrCat(figure, " | dims vs time | dataset: ", table, " (",
+                     num_tuples, " tuples) | executors: ", executors),
+              names, labels, rows, static_cast<int>(names.size()) - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  datagen::StoreSalesOptions big;
+  big.num_rows = static_cast<size_t>(20000 * config.scale);
+  big.table_name = "store_sales_10";
+  SL_CHECK_OK(session.catalog()->RegisterTable(datagen::GenerateStoreSales(big)));
+
+  datagen::StoreSalesOptions small;
+  small.num_rows = static_cast<size_t>(4000 * config.scale);
+  small.incomplete = true;
+  small.table_name = "store_sales_1_incomplete";
+  SL_CHECK_OK(
+      session.catalog()->RegisterTable(datagen::GenerateStoreSales(small)));
+
+  std::printf("store_sales: %zu complete (paper: 10M), %zu incomplete "
+              "(paper: 1M)\n",
+              big.num_rows, small.num_rows);
+
+  RunSweep(&session, "store_sales_10", true, big.num_rows, 10, config,
+           "Fig 4 + Table 5");
+  RunSweep(&session, "store_sales_1_incomplete", false, small.num_rows, 10,
+           config, "Fig 4 + Table 6");
+
+  if (config.grid) {
+    // Figure 12: the 5M-tuple dataset across executor counts.
+    datagen::StoreSalesOptions mid;
+    mid.num_rows = static_cast<size_t>(10000 * config.scale);
+    mid.table_name = "store_sales_5";
+    SL_CHECK_OK(
+        session.catalog()->RegisterTable(datagen::GenerateStoreSales(mid)));
+    datagen::StoreSalesOptions mid_inc = mid;
+    mid_inc.incomplete = true;
+    mid_inc.table_name = "store_sales_5_incomplete";
+    SL_CHECK_OK(
+        session.catalog()->RegisterTable(datagen::GenerateStoreSales(mid_inc)));
+    for (int executors : {2, 3, 5, 10}) {
+      RunSweep(&session, "store_sales_5", true, mid.num_rows, executors,
+               config, "Fig 12");
+      RunSweep(&session, "store_sales_5_incomplete", false, mid.num_rows,
+               executors, config, "Fig 12");
+    }
+  }
+  return 0;
+}

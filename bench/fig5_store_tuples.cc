@@ -1,0 +1,89 @@
+// Reproduces paper Figure 5 + Tables 7/8 (and Figure 13 with --grid):
+// number of input tuples vs. execution time on store_sales, 6 skyline
+// dimensions, 3 executors (grid: 2/5/10 executors).
+//
+// Paper shapes to look for:
+//  * every algorithm grows with the input, the reference fastest (it even
+//    times out at the largest size in the paper);
+//  * "distributed complete" scales best on complete data.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+const std::vector<size_t>& SizeSteps(const BenchConfig& config) {
+  // Paper: 1M, 2M, 5M, 10M. Scaled ~1:500.
+  static std::vector<size_t> sizes;
+  sizes = {static_cast<size_t>(2000 * config.scale),
+           static_cast<size_t>(4000 * config.scale),
+           static_cast<size_t>(10000 * config.scale),
+           static_cast<size_t>(20000 * config.scale)};
+  return sizes;
+}
+
+void RunSweep(Session* session, bool complete_data, int executors,
+              const BenchConfig& config, const char* figure) {
+  const auto& algorithms =
+      complete_data ? CompleteAlgorithms() : IncompleteAlgorithms();
+  const auto& sizes = SizeSteps(config);
+  std::vector<std::string> labels;
+  for (size_t n : sizes) labels.push_back(std::to_string(n));
+
+  std::vector<std::string> names;
+  std::vector<std::vector<Cell>> rows(algorithms.size());
+  for (const auto& algo : algorithms) names.push_back(algo.display_name);
+
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    const std::string table = StrCat("store_sales_n", s,
+                                     complete_data ? "" : "_incomplete");
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      const std::string sql =
+          SkylineSql(table, StoreSalesDimensions(), 6, complete_data);
+      rows[a].push_back(
+          RunCell(session, sql, algorithms[a].strategy, executors, config));
+    }
+  }
+  PrintTables(StrCat(figure, " | tuples vs time | store_sales ",
+                     complete_data ? "complete" : "incomplete",
+                     " | dims: 6 | executors: ", executors),
+              names, labels, rows, static_cast<int>(names.size()) - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  const auto& sizes = SizeSteps(config);
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    datagen::StoreSalesOptions opts;
+    opts.num_rows = sizes[s];
+    opts.table_name = StrCat("store_sales_n", s);
+    SL_CHECK_OK(
+        session.catalog()->RegisterTable(datagen::GenerateStoreSales(opts)));
+    opts.incomplete = true;
+    opts.table_name = StrCat("store_sales_n", s, "_incomplete");
+    SL_CHECK_OK(
+        session.catalog()->RegisterTable(datagen::GenerateStoreSales(opts)));
+  }
+  std::printf("store_sales sizes:");
+  for (size_t n : sizes) std::printf(" %zu", n);
+  std::printf(" (paper: 1M 2M 5M 10M)\n");
+
+  RunSweep(&session, true, 3, config, "Fig 5 + Table 7");
+  RunSweep(&session, false, 3, config, "Fig 5 + Table 8");
+
+  if (config.grid) {
+    for (int executors : {2, 5, 10}) {  // Figure 13 grid
+      RunSweep(&session, true, executors, config, "Fig 13");
+      RunSweep(&session, false, executors, config, "Fig 13");
+    }
+  }
+  return 0;
+}

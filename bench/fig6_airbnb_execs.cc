@@ -1,0 +1,77 @@
+// Reproduces paper Figure 6 + Tables 9/10 (and Figure 14 with --grid):
+// number of executors (1, 2, 3, 5, 10) vs. execution time on the Inside
+// Airbnb dataset, 6 skyline dimensions (grid: 3-5 dimensions).
+//
+// Paper shapes to look for:
+//  * parallelization pays off only up to a sweet spot that depends on the
+//    (small) dataset size: more executors shrink the local-skyline work but
+//    leave more tuples to the non-parallel global stage;
+//  * the reference algorithm parallelizes "somewhat" but never wins.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+const int kExecutorSteps[] = {1, 2, 3, 5, 10};
+
+void RunSweep(Session* session, const std::string& table, bool complete_data,
+              size_t num_tuples, size_t dims, const BenchConfig& config,
+              const char* figure) {
+  const auto& algorithms =
+      complete_data ? CompleteAlgorithms() : IncompleteAlgorithms();
+  std::vector<std::string> labels;
+  for (int e : kExecutorSteps) labels.push_back(std::to_string(e));
+  std::vector<std::string> names;
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (int executors : kExecutorSteps) {
+      const std::string sql =
+          SkylineSql(table, AirbnbDimensions(), dims, complete_data);
+      row.push_back(RunCell(session, sql, algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(StrCat(figure, " | executors vs time | dataset: ", table, " (",
+                     num_tuples, " tuples) | dims: ", dims),
+              names, labels, rows, static_cast<int>(names.size()) - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  datagen::AirbnbOptions opts;
+  opts.num_rows = static_cast<size_t>(9000 * config.scale);
+  opts.incomplete = true;
+  opts.table_name = "airbnb_incomplete";
+  auto incomplete = datagen::GenerateAirbnb(opts);
+  auto complete = datagen::CompleteSubset(*incomplete, "airbnb");
+  SL_CHECK_OK(session.catalog()->RegisterTable(incomplete));
+  SL_CHECK_OK(session.catalog()->RegisterTable(complete));
+  std::printf("airbnb: %zu complete / %zu incomplete tuples\n",
+              complete->num_rows(), incomplete->num_rows());
+
+  RunSweep(&session, "airbnb", true, complete->num_rows(), 6, config,
+           "Fig 6 + Table 9");
+  RunSweep(&session, "airbnb_incomplete", false, incomplete->num_rows(), 6,
+           config, "Fig 6 + Table 10");
+
+  if (config.grid) {
+    for (size_t dims : {3u, 4u, 5u}) {  // Figure 14 grid
+      RunSweep(&session, "airbnb", true, complete->num_rows(), dims, config,
+               "Fig 14");
+      RunSweep(&session, "airbnb_incomplete", false, incomplete->num_rows(),
+               dims, config, "Fig 14");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces paper Figure 7 + Tables 11/12 (and Figure 15 with --grid):
+// number of executors (1, 2, 3, 5, 10) vs. execution time on store_sales,
+// 6 skyline dimensions; complete (paper: 10M tuples) and incomplete
+// (paper: 5M tuples) variants.
+//
+// Paper shapes to look for: on this ~10x larger dataset (compared with
+// Airbnb) additional executors clearly help the distributed algorithms,
+// and the reference times out at low executor counts (Table 11: t.o. for
+// 1-5 executors).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+const int kExecutorSteps[] = {1, 2, 3, 5, 10};
+
+void RunSweep(Session* session, const std::string& table, bool complete_data,
+              size_t num_tuples, size_t dims, const BenchConfig& config,
+              const char* figure) {
+  const auto& algorithms =
+      complete_data ? CompleteAlgorithms() : IncompleteAlgorithms();
+  std::vector<std::string> labels;
+  for (int e : kExecutorSteps) labels.push_back(std::to_string(e));
+  std::vector<std::string> names;
+  std::vector<std::vector<Cell>> rows;
+  for (const auto& algo : algorithms) {
+    names.push_back(algo.display_name);
+    std::vector<Cell> row;
+    for (int executors : kExecutorSteps) {
+      const std::string sql =
+          SkylineSql(table, StoreSalesDimensions(), dims, complete_data);
+      row.push_back(RunCell(session, sql, algo.strategy, executors, config));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTables(StrCat(figure, " | executors vs time | dataset: ", table, " (",
+                     num_tuples, " tuples) | dims: ", dims),
+              names, labels, rows, static_cast<int>(names.size()) - 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+
+  datagen::StoreSalesOptions big;
+  big.num_rows = static_cast<size_t>(20000 * config.scale);
+  big.table_name = "store_sales_10";
+  SL_CHECK_OK(session.catalog()->RegisterTable(datagen::GenerateStoreSales(big)));
+
+  datagen::StoreSalesOptions inc;
+  inc.num_rows = static_cast<size_t>(10000 * config.scale);
+  inc.incomplete = true;
+  inc.table_name = "store_sales_5_incomplete";
+  SL_CHECK_OK(session.catalog()->RegisterTable(datagen::GenerateStoreSales(inc)));
+
+  std::printf("store_sales: %zu complete (paper: 10M), %zu incomplete "
+              "(paper: 5M)\n",
+              big.num_rows, inc.num_rows);
+
+  RunSweep(&session, "store_sales_10", true, big.num_rows, 6, config,
+           "Fig 7 + Table 11");
+  RunSweep(&session, "store_sales_5_incomplete", false, inc.num_rows, 6,
+           config, "Fig 7 + Table 12");
+
+  if (config.grid) {
+    // Figure 15 grid: 3-5 dimensions on the 5M-scale complete dataset.
+    datagen::StoreSalesOptions mid;
+    mid.num_rows = static_cast<size_t>(10000 * config.scale);
+    mid.table_name = "store_sales_5";
+    SL_CHECK_OK(
+        session.catalog()->RegisterTable(datagen::GenerateStoreSales(mid)));
+    for (size_t dims : {3u, 4u, 5u}) {
+      RunSweep(&session, "store_sales_5", true, mid.num_rows, dims, config,
+               "Fig 15");
+      RunSweep(&session, "store_sales_5_incomplete", false, inc.num_rows, dims,
+               config, "Fig 15");
+    }
+  }
+  return 0;
+}

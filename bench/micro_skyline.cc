@@ -1,0 +1,172 @@
+// Micro benchmarks (google-benchmark) for the skyline kernels of paper
+// sections 5.5-5.7: dominance tests, Block-Nested-Loop, Sort-Filter-Skyline
+// (the paper's future-work presorting family), the all-pairs incomplete
+// algorithm, and null-bitmap partitioning — across the classic correlated /
+// independent / anti-correlated workloads.
+#include <benchmark/benchmark.h>
+
+#include "datagen/datagen.h"
+#include "skyline/algorithms.h"
+
+namespace sparkline {
+namespace {
+
+using datagen::PointDistribution;
+
+std::vector<Row> MakeRows(size_t n, size_t dims, PointDistribution dist,
+                          double null_rate = 0.0) {
+  auto table = datagen::GeneratePoints("b", n, dims, dist, /*seed=*/42,
+                                       null_rate);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (const auto& r : table->rows()) {
+    rows.emplace_back(r.begin() + 1, r.end());  // drop the id column
+  }
+  return rows;
+}
+
+std::vector<skyline::BoundDimension> MinDims(size_t n) {
+  std::vector<skyline::BoundDimension> dims;
+  for (size_t i = 0; i < n; ++i) dims.push_back({i, SkylineGoal::kMin});
+  return dims;
+}
+
+PointDistribution DistFromArg(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return PointDistribution::kCorrelated;
+    case 1:
+      return PointDistribution::kIndependent;
+    default:
+      return PointDistribution::kAntiCorrelated;
+  }
+}
+
+void BM_DominanceTest(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(2, dims, PointDistribution::kIndependent);
+  auto bound = MinDims(dims);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyline::CompareRows(
+        rows[0], rows[1], bound, skyline::NullSemantics::kComplete));
+  }
+}
+BENCHMARK(BM_DominanceTest)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DominanceTestIncomplete(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(2, dims, PointDistribution::kIndependent, 0.3);
+  auto bound = MinDims(dims);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyline::CompareRows(
+        rows[0], rows[1], bound, skyline::NullSemantics::kIncomplete));
+  }
+}
+BENCHMARK(BM_DominanceTestIncomplete)->Arg(2)->Arg(6);
+
+void BM_BlockNestedLoop(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       DistFromArg(state.range(1)));
+  auto dims = MinDims(4);
+  for (auto _ : state) {
+    auto result = skyline::BlockNestedLoop(rows, dims, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockNestedLoop)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+void BM_SortFilterSkyline(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       DistFromArg(state.range(1)));
+  auto dims = MinDims(4);
+  for (auto _ : state) {
+    auto result = skyline::SortFilterSkyline(rows, dims, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortFilterSkyline)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+void BM_GridFilterSkyline(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       DistFromArg(state.range(1)));
+  auto dims = MinDims(4);
+  for (auto _ : state) {
+    auto result = skyline::GridFilterSkyline(rows, dims, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridFilterSkyline)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+void BM_AllPairsIncomplete(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       PointDistribution::kIndependent, 0.25);
+  auto dims = MinDims(4);
+  skyline::SkylineOptions opts;
+  opts.nulls = skyline::NullSemantics::kIncomplete;
+  for (auto _ : state) {
+    auto result = skyline::AllPairsIncomplete(rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AllPairsIncomplete)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_NullBitmapPartitioning(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 6,
+                       PointDistribution::kIndependent, 0.2);
+  auto dims = MinDims(6);
+  for (auto _ : state) {
+    auto parts = skyline::PartitionByNullBitmap(rows, dims);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NullBitmapPartitioning)->Arg(10000);
+
+void BM_IncompletePipeline(benchmark::State& state) {
+  // The full partition -> local BNL -> all-pairs pipeline of section 5.7.
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       PointDistribution::kIndependent, 0.25);
+  auto dims = MinDims(4);
+  skyline::SkylineOptions opts;
+  opts.nulls = skyline::NullSemantics::kIncomplete;
+  for (auto _ : state) {
+    auto result = skyline::ComputeSkyline(rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncompletePipeline)->Arg(1000)->Arg(4000);
+
+void BM_BruteForce(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       PointDistribution::kIndependent);
+  auto dims = MinDims(4);
+  for (auto _ : state) {
+    auto result = skyline::BruteForceSkyline(rows, dims, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BruteForce)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace sparkline
+
+BENCHMARK_MAIN();

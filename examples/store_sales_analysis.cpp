@@ -1,0 +1,80 @@
+// Skyline analysis on the DSB store_sales-shaped fact table (paper
+// section 6.2, Table 2): skylines over filtered/aggregated inputs, the
+// single-dimension optimization, and the cost of the plain-SQL rewriting.
+#include <cinttypes>
+#include <cstdio>
+
+#include "api/dataframe.h"
+#include "api/session.h"
+#include "datagen/datagen.h"
+
+using namespace sparkline;  // NOLINT
+
+int main() {
+  Session session;
+  SL_CHECK_OK(session.SetConf("sparkline.executors", "4"));
+
+  datagen::StoreSalesOptions opts;
+  opts.num_rows = 20000;
+  auto sales = datagen::GenerateStoreSales(opts);
+  SL_CHECK_OK(session.catalog()->RegisterTable(sales));
+  std::printf("store_sales: %zu rows\n\n", sales->num_rows());
+
+  // Best trade-offs between quantity and wholesale cost.
+  auto df = session.Sql(
+      "SELECT ss_item_sk, ss_quantity, ss_wholesale_cost, ss_list_price "
+      "FROM store_sales "
+      "SKYLINE OF ss_quantity MAX, ss_wholesale_cost MIN "
+      "ORDER BY ss_quantity DESC LIMIT 10");
+  SL_CHECK(df.ok()) << df.status().ToString();
+  auto result = df->Collect();
+  SL_CHECK(result.ok());
+  std::printf("Quantity-vs-cost skyline (top 10 by quantity):\n%s\n",
+              result->ToString(10).c_str());
+
+  // Skyline over a *derived* relation: per-item aggregates.
+  auto agg = session.Sql(
+      "SELECT ss_item_sk, count(*) AS sales, avg(ss_sales_price) AS avg_price,"
+      " max(ss_ext_discount_amt) AS best_discount "
+      "FROM store_sales GROUP BY ss_item_sk "
+      "SKYLINE OF sales MAX, avg_price MIN, best_discount MAX");
+  SL_CHECK(agg.ok()) << agg.status().ToString();
+  auto agg_result = agg->Collect();
+  SL_CHECK(agg_result.ok());
+  std::printf("Skyline over per-item aggregates: %zu items\n%s\n",
+              agg_result->num_rows(), agg_result->ToString(8).c_str());
+
+  // The single-dimension optimization (section 5.4): the skyline disappears
+  // from the plan in favour of a scalar subquery filter.
+  auto single = session.Sql(
+      "SELECT * FROM store_sales SKYLINE OF ss_wholesale_cost MIN");
+  SL_CHECK(single.ok());
+  auto explain = single->Explain();
+  SL_CHECK(explain.ok());
+  std::printf("Optimized plan for a 1-dimensional skyline:\n%s\n\n",
+              explain->optimized.c_str());
+  auto single_result = single->Collect();
+  SL_CHECK(single_result.ok());
+  std::printf("cheapest-wholesale tuples: %zu\n\n", single_result->num_rows());
+
+  // Integrated skyline vs. the plain-SQL rewriting on the same 3-dim query.
+  const char* query =
+      "SELECT ss_item_sk, ss_quantity, ss_wholesale_cost, ss_list_price "
+      "FROM store_sales SKYLINE OF ss_quantity MAX, ss_wholesale_cost MIN, "
+      "ss_list_price MIN";
+  for (const char* strategy : {"distributed", "reference"}) {
+    SL_CHECK_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+    auto run = session.Sql(query);
+    SL_CHECK(run.ok());
+    auto r = run->Collect();
+    SL_CHECK(r.ok());
+    std::printf(
+        "%-12s: %4zu rows, %9.2f ms simulated, %" PRId64 " dominance tests\n",
+        strategy, r->num_rows(), r->metrics.simulated_ms,
+        r->metrics.dominance_tests);
+  }
+  std::printf(
+      "\nThe integrated skyline outperforms the rewriting by avoiding the\n"
+      "quadratic anti-join (the paper's headline result, section 6.4).\n");
+  return 0;
+}

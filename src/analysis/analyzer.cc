@@ -1,0 +1,760 @@
+#include "analysis/analyzer.h"
+
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+namespace {
+
+using Scopes = std::vector<std::vector<Attribute>>;
+
+/// Removes qualifier strings so expressions can be compared semantically
+/// ("o.price#3" and "price#3" are the same reference).
+ExprPtr StripQualifiers(const ExprPtr& e) {
+  return Expression::Transform(e, [](const ExprPtr& node) -> ExprPtr {
+    if (node->kind() == ExprKind::kAttributeRef) {
+      Attribute a = static_cast<const AttributeRef&>(*node).attr();
+      if (a.qualifier.empty()) return node;
+      a.qualifier.clear();
+      return AttributeRef::Make(std::move(a));
+    }
+    return node;
+  });
+}
+
+bool SemanticEquals(const ExprPtr& a, const ExprPtr& b) {
+  return StripQualifiers(a)->ToString() == StripQualifiers(b)->ToString();
+}
+
+std::string DeriveName(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kFunctionCall) {
+    return ToLower(static_cast<const FunctionCall&>(*e).name());
+  }
+  if (e->kind() == ExprKind::kAggregate) {
+    const auto& agg = static_cast<const AggregateExpr&>(*e);
+    if (agg.fn() == AggFn::kCountStar) return "count";
+    return AggFnName(agg.fn());
+  }
+  return StripQualifiers(e)->ToString();
+}
+
+bool IsNamedExpr(const ExprPtr& e) {
+  return e->kind() == ExprKind::kAlias || e->kind() == ExprKind::kAttributeRef;
+}
+
+ExprPtr EnsureNamed(const ExprPtr& e) {
+  if (IsNamedExpr(e)) return e;
+  return Alias::Make(e, DeriveName(e));
+}
+
+std::vector<ExprPtr> OutputRefs(const LogicalPlanPtr& plan) {
+  std::vector<ExprPtr> refs;
+  for (const auto& a : plan->output()) refs.push_back(a.ToRef());
+  return refs;
+}
+
+bool ContainsUnresolvedNames(const ExprPtr& e) {
+  bool found = false;
+  Expression::Foreach(e, [&](const ExprPtr& n) {
+    if (n->kind() == ExprKind::kUnresolvedAttribute) found = true;
+  });
+  return found;
+}
+
+Result<std::optional<BuiltinFn>> LookupBuiltin(const std::string& lower,
+                                               size_t arity) {
+  auto check_arity = [&](size_t lo, size_t hi,
+                         BuiltinFn fn) -> Result<std::optional<BuiltinFn>> {
+    if (arity < lo || arity > hi) {
+      return Status::AnalysisError(
+          StrCat("wrong number of arguments to ", lower, "(): ", arity));
+    }
+    return std::optional<BuiltinFn>(fn);
+  };
+  if (lower == "ifnull" || lower == "nvl") {
+    return check_arity(2, 2, BuiltinFn::kIfNull);
+  }
+  if (lower == "coalesce") return check_arity(1, 64, BuiltinFn::kCoalesce);
+  if (lower == "abs") return check_arity(1, 1, BuiltinFn::kAbs);
+  if (lower == "least") return check_arity(1, 64, BuiltinFn::kLeast);
+  if (lower == "greatest") return check_arity(1, 64, BuiltinFn::kGreatest);
+  if (lower == "round") return check_arity(1, 2, BuiltinFn::kRound);
+  return Status::AnalysisError(StrCat("unknown function: ", lower));
+}
+
+/// The resolver proper: a post-order pass with explicit outer scopes for
+/// subqueries (Catalyst resolves with rule fixpoints; the structured
+/// recursion here reaches the same fixed point in one pass).
+class Resolver {
+ public:
+  explicit Resolver(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<LogicalPlanPtr> Resolve(const LogicalPlanPtr& plan,
+                                 const Scopes& outer) {
+    switch (plan->kind()) {
+      case PlanKind::kUnresolvedRelation:
+        return ResolveRelation(static_cast<const UnresolvedRelation&>(*plan));
+      case PlanKind::kScan:
+      case PlanKind::kLocalRelation:
+        return plan;
+      case PlanKind::kSubqueryAlias: {
+        const auto& node = static_cast<const SubqueryAlias&>(*plan);
+        SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+        return child == node.child() ? plan
+                                     : plan->WithNewChildren({child});
+      }
+      case PlanKind::kProject:
+        return ResolveProject(static_cast<const Project&>(*plan), outer);
+      case PlanKind::kFilter:
+        return ResolveFilter(static_cast<const Filter&>(*plan), outer);
+      case PlanKind::kJoin:
+        return ResolveJoin(static_cast<const Join&>(*plan), outer);
+      case PlanKind::kAggregate:
+        return ResolveAggregate(static_cast<const Aggregate&>(*plan), outer);
+      case PlanKind::kSort:
+        return ResolveSort(static_cast<const Sort&>(*plan), outer);
+      case PlanKind::kSkyline:
+        return ResolveSkyline(static_cast<const SkylineNode&>(*plan), outer);
+      case PlanKind::kDistinct:
+      case PlanKind::kLimit: {
+        SL_ASSIGN_OR_RETURN(LogicalPlanPtr child,
+                            Resolve(plan->children()[0], outer));
+        return child == plan->children()[0] ? plan
+                                            : plan->WithNewChildren({child});
+      }
+    }
+    return Status::Internal("unknown plan kind in resolver");
+  }
+
+  /// Resolves names in `e` against `local` attributes, then (wrapping in
+  /// OuterRef) against the outer scopes. Unresolvable names are left as-is;
+  /// callers decide whether that is an error or a missing-reference case.
+  Result<ExprPtr> ResolveExpr(const ExprPtr& e,
+                              const std::vector<Attribute>& local,
+                              const Scopes& outer) {
+    switch (e->kind()) {
+      case ExprKind::kUnresolvedAttribute: {
+        const auto& ua = static_cast<const UnresolvedAttribute&>(*e);
+        SL_ASSIGN_OR_RETURN(std::optional<Attribute> hit,
+                            FindAttribute(ua, local));
+        if (hit.has_value()) return AttributeRef::Make(*hit);
+        for (const auto& scope : outer) {
+          SL_ASSIGN_OR_RETURN(hit, FindAttribute(ua, scope));
+          if (hit.has_value()) {
+            return OuterRef::Make(AttributeRef::Make(*hit));
+          }
+        }
+        return e;  // unresolved; caller decides
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& call = static_cast<const FunctionCall&>(*e);
+        std::vector<ExprPtr> args;
+        args.reserve(call.args().size());
+        for (const auto& a : call.args()) {
+          SL_ASSIGN_OR_RETURN(ExprPtr ra, ResolveExpr(a, local, outer));
+          args.push_back(std::move(ra));
+        }
+        std::optional<BuiltinFn> fn = call.fn();
+        if (!fn.has_value()) {
+          SL_ASSIGN_OR_RETURN(
+              fn, LookupBuiltin(ToLower(call.name()), args.size()));
+        }
+        return ExprPtr(std::make_shared<FunctionCall>(call.name(),
+                                                      std::move(args), fn));
+      }
+      case ExprKind::kExistsSubquery: {
+        const auto& ex = static_cast<const ExistsSubquery&>(*e);
+        Scopes sub_outer;
+        sub_outer.push_back(local);
+        sub_outer.insert(sub_outer.end(), outer.begin(), outer.end());
+        SL_ASSIGN_OR_RETURN(LogicalPlanPtr sub, Resolve(ex.plan(), sub_outer));
+        return ExistsSubquery::Make(std::move(sub), ex.negated());
+      }
+      case ExprKind::kScalarSubquery: {
+        const auto& sq = static_cast<const ScalarSubquery&>(*e);
+        if (sq.resolved()) return e;
+        Scopes sub_outer;
+        sub_outer.push_back(local);
+        sub_outer.insert(sub_outer.end(), outer.begin(), outer.end());
+        SL_ASSIGN_OR_RETURN(LogicalPlanPtr sub, Resolve(sq.plan(), sub_outer));
+        const auto out = sub->output();
+        if (out.size() != 1) {
+          return Status::AnalysisError(
+              StrCat("scalar subquery must return one column, got ",
+                     out.size()));
+        }
+        bool correlated = false;
+        LogicalPlan::Foreach(sub, [&](const LogicalPlanPtr& n) {
+          for (const auto& ex : n->expressions()) {
+            if (ContainsOuterRef(ex)) correlated = true;
+          }
+        });
+        if (correlated) {
+          return Status::NotImplemented(
+              "correlated scalar subqueries are not supported");
+        }
+        return ScalarSubquery::Make(std::move(sub), out[0].type,
+                                    /*nullable=*/true, /*resolved=*/true);
+      }
+      default:
+        break;
+    }
+    auto children = e->children();
+    bool changed = false;
+    for (auto& c : children) {
+      SL_ASSIGN_OR_RETURN(ExprPtr rc, ResolveExpr(c, local, outer));
+      if (rc != c) {
+        c = rc;
+        changed = true;
+      }
+    }
+    return changed ? e->WithNewChildren(std::move(children)) : e;
+  }
+
+ private:
+  Result<LogicalPlanPtr> ResolveRelation(const UnresolvedRelation& rel) {
+    auto table = catalog_.GetTable(rel.name());
+    if (!table.ok()) {
+      return Status::AnalysisError(
+          StrCat("table or view not found: ", rel.name()));
+    }
+    // A relation without an explicit alias is addressable by its table name
+    // ("SELECT kv.k FROM kv"), like in Spark.
+    return SubqueryAlias::Make(rel.name(), Scan::Make(*table));
+  }
+
+  /// Case-insensitive attribute lookup honouring an optional qualifier.
+  Result<std::optional<Attribute>> FindAttribute(
+      const UnresolvedAttribute& ua, const std::vector<Attribute>& attrs) {
+    const auto& parts = ua.parts();
+    std::string qualifier = parts.size() == 2 ? parts[0] : "";
+    const std::string& name = parts.back();
+    if (parts.size() > 2) {
+      return Status::AnalysisError(
+          StrCat("unsupported qualified name: ", ua.ToString()));
+    }
+    std::vector<Attribute> hits;
+    for (const auto& a : attrs) {
+      if (!EqualsIgnoreCase(a.name, name)) continue;
+      if (!qualifier.empty() && !EqualsIgnoreCase(a.qualifier, qualifier)) {
+        continue;
+      }
+      hits.push_back(a);
+    }
+    if (hits.empty()) return std::optional<Attribute>();
+    if (hits.size() > 1) {
+      return Status::AnalysisError(
+          StrCat("ambiguous reference '", ua.ToString(), "' matches ",
+                 hits.size(), " columns"));
+    }
+    return std::optional<Attribute>(hits[0]);
+  }
+
+  /// Expands Star items against the child output.
+  Result<std::vector<ExprPtr>> ExpandStars(const std::vector<ExprPtr>& list,
+                                           const LogicalPlanPtr& child) {
+    std::vector<ExprPtr> out;
+    for (const auto& e : list) {
+      if (e->kind() != ExprKind::kStar) {
+        out.push_back(e);
+        continue;
+      }
+      const auto& star = static_cast<const Star&>(*e);
+      size_t before = out.size();
+      for (const auto& a : child->output()) {
+        if (star.qualifier().empty() ||
+            EqualsIgnoreCase(a.qualifier, star.qualifier())) {
+          out.push_back(a.ToRef());
+        }
+      }
+      if (out.size() == before) {
+        return Status::AnalysisError(
+            StrCat("cannot expand ", star.ToString(), ": no matching columns"));
+      }
+    }
+    return out;
+  }
+
+  Result<LogicalPlanPtr> ResolveProject(const Project& node,
+                                        const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+    SL_ASSIGN_OR_RETURN(std::vector<ExprPtr> list,
+                        ExpandStars(node.list(), child));
+    const auto local = child->output();
+    for (auto& e : list) {
+      SL_ASSIGN_OR_RETURN(e, ResolveExpr(e, local, outer));
+      if (ContainsUnresolvedNames(e)) {
+        return Status::AnalysisError(
+            StrCat("cannot resolve '", e->ToString(), "' given input columns ",
+                   AttributeListString(local)));
+      }
+      if (e->ContainsAggregate()) {
+        return Status::AnalysisError(
+            StrCat("aggregate function in non-aggregate projection: ",
+                   e->ToString()));
+      }
+      e = EnsureNamed(e);
+    }
+    return Project::Make(std::move(list), std::move(child));
+  }
+
+  Result<LogicalPlanPtr> ResolveJoin(const Join& node, const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr left, Resolve(node.left(), outer));
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr right, Resolve(node.right(), outer));
+
+    if (!node.using_columns().empty()) {
+      // USING(c1, ...) becomes an equality condition plus a projection that
+      // hides the right-hand copies of the join columns (Spark semantics).
+      ExprPtr cond = nullptr;
+      std::set<ExprId> hidden;
+      for (const auto& col : node.using_columns()) {
+        SL_ASSIGN_OR_RETURN(
+            std::optional<Attribute> l,
+            FindAttribute(UnresolvedAttribute({col}), left->output()));
+        SL_ASSIGN_OR_RETURN(
+            std::optional<Attribute> r,
+            FindAttribute(UnresolvedAttribute({col}), right->output()));
+        if (!l.has_value() || !r.has_value()) {
+          return Status::AnalysisError(
+              StrCat("USING column '", col, "' not found on both join sides"));
+        }
+        hidden.insert(r->id);
+        ExprPtr eq = BinaryExpr::Make(BinaryOp::kEq, l->ToRef(), r->ToRef());
+        cond = cond == nullptr
+                   ? eq
+                   : BinaryExpr::Make(BinaryOp::kAnd, cond, eq);
+      }
+      auto join = Join::Make(left, right, node.join_type(), cond, {});
+      std::vector<ExprPtr> list;
+      for (const auto& a : join->output()) {
+        if (hidden.count(a.id) == 0) list.push_back(a.ToRef());
+      }
+      return Project::Make(std::move(list), std::move(join));
+    }
+
+    ExprPtr cond = node.condition();
+    if (cond != nullptr) {
+      std::vector<Attribute> local = left->output();
+      const auto r = right->output();
+      local.insert(local.end(), r.begin(), r.end());
+      SL_ASSIGN_OR_RETURN(cond, ResolveExpr(cond, local, outer));
+      if (ContainsUnresolvedNames(cond)) {
+        return Status::AnalysisError(
+            StrCat("cannot resolve join condition: ", cond->ToString()));
+      }
+    }
+    return Join::Make(std::move(left), std::move(right), node.join_type(),
+                      std::move(cond), {});
+  }
+
+  Result<LogicalPlanPtr> ResolveAggregate(const Aggregate& node,
+                                          const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+    const auto local = child->output();
+
+    std::vector<ExprPtr> groups = node.group_list();
+    for (auto& g : groups) {
+      SL_ASSIGN_OR_RETURN(g, ResolveExpr(g, local, outer));
+      if (ContainsUnresolvedNames(g)) {
+        return Status::AnalysisError(
+            StrCat("cannot resolve GROUP BY expression: ", g->ToString()));
+      }
+    }
+
+    SL_ASSIGN_OR_RETURN(std::vector<ExprPtr> aggs,
+                        ExpandStars(node.agg_list(), child));
+    for (auto& a : aggs) {
+      SL_ASSIGN_OR_RETURN(a, ResolveExpr(a, local, outer));
+      if (ContainsUnresolvedNames(a)) {
+        return Status::AnalysisError(
+            StrCat("cannot resolve '", a->ToString(), "' given input columns ",
+                   AttributeListString(local)));
+      }
+      a = EnsureNamed(a);
+    }
+    return Aggregate::Make(std::move(groups), std::move(aggs),
+                           std::move(child));
+  }
+
+  // --- HAVING / ORDER BY / SKYLINE over aggregates -------------------------
+
+  /// The walk-down part shared by Filter/Sort/Skyline-over-Aggregate
+  /// resolution: finds an Aggregate below pass-through operators, remembering
+  /// at most one "premature" Project on the way (paper Appendix B).
+  struct AggPath {
+    std::vector<LogicalPlanPtr> passthrough;  // outermost first
+    LogicalPlanPtr premature_project;         // may be null
+    std::shared_ptr<const Aggregate> aggregate;
+  };
+
+  static std::optional<AggPath> FindAggregate(const LogicalPlanPtr& start) {
+    AggPath path;
+    LogicalPlanPtr node = start;
+    for (;;) {
+      switch (node->kind()) {
+        case PlanKind::kAggregate:
+          path.aggregate = std::static_pointer_cast<const Aggregate>(node);
+          return path;
+        case PlanKind::kFilter:
+        case PlanKind::kSkyline:
+        case PlanKind::kDistinct:
+          path.passthrough.push_back(node);
+          node = node->children()[0];
+          break;
+        case PlanKind::kProject:
+          if (path.premature_project != nullptr) return std::nullopt;
+          path.premature_project = node;
+          node = node->children()[0];
+          break;
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+
+  /// The analog of Spark's resolveOperatorWithAggregate (paper Listings 7
+  /// and 10): resolves `exprs` against the aggregate, adding hidden
+  /// aggregate/grouping outputs as needed. Returns the rewritten expressions
+  /// and the (possibly extended) aggregate.
+  Result<std::pair<std::vector<ExprPtr>, std::shared_ptr<const Aggregate>>>
+  RewriteWithAggregate(std::vector<ExprPtr> exprs,
+                       std::shared_ptr<const Aggregate> agg,
+                       const Scopes& outer, bool* grew) {
+    *grew = false;
+    const auto agg_output = agg->output();
+    const auto child_output = agg->child()->output();
+
+    // Step 1: resolve remaining names — first against the aggregate output,
+    // then against the aggregate's *input* (for expressions like count(id)
+    // where id is not part of the output).
+    for (auto& e : exprs) {
+      SL_ASSIGN_OR_RETURN(e, ResolveExpr(e, agg_output, outer));
+      SL_ASSIGN_OR_RETURN(e, ResolveExpr(e, child_output, outer));
+      if (ContainsUnresolvedNames(e)) {
+        return Status::AnalysisError(
+            StrCat("cannot resolve '", e->ToString(),
+                   "' against aggregate output or input"));
+      }
+    }
+
+    std::vector<ExprPtr> agg_list = agg->agg_list();
+    std::set<ExprId> output_ids;
+    for (const auto& a : agg_output) output_ids.insert(a.id);
+
+    auto expose_aggregate = [&](const ExprPtr& agg_expr) -> ExprPtr {
+      // Reuse an existing output that computes the same aggregate.
+      for (const auto& item : agg_list) {
+        if (item->kind() == ExprKind::kAlias) {
+          const auto& alias = static_cast<const Alias&>(*item);
+          if (SemanticEquals(alias.child(), agg_expr)) {
+            return AttributeRef::Make(alias.ToAttribute());
+          }
+        }
+      }
+      auto alias = std::make_shared<Alias>(agg_expr, DeriveName(agg_expr));
+      agg_list.push_back(alias);
+      *grew = true;
+      return AttributeRef::Make(alias->ToAttribute());
+    };
+
+    // Top-down rewrite: aggregate subtrees are exposed wholesale (their
+    // arguments legitimately reference the aggregate's *input*), so the
+    // bare-column check below must not descend into them.
+    Status error = Status::OK();
+    std::function<ExprPtr(const ExprPtr&)> rewrite =
+        [&](const ExprPtr& n) -> ExprPtr {
+      if (!error.ok()) return n;
+      if (n->kind() == ExprKind::kAggregate) {
+        return expose_aggregate(n);
+      }
+      if (n->kind() == ExprKind::kAttributeRef) {
+        const Attribute& attr = static_cast<const AttributeRef&>(*n).attr();
+        if (output_ids.count(attr.id) > 0) return n;
+        // A bare column from below the aggregate: legal only if grouped.
+        bool grouped = false;
+        for (const auto& g : agg->group_list()) {
+          if (g->kind() == ExprKind::kAttributeRef &&
+              static_cast<const AttributeRef&>(*g).attr().id == attr.id) {
+            grouped = true;
+            break;
+          }
+        }
+        if (!grouped) {
+          error = Status::AnalysisError(
+              StrCat("column ", attr.ToString(),
+                     " must appear in GROUP BY or inside an aggregate"));
+          return n;
+        }
+        agg_list.push_back(n);
+        output_ids.insert(attr.id);
+        *grew = true;
+        return n;
+      }
+      auto children = n->children();
+      bool changed = false;
+      for (auto& c : children) {
+        ExprPtr nc = rewrite(c);
+        if (nc != c) {
+          c = nc;
+          changed = true;
+        }
+      }
+      return changed ? n->WithNewChildren(std::move(children)) : n;
+    };
+    for (auto& e : exprs) {
+      e = rewrite(e);
+      SL_RETURN_NOT_OK(error);
+    }
+
+    std::shared_ptr<const Aggregate> new_agg =
+        *grew ? std::make_shared<Aggregate>(agg->group_list(),
+                                            std::move(agg_list), agg->child())
+              : agg;
+    return std::make_pair(std::move(exprs), std::move(new_agg));
+  }
+
+  /// Rebuilds the pass-through chain over a (possibly extended) aggregate.
+  static LogicalPlanPtr RebuildPath(const AggPath& path,
+                                    std::shared_ptr<const Aggregate> agg) {
+    LogicalPlanPtr node = agg;
+    for (auto it = path.passthrough.rbegin(); it != path.passthrough.rend();
+         ++it) {
+      node = (*it)->WithNewChildren({node});
+    }
+    return node;
+  }
+
+  Result<LogicalPlanPtr> ResolveFilter(const Filter& node,
+                                       const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+    const auto local = child->output();
+    SL_ASSIGN_OR_RETURN(ExprPtr cond,
+                        ResolveExpr(node.condition(), local, outer));
+
+    const bool needs_agg =
+        cond->ContainsAggregate() || ContainsUnresolvedNames(cond);
+    if (needs_agg && child->kind() == PlanKind::kAggregate) {
+      // HAVING: aggregates (or grouping columns) not present in the output.
+      auto agg = std::static_pointer_cast<const Aggregate>(child);
+      bool grew = false;
+      SL_ASSIGN_OR_RETURN(auto rewritten,
+                          RewriteWithAggregate({cond}, agg, outer, &grew));
+      LogicalPlanPtr filter =
+          Filter::Make(rewritten.first[0], rewritten.second);
+      if (grew) {
+        // Hide the helper columns again (paper Listing 6's restoring
+        // projection, applied to HAVING).
+        return Project::Make(OutputRefs(child), std::move(filter));
+      }
+      return filter;
+    }
+
+    if (ContainsUnresolvedNames(cond)) {
+      return Status::AnalysisError(
+          StrCat("cannot resolve '", cond->ToString(),
+                 "' given input columns ", AttributeListString(local)));
+    }
+    if (cond->ContainsAggregate()) {
+      return Status::AnalysisError(
+          "aggregate functions are only allowed in HAVING over a GROUP BY");
+    }
+    return Filter::Make(std::move(cond), std::move(child));
+  }
+
+  /// ResolveMissingReferences (paper Listing 6): resolve `exprs` through a
+  /// chain of Projects/Filters, widening projections so the referenced
+  /// columns flow up. Returns the rewritten expressions and child.
+  Result<std::pair<std::vector<ExprPtr>, LogicalPlanPtr>> AddMissingAttrs(
+      std::vector<ExprPtr> exprs, const LogicalPlanPtr& child,
+      const Scopes& outer) {
+    switch (child->kind()) {
+      case PlanKind::kProject: {
+        const auto& project = static_cast<const Project&>(*child);
+        SL_ASSIGN_OR_RETURN(
+            auto rec, AddMissingAttrs(std::move(exprs), project.child(), outer));
+        std::set<ExprId> have;
+        for (const auto& a : child->output()) have.insert(a.id);
+        std::set<ExprId> grand_ids;
+        for (const auto& a : rec.second->output()) grand_ids.insert(a.id);
+        std::vector<ExprPtr> additions;
+        std::set<ExprId> added;
+        for (const auto& e : rec.first) {
+          for (const auto& a : CollectAttributes(e)) {
+            if (have.count(a.id) == 0 && grand_ids.count(a.id) > 0 &&
+                added.insert(a.id).second) {
+              additions.push_back(a.ToRef());
+            }
+          }
+        }
+        if (additions.empty() && rec.second == project.child()) {
+          return std::make_pair(std::move(rec.first), child);
+        }
+        std::vector<ExprPtr> list = project.list();
+        list.insert(list.end(), additions.begin(), additions.end());
+        return std::make_pair(
+            std::move(rec.first),
+            Project::Make(std::move(list), std::move(rec.second)));
+      }
+      case PlanKind::kFilter:
+      case PlanKind::kSort:
+      case PlanKind::kDistinct:
+      case PlanKind::kSubqueryAlias:
+      case PlanKind::kSkyline: {
+        SL_ASSIGN_OR_RETURN(
+            auto rec,
+            AddMissingAttrs(std::move(exprs), child->children()[0], outer));
+        if (rec.second == child->children()[0]) {
+          return std::make_pair(std::move(rec.first), child);
+        }
+        return std::make_pair(std::move(rec.first),
+                              child->WithNewChildren({rec.second}));
+      }
+      default: {
+        const auto local = child->output();
+        for (auto& e : exprs) {
+          SL_ASSIGN_OR_RETURN(e, ResolveExpr(e, local, outer));
+        }
+        return std::make_pair(std::move(exprs), child);
+      }
+    }
+  }
+
+  Result<LogicalPlanPtr> ResolveSort(const Sort& node, const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+    const auto local = child->output();
+
+    std::vector<SortOrder> orders = node.orders();
+    bool unresolved = false;
+    bool has_agg = false;
+    for (auto& o : orders) {
+      SL_ASSIGN_OR_RETURN(o.expr, ResolveExpr(o.expr, local, outer));
+      unresolved |= ContainsUnresolvedNames(o.expr);
+      has_agg |= o.expr->ContainsAggregate();
+    }
+
+    if (unresolved || has_agg) {
+      // Try the aggregate machinery first (ORDER BY over aggregates, with
+      // HAVING filters and premature projections in between — Appendix B).
+      if (auto path = FindAggregate(child); path.has_value()) {
+        std::vector<ExprPtr> exprs;
+        for (auto& o : orders) exprs.push_back(o.expr);
+        bool grew = false;
+        SL_ASSIGN_OR_RETURN(
+            auto rewritten,
+            RewriteWithAggregate(std::move(exprs), path->aggregate, outer,
+                                 &grew));
+        for (size_t i = 0; i < orders.size(); ++i) {
+          orders[i].expr = rewritten.first[i];
+        }
+        LogicalPlanPtr inner = RebuildPath(*path, rewritten.second);
+        LogicalPlanPtr sort = Sort::Make(std::move(orders), std::move(inner));
+        if (path->premature_project != nullptr) {
+          return path->premature_project->WithNewChildren({sort});
+        }
+        if (grew) return Project::Make(OutputRefs(child), std::move(sort));
+        return sort;
+      }
+      // Otherwise: missing references through projections (Listing 6 style).
+      std::vector<ExprPtr> exprs;
+      for (auto& o : orders) exprs.push_back(o.expr);
+      SL_ASSIGN_OR_RETURN(auto rec,
+                          AddMissingAttrs(std::move(exprs), child, outer));
+      for (size_t i = 0; i < orders.size(); ++i) {
+        if (ContainsUnresolvedNames(rec.first[i])) {
+          return Status::AnalysisError(
+              StrCat("cannot resolve ORDER BY expression: ",
+                     rec.first[i]->ToString()));
+        }
+        orders[i].expr = rec.first[i];
+      }
+      if (rec.second == child) {
+        return Sort::Make(std::move(orders), std::move(child));
+      }
+      return Project::Make(
+          OutputRefs(child),
+          Sort::Make(std::move(orders), std::move(rec.second)));
+    }
+    return Sort::Make(std::move(orders), std::move(child));
+  }
+
+  Result<LogicalPlanPtr> ResolveSkyline(const SkylineNode& node,
+                                        const Scopes& outer) {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr child, Resolve(node.child(), outer));
+    const auto local = child->output();
+
+    std::vector<ExprPtr> dims = node.dimensions();
+    bool unresolved = false;
+    bool has_agg = false;
+    for (auto& d : dims) {
+      SL_ASSIGN_OR_RETURN(d, ResolveExpr(d, local, outer));
+      unresolved |= ContainsUnresolvedNames(d);
+      has_agg |= d->ContainsAggregate();
+    }
+
+    if (unresolved || has_agg) {
+      // Listing 7: propagate aggregates into the skyline.
+      if (auto path = FindAggregate(child); path.has_value()) {
+        bool grew = false;
+        SL_ASSIGN_OR_RETURN(
+            auto rewritten,
+            RewriteWithAggregate(std::move(dims), path->aggregate, outer,
+                                 &grew));
+        LogicalPlanPtr inner = RebuildPath(*path, rewritten.second);
+        LogicalPlanPtr sky =
+            SkylineNode::Make(node.distinct(), node.complete(),
+                              std::move(rewritten.first), std::move(inner));
+        if (path->premature_project != nullptr) {
+          return path->premature_project->WithNewChildren({sky});
+        }
+        if (grew) return Project::Make(OutputRefs(child), std::move(sky));
+        return sky;
+      }
+      // Listing 6: dimensions not present in the projection.
+      SL_ASSIGN_OR_RETURN(auto rec,
+                          AddMissingAttrs(std::move(dims), child, outer));
+      for (auto& d : rec.first) {
+        if (ContainsUnresolvedNames(d)) {
+          return Status::AnalysisError(StrCat(
+              "cannot resolve skyline dimension: ", d->ToString(),
+              " given input columns ", AttributeListString(local)));
+        }
+      }
+      if (rec.second == child) {
+        return SkylineNode::Make(node.distinct(), node.complete(),
+                                 std::move(rec.first), std::move(child));
+      }
+      // Restore the original output above the widened skyline (Listing 6,
+      // lines 10-12).
+      return Project::Make(
+          OutputRefs(child),
+          SkylineNode::Make(node.distinct(), node.complete(),
+                            std::move(rec.first), std::move(rec.second)));
+    }
+    return SkylineNode::Make(node.distinct(), node.complete(), std::move(dims),
+                             std::move(child));
+  }
+
+  static std::string AttributeListString(const std::vector<Attribute>& attrs) {
+    std::vector<std::string> names;
+    names.reserve(attrs.size());
+    for (const auto& a : attrs) names.push_back(a.ToString());
+    return StrCat("[", JoinStrings(names, ", "), "]");
+  }
+
+  const Catalog& catalog_;
+};
+
+}  // namespace
+
+Result<LogicalPlanPtr> Analyzer::Analyze(const LogicalPlanPtr& plan) const {
+  Resolver resolver(*catalog_);
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr resolved, resolver.Resolve(plan, {}));
+  SL_ASSIGN_OR_RETURN(resolved, RewriteSubqueries(resolved));
+  SL_RETURN_NOT_OK(ValidatePlan(resolved));
+  return resolved;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,47 @@
+// The analyzer resolves an unresolved logical plan against the catalog
+// (paper Figure 2), including the skyline-specific rules of section 5.3:
+//
+//  * ResolveMissingReferences for the skyline operator (Listing 6): skyline
+//    dimensions may reference columns absent from the final projection; the
+//    child projection is widened and a restoring Project is added on top.
+//  * Aggregate propagation into skylines (Listing 7): dimensions may be
+//    aggregates that are not part of the aggregate's output; they are added
+//    as hidden aggregate expressions.
+//  * The Sort-over-HAVING-filter aggregate fix (Appendix B): ORDER BY over
+//    aggregates still resolves when a Filter (HAVING) and/or a premature
+//    Project sits between the Sort and the Aggregate.
+//  * [NOT] EXISTS subqueries are decorrelated into left-semi / left-anti
+//    joins (this is how the plain-SQL "reference" skyline query executes).
+#pragma once
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/logical_plan.h"
+
+namespace sparkline {
+
+class Analyzer {
+ public:
+  explicit Analyzer(std::shared_ptr<const Catalog> catalog)
+      : catalog_(std::move(catalog)) {}
+
+  /// Resolves the plan; the result satisfies resolved() and passes semantic
+  /// validation (types, aggregate placement, skyline dimension types).
+  Result<LogicalPlanPtr> Analyze(const LogicalPlanPtr& plan) const;
+
+ private:
+  std::shared_ptr<const Catalog> catalog_;
+};
+
+/// \brief Rewrites [NOT] EXISTS predicates into left-semi / left-anti joins
+/// with the correlated conjuncts pulled up as the join condition. Exposed
+/// separately for tests.
+Result<LogicalPlanPtr> RewriteSubqueries(const LogicalPlanPtr& plan);
+
+/// \brief Semantic validation of a resolved plan (types, aggregate
+/// placement, skyline dimensions). Exposed separately for tests.
+Status ValidatePlan(const LogicalPlanPtr& plan);
+
+}  // namespace sparkline

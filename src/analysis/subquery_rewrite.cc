@@ -1,0 +1,162 @@
+// Decorrelation of [NOT] EXISTS predicates into left-semi / left-anti joins.
+//
+// The plain-SQL skyline "reference" query (paper Listing 4) is a correlated
+// NOT EXISTS self-query; after this rewrite it becomes a left-anti join whose
+// condition is the dominance predicate, which is exactly the plan Spark
+// produces for the rewritten queries in the paper's evaluation.
+#include <set>
+
+#include "analysis/analyzer.h"
+#include "common/string_util.h"
+
+namespace sparkline {
+
+namespace {
+
+/// Removes OuterRef markers, exposing the outer-plan attribute references.
+ExprPtr UnwrapOuterRefs(const ExprPtr& e) {
+  return Expression::Transform(e, [](const ExprPtr& n) -> ExprPtr {
+    if (n->kind() == ExprKind::kOuterRef) {
+      return static_cast<const OuterRef&>(*n).inner();
+    }
+    return n;
+  });
+}
+
+/// Strips correlated conjuncts out of the subquery plan. `under_agg` guards
+/// against pulling predicates across an aggregation boundary, which would
+/// change semantics.
+Result<LogicalPlanPtr> StripCorrelatedPredicates(const LogicalPlanPtr& plan,
+                                                 bool under_agg,
+                                                 std::vector<ExprPtr>* pulled) {
+  const bool child_under_agg =
+      under_agg || plan->kind() == PlanKind::kAggregate;
+  auto children = plan->children();
+  bool changed = false;
+  for (auto& c : children) {
+    SL_ASSIGN_OR_RETURN(
+        LogicalPlanPtr nc,
+        StripCorrelatedPredicates(c, child_under_agg, pulled));
+    if (nc != c) {
+      c = nc;
+      changed = true;
+    }
+  }
+  LogicalPlanPtr node =
+      changed ? plan->WithNewChildren(std::move(children)) : plan;
+
+  if (node->kind() == PlanKind::kFilter) {
+    const auto& filter = static_cast<const Filter&>(*node);
+    std::vector<ExprPtr> keep;
+    std::vector<ExprPtr> correlated;
+    for (const auto& c : SplitConjuncts(filter.condition())) {
+      if (ContainsOuterRef(c)) {
+        correlated.push_back(c);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    if (!correlated.empty()) {
+      if (under_agg) {
+        return Status::NotImplemented(
+            "correlated predicate below an aggregation is not supported");
+      }
+      pulled->insert(pulled->end(), correlated.begin(), correlated.end());
+      if (keep.empty()) return filter.child();
+      return Filter::Make(CombineConjuncts(keep), filter.child());
+    }
+    return node;
+  }
+
+  // Correlation anywhere else (projections, join conditions, ...) is out of
+  // scope.
+  for (const auto& e : node->expressions()) {
+    if (ContainsOuterRef(e)) {
+      return Status::NotImplemented(
+          StrCat("correlated reference outside WHERE: ", e->ToString()));
+    }
+  }
+  return node;
+}
+
+/// Widens the subquery's top projection if the pulled join condition
+/// references columns the projection hides.
+Result<LogicalPlanPtr> EnsureConditionInputs(const LogicalPlanPtr& sub,
+                                             const ExprPtr& condition,
+                                             const std::set<ExprId>& outer_ids) {
+  std::set<ExprId> available;
+  for (const auto& a : sub->output()) available.insert(a.id);
+  std::vector<Attribute> missing;
+  std::set<ExprId> seen;
+  for (const auto& a : CollectAttributes(condition)) {
+    if (outer_ids.count(a.id) > 0 || available.count(a.id) > 0) continue;
+    if (seen.insert(a.id).second) missing.push_back(a);
+  }
+  if (missing.empty()) return sub;
+  if (sub->kind() == PlanKind::kProject) {
+    const auto& project = static_cast<const Project&>(*sub);
+    std::vector<ExprPtr> list = project.list();
+    for (const auto& a : missing) list.push_back(a.ToRef());
+    return Project::Make(std::move(list), project.child());
+  }
+  return Status::NotImplemented(
+      "correlated predicate references columns hidden by the subquery");
+}
+
+}  // namespace
+
+Result<LogicalPlanPtr> RewriteSubqueries(const LogicalPlanPtr& plan) {
+  Status error = Status::OK();
+  LogicalPlanPtr result = LogicalPlan::Transform(
+      plan, [&](const LogicalPlanPtr& node) -> LogicalPlanPtr {
+        if (!error.ok() || node->kind() != PlanKind::kFilter) return node;
+        const auto& filter = static_cast<const Filter&>(*node);
+
+        bool has_exists = false;
+        for (const auto& c : SplitConjuncts(filter.condition())) {
+          if (c->kind() == ExprKind::kExistsSubquery) has_exists = true;
+        }
+        if (!has_exists) return node;
+
+        LogicalPlanPtr current = filter.child();
+        std::set<ExprId> outer_ids;
+        for (const auto& a : current->output()) outer_ids.insert(a.id);
+
+        std::vector<ExprPtr> remaining;
+        for (const auto& c : SplitConjuncts(filter.condition())) {
+          if (c->kind() != ExprKind::kExistsSubquery) {
+            remaining.push_back(c);
+            continue;
+          }
+          const auto& exists = static_cast<const ExistsSubquery&>(*c);
+          std::vector<ExprPtr> pulled;
+          auto stripped =
+              StripCorrelatedPredicates(exists.plan(), false, &pulled);
+          if (!stripped.ok()) {
+            error = stripped.status();
+            return node;
+          }
+          for (auto& p : pulled) p = UnwrapOuterRefs(p);
+          ExprPtr condition = CombineConjuncts(pulled);
+          LogicalPlanPtr sub = *stripped;
+          if (condition != nullptr) {
+            auto widened = EnsureConditionInputs(sub, condition, outer_ids);
+            if (!widened.ok()) {
+              error = widened.status();
+              return node;
+            }
+            sub = *widened;
+          }
+          current = Join::Make(
+              current, sub,
+              exists.negated() ? JoinType::kLeftAnti : JoinType::kLeftSemi,
+              condition, {});
+        }
+        if (remaining.empty()) return current;
+        return Filter::Make(CombineConjuncts(remaining), current);
+      });
+  SL_RETURN_NOT_OK(error);
+  return result;
+}
+
+}  // namespace sparkline

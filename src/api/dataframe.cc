@@ -1,0 +1,138 @@
+#include "api/dataframe.h"
+
+#include "sql/parser.h"
+
+namespace sparkline {
+
+Schema DataFrame::schema() const {
+  Schema s;
+  for (const auto& a : plan_->output()) s.AddField(a.ToField());
+  return s;
+}
+
+Result<DataFrame> DataFrame::WithPlan(LogicalPlanPtr plan) const {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, session_->Analyze(plan));
+  return DataFrame(session_, std::move(analyzed));
+}
+
+Result<DataFrame> DataFrame::Select(const std::vector<Col>& cols) const {
+  std::vector<ExprPtr> list;
+  list.reserve(cols.size());
+  for (const auto& c : cols) list.push_back(c.expr());
+  return WithPlan(Project::Make(std::move(list), plan_));
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& names) const {
+  std::vector<Col> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back(col(n));
+  return Select(cols);
+}
+
+Result<DataFrame> DataFrame::Where(const Col& condition) const {
+  return WithPlan(Filter::Make(condition.expr(), plan_));
+}
+
+Result<DataFrame> DataFrame::Where(const std::string& condition) const {
+  SL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpression(condition));
+  return WithPlan(Filter::Make(std::move(cond), plan_));
+}
+
+namespace {
+Result<JoinType> ParseJoinType(const std::string& how) {
+  const std::string h = ToLower(how);
+  if (h == "inner") return JoinType::kInner;
+  if (h == "left" || h == "left_outer" || h == "leftouter") {
+    return JoinType::kLeftOuter;
+  }
+  if (h == "cross") return JoinType::kCross;
+  if (h == "semi" || h == "left_semi") return JoinType::kLeftSemi;
+  if (h == "anti" || h == "left_anti") return JoinType::kLeftAnti;
+  return Status::Invalid(StrCat("unknown join type '", how, "'"));
+}
+}  // namespace
+
+Result<DataFrame> DataFrame::Join(const DataFrame& right, const Col& condition,
+                                  const std::string& how) const {
+  SL_ASSIGN_OR_RETURN(JoinType type, ParseJoinType(how));
+  return WithPlan(
+      Join::Make(plan_, right.plan(), type, condition.expr(), {}));
+}
+
+Result<DataFrame> DataFrame::Join(const DataFrame& right,
+                                  const std::vector<std::string>& using_columns,
+                                  const std::string& how) const {
+  SL_ASSIGN_OR_RETURN(JoinType type, ParseJoinType(how));
+  return WithPlan(
+      Join::Make(plan_, right.plan(), type, nullptr, using_columns));
+}
+
+Result<DataFrame> DataFrame::Agg(const std::vector<Col>& groups,
+                                 const std::vector<Col>& aggs) const {
+  std::vector<ExprPtr> group_list;
+  group_list.reserve(groups.size());
+  for (const auto& g : groups) group_list.push_back(g.expr());
+  std::vector<ExprPtr> agg_list = group_list;
+  for (const auto& a : aggs) agg_list.push_back(a.expr());
+  return WithPlan(
+      Aggregate::Make(std::move(group_list), std::move(agg_list), plan_));
+}
+
+Result<DataFrame> DataFrame::OrderBy(
+    const std::vector<SortOrder>& orders) const {
+  return WithPlan(Sort::Make(orders, plan_));
+}
+
+Result<DataFrame> DataFrame::OrderBy(
+    const std::vector<std::string>& names) const {
+  std::vector<SortOrder> orders;
+  orders.reserve(names.size());
+  for (const auto& n : names) {
+    orders.push_back(SortOrder{col(n).expr(), true, true});
+  }
+  return OrderBy(orders);
+}
+
+Result<DataFrame> DataFrame::Limit(int64_t n) const {
+  if (n < 0) return Status::Invalid("LIMIT must be non-negative");
+  return WithPlan(Limit::Make(n, plan_));
+}
+
+Result<DataFrame> DataFrame::Distinct() const {
+  return WithPlan(Distinct::Make(plan_));
+}
+
+Result<DataFrame> DataFrame::Skyline(const std::vector<Col>& dimensions,
+                                     bool distinct, bool complete) const {
+  std::vector<ExprPtr> dims;
+  dims.reserve(dimensions.size());
+  for (const auto& d : dimensions) {
+    if (d.expr()->kind() != ExprKind::kSkylineDimension) {
+      return Status::Invalid(
+          StrCat("skyline dimensions must be built with smin()/smax()/sdiff(),"
+                 " got: ",
+                 d.expr()->ToString()));
+    }
+    dims.push_back(d.expr());
+  }
+  return WithPlan(SkylineNode::Make(distinct, complete, std::move(dims), plan_));
+}
+
+Result<DataFrame> DataFrame::Skyline(
+    const std::vector<std::pair<std::string, SkylineGoal>>& dimensions,
+    bool distinct, bool complete) const {
+  std::vector<Col> cols;
+  cols.reserve(dimensions.size());
+  for (const auto& [name, goal] : dimensions) {
+    cols.push_back(Col(SkylineDimension::Make(col(name).expr(), goal)));
+  }
+  return Skyline(cols, distinct, complete);
+}
+
+Result<int64_t> DataFrame::Count() const {
+  SL_ASSIGN_OR_RETURN(QueryResult result, Collect());
+  return static_cast<int64_t>(result.num_rows());
+}
+
+}  // namespace sparkline

@@ -1,0 +1,77 @@
+// DataFrame: the lazily-evaluated, eagerly-analyzed transformation API
+// (paper section 5.8). Every transformation returns a new DataFrame whose
+// plan has passed analysis, so schema errors surface at call sites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/functions.h"
+#include "api/query_result.h"
+#include "api/session.h"
+
+namespace sparkline {
+
+class DataFrame {
+ public:
+  DataFrame(Session* session, LogicalPlanPtr analyzed_plan)
+      : session_(session), plan_(std::move(analyzed_plan)) {}
+
+  const LogicalPlanPtr& plan() const { return plan_; }
+  Session* session() const { return session_; }
+
+  /// Output schema (available without executing).
+  Schema schema() const;
+
+  // --- transformations -------------------------------------------------------
+
+  Result<DataFrame> Select(const std::vector<Col>& cols) const;
+  Result<DataFrame> Select(const std::vector<std::string>& names) const;
+  Result<DataFrame> Where(const Col& condition) const;
+  /// Parses a SQL boolean expression: df.Where("price < 100").
+  Result<DataFrame> Where(const std::string& condition) const;
+
+  /// Joins on a condition; `how` is inner | left | cross | semi | anti.
+  Result<DataFrame> Join(const DataFrame& right, const Col& condition,
+                         const std::string& how = "inner") const;
+  /// USING-style join on equal column names.
+  Result<DataFrame> Join(const DataFrame& right,
+                         const std::vector<std::string>& using_columns,
+                         const std::string& how = "inner") const;
+
+  /// GROUP BY `groups` computing `aggs` (both become the output columns).
+  Result<DataFrame> Agg(const std::vector<Col>& groups,
+                        const std::vector<Col>& aggs) const;
+
+  Result<DataFrame> OrderBy(const std::vector<SortOrder>& orders) const;
+  Result<DataFrame> OrderBy(const std::vector<std::string>& names) const;
+  Result<DataFrame> Limit(int64_t n) const;
+  Result<DataFrame> Distinct() const;
+
+  /// The skyline transformation (paper section 5.8): dimensions must be
+  /// built with smin() / smax() / sdiff().
+  ///
+  ///   df.Skyline({smin(col("price")), smax(col("user_rating"))});
+  Result<DataFrame> Skyline(const std::vector<Col>& dimensions,
+                            bool distinct = false, bool complete = false) const;
+
+  /// Convenience overload taking (name, goal) pairs, mirroring the paper's
+  /// pair-based R interface.
+  Result<DataFrame> Skyline(
+      const std::vector<std::pair<std::string, SkylineGoal>>& dimensions,
+      bool distinct = false, bool complete = false) const;
+
+  // --- actions -----------------------------------------------------------------
+
+  Result<QueryResult> Collect() const { return session_->Execute(plan_); }
+  Result<int64_t> Count() const;
+  Result<ExplainInfo> Explain() const { return session_->Explain(plan_); }
+
+ private:
+  Result<DataFrame> WithPlan(LogicalPlanPtr plan) const;
+
+  Session* session_;
+  LogicalPlanPtr plan_;
+};
+
+}  // namespace sparkline

@@ -1,0 +1,134 @@
+// Column expression builders for the DataFrame API (paper section 5.8).
+//
+// smin() / smax() / sdiff() are the skyline-dimension builders the paper
+// adds to Spark's columnar API:
+//
+//   df.Skyline({smin(col("price")), smax(col("user_rating"))});
+#pragma once
+
+#include <string>
+
+#include "common/string_util.h"
+#include "expr/expression.h"
+
+namespace sparkline {
+
+/// \brief A thin, composable wrapper around an (unresolved) expression.
+class Col {
+ public:
+  explicit Col(ExprPtr expr) : expr_(std::move(expr)) {}
+
+  const ExprPtr& expr() const { return expr_; }
+
+  /// Names the column ("expr AS name").
+  Col As(const std::string& name) const {
+    return Col(Alias::Make(expr_, name));
+  }
+
+  Col IsNull() const { return Col(UnaryExpr::Make(UnaryOp::kIsNull, expr_)); }
+  Col IsNotNull() const {
+    return Col(UnaryExpr::Make(UnaryOp::kIsNotNull, expr_));
+  }
+
+  /// DESC marker for DataFrame::OrderBy.
+  SortOrder Asc() const { return SortOrder{expr_, true, true}; }
+  SortOrder Desc() const { return SortOrder{expr_, false, false}; }
+
+ private:
+  ExprPtr expr_;
+};
+
+#define SPARKLINE_COL_BINOP(op, opcode)                        \
+  inline Col operator op(const Col& a, const Col& b) {         \
+    return Col(BinaryExpr::Make(BinaryOp::opcode, a.expr(), b.expr())); \
+  }
+SPARKLINE_COL_BINOP(+, kAdd)
+SPARKLINE_COL_BINOP(-, kSub)
+SPARKLINE_COL_BINOP(*, kMul)
+SPARKLINE_COL_BINOP(/, kDiv)
+SPARKLINE_COL_BINOP(==, kEq)
+SPARKLINE_COL_BINOP(!=, kNeq)
+SPARKLINE_COL_BINOP(<, kLt)
+SPARKLINE_COL_BINOP(<=, kLe)
+SPARKLINE_COL_BINOP(>, kGt)
+SPARKLINE_COL_BINOP(>=, kGe)
+SPARKLINE_COL_BINOP(&&, kAnd)
+SPARKLINE_COL_BINOP(||, kOr)
+#undef SPARKLINE_COL_BINOP
+
+inline Col operator!(const Col& a) {
+  return Col(UnaryExpr::Make(UnaryOp::kNot, a.expr()));
+}
+
+/// References a column by (optionally qualified) name: col("o.price").
+inline Col col(const std::string& name) {
+  return Col(UnresolvedAttribute::Make(Split(name, '.')));
+}
+
+inline Col lit(int64_t v) { return Col(Literal::Make(Value::Int64(v))); }
+inline Col lit(int v) { return lit(static_cast<int64_t>(v)); }
+inline Col lit(double v) { return Col(Literal::Make(Value::Double(v))); }
+inline Col lit(bool v) { return Col(Literal::Make(Value::Bool(v))); }
+inline Col lit(const char* v) {
+  return Col(Literal::Make(Value::String(v)));
+}
+inline Col lit(const std::string& v) {
+  return Col(Literal::Make(Value::String(v)));
+}
+inline Col null_lit() { return Col(Literal::Make(Value::Null())); }
+
+// --- skyline dimensions (paper section 5.8) --------------------------------
+
+/// Minimized skyline dimension.
+inline Col smin(const Col& c) {
+  return Col(SkylineDimension::Make(c.expr(), SkylineGoal::kMin));
+}
+/// Maximized skyline dimension.
+inline Col smax(const Col& c) {
+  return Col(SkylineDimension::Make(c.expr(), SkylineGoal::kMax));
+}
+/// DIFF skyline dimension (tuples only compare within equal values).
+inline Col sdiff(const Col& c) {
+  return Col(SkylineDimension::Make(c.expr(), SkylineGoal::kDiff));
+}
+
+// --- aggregates --------------------------------------------------------------
+
+inline Col Sum(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kSum, c.expr()));
+}
+inline Col Avg(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kAvg, c.expr()));
+}
+inline Col Min(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kMin, c.expr()));
+}
+inline Col Max(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kMax, c.expr()));
+}
+inline Col Count(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kCount, c.expr()));
+}
+inline Col CountDistinct(const Col& c) {
+  return Col(AggregateExpr::Make(AggFn::kCount, c.expr(), /*distinct=*/true));
+}
+inline Col CountStar() {
+  return Col(AggregateExpr::Make(AggFn::kCountStar, nullptr));
+}
+
+// --- scalar builtins -----------------------------------------------------------
+
+inline Col IfNull(const Col& a, const Col& b) {
+  return Col(FunctionCall::Make("ifnull", {a.expr(), b.expr()}));
+}
+inline Col Coalesce(const std::vector<Col>& cols) {
+  std::vector<ExprPtr> args;
+  args.reserve(cols.size());
+  for (const auto& c : cols) args.push_back(c.expr());
+  return Col(FunctionCall::Make("coalesce", std::move(args)));
+}
+inline Col Abs(const Col& c) {
+  return Col(FunctionCall::Make("abs", {c.expr()}));
+}
+
+}  // namespace sparkline

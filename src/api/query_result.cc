@@ -1,0 +1,57 @@
+#include "api/query_result.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+std::string QueryMetrics::ToString() const {
+  return StrCat("wall=", DoubleToString(wall_ms), "ms simulated=",
+                DoubleToString(simulated_ms),
+                "ms peak_mem=", peak_memory_bytes / (1 << 20),
+                "MB dominance_tests=", dominance_tests,
+                " rows_shuffled=", rows_shuffled);
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<std::string> headers;
+  headers.reserve(attrs.size());
+  for (const auto& a : attrs) headers.push_back(a.name);
+
+  const size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].reserve(attrs.size());
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      cells[r].push_back(rows[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    return out + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    std::string out = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string v = c < vals.size() ? vals[c] : "";
+      out += " " + v + std::string(widths[c] - v.size() + 1, ' ') + "|";
+    }
+    return out + "\n";
+  };
+
+  std::string out = rule() + line(headers) + rule();
+  for (size_t r = 0; r < shown; ++r) out += line(cells[r]);
+  out += rule();
+  if (rows.size() > shown) {
+    out += StrCat("(showing ", shown, " of ", rows.size(), " rows)\n");
+  }
+  return out;
+}
+
+}  // namespace sparkline

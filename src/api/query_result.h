@@ -1,0 +1,32 @@
+// Query results: rows plus the metrics the paper's evaluation reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "expr/expression.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sparkline {
+
+/// \brief A fully materialized query result.
+struct QueryResult {
+  std::vector<Attribute> attrs;
+  std::vector<Row> rows;
+  QueryMetrics metrics;
+
+  Schema schema() const {
+    Schema s;
+    for (const auto& a : attrs) s.AddField(a.ToField());
+    return s;
+  }
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// ASCII table rendering (up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace sparkline

@@ -1,0 +1,184 @@
+#include "api/session.h"
+
+#include "api/dataframe.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "sql/parser.h"
+
+namespace sparkline {
+
+std::string ExplainInfo::ToString() const {
+  return StrCat("== Analyzed Logical Plan ==\n", analyzed,
+                "\n\n== Optimized Logical Plan ==\n", optimized,
+                "\n\n== Physical Plan ==\n", physical, "\n");
+}
+
+Session::Session(SessionConfig config)
+    : catalog_(std::make_shared<Catalog>()), config_(std::move(config)) {}
+
+namespace {
+Result<bool> ParseBool(const std::string& value) {
+  const std::string v = ToLower(value);
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  return Status::Invalid(StrCat("expected a boolean, got '", value, "'"));
+}
+Result<int64_t> ParseInt(const std::string& value) {
+  try {
+    return static_cast<int64_t>(std::stoll(value));
+  } catch (...) {
+    return Status::Invalid(StrCat("expected an integer, got '", value, "'"));
+  }
+}
+}  // namespace
+
+Status Session::SetConf(const std::string& key, const std::string& value) {
+  const std::string k = ToLower(key);
+  if (k == "sparkline.executors") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 1 || n > 4096) {
+      return Status::Invalid("sparkline.executors must be in [1, 4096]");
+    }
+    config_.cluster.num_executors = static_cast<int>(n);
+    return Status::OK();
+  }
+  if (k == "sparkline.timeout_ms") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    config_.cluster.timeout_ms = n;
+    return Status::OK();
+  }
+  if (k == "sparkline.memory.executoroverheadmb") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    config_.cluster.executor_overhead_bytes = n << 20;
+    return Status::OK();
+  }
+  if (k == "sparkline.skyline.strategy") {
+    if (EqualsIgnoreCase(value, "reference")) {
+      config_.skyline_reference = true;
+      config_.skyline_strategy = SkylineStrategy::kAuto;
+      return Status::OK();
+    }
+    SL_ASSIGN_OR_RETURN(SkylineStrategy s, ParseSkylineStrategy(value));
+    config_.skyline_reference = false;
+    config_.skyline_strategy = s;
+    return Status::OK();
+  }
+  if (k == "sparkline.skyline.kernel") {
+    if (EqualsIgnoreCase(value, "bnl")) {
+      config_.skyline_kernel = SkylineKernel::kBlockNestedLoop;
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(value, "sfs")) {
+      config_.skyline_kernel = SkylineKernel::kSortFilterSkyline;
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(value, "grid")) {
+      config_.skyline_kernel = SkylineKernel::kGridFilter;
+      return Status::OK();
+    }
+    return Status::Invalid(
+        StrCat("unknown skyline kernel '", value, "' (bnl | sfs | grid)"));
+  }
+  if (k == "sparkline.skyline.partitioning") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_partitioning,
+                        ParseSkylinePartitioning(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.skyline.nondistributedthreshold") {
+    SL_ASSIGN_OR_RETURN(config_.non_distributed_threshold, ParseInt(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.optimizer.singledimrewrite") {
+    SL_ASSIGN_OR_RETURN(config_.optimizer.single_dim_skyline_rewrite,
+                        ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.optimizer.skylinejoinpushdown") {
+    SL_ASSIGN_OR_RETURN(config_.optimizer.skyline_join_pushdown,
+                        ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.optimizer.filterpushdown") {
+    SL_ASSIGN_OR_RETURN(config_.optimizer.filter_pushdown, ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.optimizer.constantfolding") {
+    SL_ASSIGN_OR_RETURN(config_.optimizer.constant_folding, ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.optimizer.columnpruning") {
+    SL_ASSIGN_OR_RETURN(config_.optimizer.column_pruning, ParseBool(value));
+    return Status::OK();
+  }
+  return Status::Invalid(StrCat("unknown configuration key '", key, "'"));
+}
+
+Result<DataFrame> Session::Sql(const std::string& sql) {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr plan, ParseSql(sql));
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+  return DataFrame(this, std::move(analyzed));
+}
+
+Result<DataFrame> Session::Table(const std::string& name) {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed,
+                      Analyze(UnresolvedRelation::Make(name)));
+  return DataFrame(this, std::move(analyzed));
+}
+
+Result<DataFrame> Session::CreateDataFrame(const Schema& schema,
+                                           std::vector<Row> rows) {
+  return DataFrame(this, LocalRelation::Make(schema, std::move(rows)));
+}
+
+Result<LogicalPlanPtr> Session::Analyze(const LogicalPlanPtr& plan) const {
+  Analyzer analyzer(catalog_);
+  return analyzer.Analyze(plan);
+}
+
+Result<LogicalPlanPtr> Session::Optimize(const LogicalPlanPtr& analyzed) const {
+  OptimizerOptions opts = config_.optimizer;
+  opts.rewrite_skyline_to_reference = config_.skyline_reference;
+  Optimizer optimizer(opts);
+  return optimizer.Optimize(analyzed);
+}
+
+Result<PhysicalPlanPtr> Session::PlanPhysical(
+    const LogicalPlanPtr& optimized) const {
+  PlannerOptions opts;
+  opts.cluster = config_.cluster;
+  opts.skyline_strategy = config_.skyline_strategy;
+  opts.skyline_kernel = config_.skyline_kernel;
+  opts.skyline_partitioning = config_.skyline_partitioning;
+  opts.non_distributed_threshold = config_.non_distributed_threshold;
+  PhysicalPlanner planner(opts);
+  return planner.Plan(optimized);
+}
+
+Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr optimized, Optimize(analyzed));
+  SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
+
+  ExecContext ctx(config_.cluster);
+  StopWatch wall;
+  SL_ASSIGN_OR_RETURN(PartitionedRelation rel, physical->Execute(&ctx));
+
+  QueryResult result;
+  result.attrs = rel.attrs;
+  result.rows = std::move(rel).Flatten();
+  result.metrics = ctx.Finish(wall.ElapsedMillis());
+  return result;
+}
+
+Result<ExplainInfo> Session::Explain(const LogicalPlanPtr& plan) const {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr optimized, Optimize(analyzed));
+  SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
+  ExplainInfo info;
+  info.analyzed = analyzed->TreeString();
+  info.optimized = optimized->TreeString();
+  info.physical = physical->TreeString();
+  return info;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,104 @@
+// Session: the user-facing entry point (SparkSession analog).
+//
+//   Session session;
+//   session.catalog()->RegisterTable(hotels);
+//   auto df = session.Sql("SELECT * FROM hotels "
+//                         "SKYLINE OF price MIN, rating MAX");
+//   auto result = df->Collect();
+//
+// Configuration keys (Session::SetConf):
+//   sparkline.executors                     int, number of executors
+//   sparkline.skyline.strategy              auto | distributed |
+//                                           non_distributed | incomplete |
+//                                           reference
+//   sparkline.timeout_ms                    per-query timeout (0 = none)
+//   sparkline.memory.executorOverheadMb     simulated per-executor footprint
+//   sparkline.skyline.kernel                bnl | sfs | grid
+//   sparkline.skyline.partitioning          asis | roundrobin | angle
+//   sparkline.skyline.nonDistributedThreshold  rows; 0 disables (section 7)
+//   sparkline.optimizer.singleDimRewrite    bool
+//   sparkline.optimizer.skylineJoinPushdown bool
+//   sparkline.optimizer.filterPushdown      bool
+//   sparkline.optimizer.constantFolding     bool
+//   sparkline.optimizer.columnPruning       bool
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "api/query_result.h"
+#include "catalog/catalog.h"
+#include "exec/planner.h"
+#include "optimizer/optimizer.h"
+
+namespace sparkline {
+
+class DataFrame;
+
+/// \brief Session configuration (see header comment for the string keys).
+struct SessionConfig {
+  ClusterConfig cluster;
+  SkylineStrategy skyline_strategy = SkylineStrategy::kAuto;
+  /// Run skylines via the plain-SQL rewriting (the "reference" algorithm).
+  bool skyline_reference = false;
+  /// Skyline kernel: Block-Nested-Loop (paper), Sort-Filter-Skyline
+  /// (the paper's future-work presorting family) or grid-based cell
+  /// pruning (Tang et al., paper section 2). Key:
+  /// sparkline.skyline.kernel = bnl | sfs | grid.
+  SkylineKernel skyline_kernel = SkylineKernel::kBlockNestedLoop;
+  /// Local-stage partitioning for complete data. Key:
+  /// sparkline.skyline.partitioning = asis | roundrobin | angle.
+  SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;
+  /// Cost-based refinement threshold (section 7 future work). Key:
+  /// sparkline.skyline.nonDistributedThreshold (rows; 0 = off).
+  int64_t non_distributed_threshold = 0;
+  OptimizerOptions optimizer;
+};
+
+/// \brief Per-query EXPLAIN output: the plan after each pipeline stage of
+/// Figure 2.
+struct ExplainInfo {
+  std::string analyzed;
+  std::string optimized;
+  std::string physical;
+
+  std::string ToString() const;
+};
+
+class Session {
+ public:
+  Session() : Session(SessionConfig{}) {}
+  explicit Session(SessionConfig config);
+
+  Catalog* catalog() { return catalog_.get(); }
+  const SessionConfig& config() const { return config_; }
+  SessionConfig* mutable_config() { return &config_; }
+
+  /// String-keyed configuration, Spark-style.
+  Status SetConf(const std::string& key, const std::string& value);
+
+  /// Parses SQL into a DataFrame (lazily executed).
+  Result<DataFrame> Sql(const std::string& sql);
+
+  /// A DataFrame over a registered table.
+  Result<DataFrame> Table(const std::string& name);
+
+  /// A DataFrame over in-memory rows.
+  Result<DataFrame> CreateDataFrame(const Schema& schema,
+                                    std::vector<Row> rows);
+
+  // --- pipeline entry points (used by DataFrame; available to tests) -------
+  Result<LogicalPlanPtr> Analyze(const LogicalPlanPtr& plan) const;
+  Result<LogicalPlanPtr> Optimize(const LogicalPlanPtr& analyzed) const;
+  Result<PhysicalPlanPtr> PlanPhysical(const LogicalPlanPtr& optimized) const;
+  /// Analyze + optimize + plan + execute.
+  Result<QueryResult> Execute(const LogicalPlanPtr& plan) const;
+  Result<ExplainInfo> Explain(const LogicalPlanPtr& plan) const;
+
+ private:
+  std::shared_ptr<Catalog> catalog_;
+  SessionConfig config_;
+};
+
+}  // namespace sparkline

@@ -1,0 +1,48 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+Status Catalog::RegisterTable(TablePtr table) {
+  std::string key = ToLower(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(StrCat("table ", table->name()));
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplaceTable(TablePtr table) {
+  tables_[ToLower(table->name())] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table ", name, " not found in catalog"));
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("table ", name, " not found in catalog"));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) out.push_back(v->name());
+  return out;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,33 @@
+// The catalog maps table names to Table objects (paper Figure 2: the
+// Analyzer resolves identifiers against the Catalog).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace sparkline {
+
+/// \brief Case-insensitive table registry.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status RegisterTable(TablePtr table);
+
+  /// Registers or replaces.
+  void RegisterOrReplaceTable(TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;  // keyed by lower-cased name
+};
+
+}  // namespace sparkline

@@ -1,0 +1,69 @@
+// In-memory tables with declared constraints.
+//
+// Constraints (primary keys / foreign keys) are not enforced on insert; they
+// are *metadata* consumed by the optimizer, in particular by the
+// push-skyline-through-non-reductive-join rule (paper section 5.4, citing
+// Carey & Kossmann for non-reductiveness).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sparkline {
+
+/// \brief Declarative constraint metadata of a table.
+struct TableConstraints {
+  /// Columns forming a unique, non-null key (empty if undeclared).
+  std::vector<std::string> primary_key;
+
+  struct ForeignKey {
+    std::vector<std::string> columns;      ///< referencing columns
+    std::string ref_table;                 ///< referenced table name
+    std::vector<std::string> ref_columns;  ///< referenced (unique) columns
+    /// True if the referencing columns are non-null, i.e. every row is
+    /// guaranteed a join partner (this is what makes a join non-reductive).
+    bool referencing_not_null = true;
+  };
+  std::vector<ForeignKey> foreign_keys;
+};
+
+/// \brief A named, row-oriented, in-memory table.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  TableConstraints& constraints() { return constraints_; }
+  const TableConstraints& constraints() const { return constraints_; }
+
+  /// Appends a row after checking arity and per-column type/nullability.
+  Status AppendRow(Row row);
+
+  /// Appends without validation (used by trusted generators).
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Approximate bytes held by the table's rows.
+  int64_t EstimatedBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  TableConstraints constraints_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace sparkline

@@ -1,0 +1,67 @@
+// Minimal stream-style logging and assertion macros (glog-flavoured).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sparkline {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// \brief Collects one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after printing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Minimum level that is actually printed (default: kWarning; tests and
+/// benches may lower it).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+}  // namespace internal
+}  // namespace sparkline
+
+#define SL_LOG_INTERNAL(level) \
+  ::sparkline::internal::LogMessage( \
+      ::sparkline::internal::LogLevel::level, __FILE__, __LINE__)
+
+#define SL_LOG_DEBUG SL_LOG_INTERNAL(kDebug)
+#define SL_LOG_INFO SL_LOG_INTERNAL(kInfo)
+#define SL_LOG_WARN SL_LOG_INTERNAL(kWarning)
+#define SL_LOG_ERROR SL_LOG_INTERNAL(kError)
+
+/// Fatal assertion, active in all build types. Usage:
+///   SL_CHECK(n > 0) << "need rows, got " << n;
+#define SL_CHECK(cond)        \
+  if (cond) {                 \
+  } else                      \
+    SL_LOG_INTERNAL(kFatal) << "Check failed: `" #cond "` "
+
+/// Fatal assertion on a non-OK Status.
+#define SL_CHECK_OK(expr)                                      \
+  if (::sparkline::Status _slst = (expr); _slst.ok()) {        \
+  } else                                                       \
+    SL_LOG_INTERNAL(kFatal) << "Bad status: " << _slst.ToString() << " "
+
+#ifdef NDEBUG
+#define SL_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    SL_LOG_INTERNAL(kFatal)
+#else
+#define SL_DCHECK(cond) SL_CHECK(cond)
+#endif

@@ -1,0 +1,58 @@
+// Byte accounting for materialized data, used to reproduce the paper's
+// peak-memory-consumption experiments (Figures 8-10, 17, 19).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sparkline {
+
+/// \brief Tracks current and peak reserved bytes across threads.
+///
+/// Operators call Grow() when they materialize partitions / windows and
+/// Shrink() when buffers are released. The executor adds a configurable
+/// fixed per-executor overhead on top of the tracked peak to model each
+/// executor loading its entire execution environment (paper section 6.5).
+class MemoryTracker {
+ public:
+  void Grow(int64_t bytes) {
+    int64_t now = current_.fetch_add(bytes) + bytes;
+    int64_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  void Shrink(int64_t bytes) { current_.fetch_sub(bytes); }
+
+  int64_t current_bytes() const { return current_.load(); }
+  int64_t peak_bytes() const { return peak_.load(); }
+
+  void Reset() {
+    current_.store(0);
+    peak_.store(0);
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// \brief RAII reservation against a MemoryTracker.
+class ScopedReservation {
+ public:
+  ScopedReservation(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Grow(bytes_);
+  }
+  ~ScopedReservation() {
+    if (tracker_ != nullptr) tracker_->Shrink(bytes_);
+  }
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t bytes_;
+};
+
+}  // namespace sparkline

@@ -1,0 +1,60 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace sparkline {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construction from T or from a (non-OK) Status is implicit so that
+/// functions can `return value;` or `return Status::Invalid(...)`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a successful value.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from an error; `status` must not be OK.
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    SL_CHECK(!std::get<Status>(storage_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the error status, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  /// Returns the contained value; fatal error if this holds a Status.
+  const T& ValueOrDie() const& {
+    SL_CHECK(ok()) << "ValueOrDie on error Result: " << status().ToString();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    SL_CHECK(ok()) << "ValueOrDie on error Result: " << status().ToString();
+    return std::get<T>(storage_);
+  }
+
+  /// Moves the contained value out; fatal error if this holds a Status.
+  T MoveValue() && {
+    SL_CHECK(ok()) << "MoveValue on error Result: " << status().ToString();
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace sparkline

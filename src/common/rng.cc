@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sparkline {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) {
+  SL_CHECK(n >= 1) << "zipf needs n >= 1, got " << n;
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->Uniform(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int64_t>(cdf_.size());
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,74 @@
+// Deterministic random generation helpers for the data generators.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sparkline {
+
+/// \brief Seeded pseudo-random generator with the distributions the dataset
+/// generators need (uniform, normal, lognormal, zipf, bernoulli).
+///
+/// Determinism contract: for a fixed seed and call sequence the output is
+/// identical across runs and platforms using the same libstdc++; tests pin
+/// only statistical properties, not exact streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  double LogNormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Random element index weighted by the given non-negative weights.
+  size_t Discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Bounded Zipf(n, s) sampler over {1..n} with precomputed CDF.
+///
+/// Used for skewed attributes such as review counts. O(log n) per sample.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  /// Samples a value in [1, n]; small values are (much) more likely.
+  int64_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sparkline

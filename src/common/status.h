@@ -1,0 +1,143 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Apache Arrow / RocksDB. Every fallible public API in sparkline returns
+// either a Status or a Result<T> (see result.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sparkline {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kAnalysisError,
+  kPlanError,
+  kExecutionError,
+  kTimeout,
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("Parse error", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and is intended to
+/// be propagated with the SL_RETURN_NOT_OK / SL_ASSIGN_OR_RETURN macros.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "Parse error: unexpected token" style rendering.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeToString(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kAnalysisError:
+      return "Analysis error";
+    case StatusCode::kPlanError:
+      return "Plan error";
+    case StatusCode::kExecutionError:
+      return "Execution error";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+}  // namespace sparkline
+
+/// Propagates a non-OK Status from the current function.
+#define SL_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::sparkline::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define SL_CONCAT_IMPL(a, b) a##b
+#define SL_CONCAT(a, b) SL_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a declaration).
+#define SL_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto SL_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!SL_CONCAT(_res_, __LINE__).ok())                       \
+    return SL_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(SL_CONCAT(_res_, __LINE__)).MoveValue();

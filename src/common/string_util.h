@@ -1,0 +1,48 @@
+// Small string helpers (the toolchain lacks std::format).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sparkline {
+
+namespace internal {
+inline void StrCatImpl(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrCatImpl(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  StrCatImpl(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates all arguments using operator<<.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatImpl(os, args...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Renders a double without trailing noise ("3", "3.5", "3.141593").
+std::string DoubleToString(double v);
+
+/// Indents every line of `s` by `n` spaces.
+std::string Indent(const std::string& s, int n);
+
+}  // namespace sparkline

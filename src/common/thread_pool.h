@@ -1,0 +1,57 @@
+// Fixed-size worker pool used to run per-partition tasks of a query stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparkline {
+
+/// \brief A fixed-size thread pool with a simple FIFO queue.
+///
+/// The executor uses one logical "executor slot" per simulated Spark executor;
+/// tasks are per-partition closures. The pool is intentionally simple: tasks
+/// must not throw (all sparkline code reports errors via Status).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs fn(0) .. fn(n-1) on the pool and waits for completion.
+///
+/// `fn` must be safe to call concurrently for distinct indices. Used by the
+/// executor to process the partitions of a stage "in parallel" (on this
+/// single-core reference machine the parallelism is simulated; per-task CPU
+/// time is what the metrics aggregate).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace sparkline

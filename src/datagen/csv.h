@@ -1,0 +1,23 @@
+// Minimal CSV reader/writer so examples can demonstrate data-source
+// independence (NULL encoded as an empty field; strings quoted with ""
+// escaping).
+#pragma once
+
+#include <string>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace sparkline {
+namespace datagen {
+
+/// Writes `table` (with a header line) to `path`.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV written by WriteCsv (or compatible) into a new table with the
+/// given schema; the header line is validated against the schema names.
+Result<TablePtr> ReadCsv(const std::string& path, const Schema& schema,
+                         const std::string& table_name);
+
+}  // namespace datagen
+}  // namespace sparkline

@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+
+namespace sparkline {
+namespace datagen {
+
+MusicBrainzTables GenerateMusicBrainz(const MusicBrainzOptions& options) {
+  MusicBrainzTables out;
+
+  Schema recording_schema_complete({
+      Field{"id", DataType::Int64(), false},
+      Field{"length", DataType::Int64(), false},
+      Field{"video", DataType::Int64(), false},
+  });
+  Schema recording_schema_incomplete({
+      Field{"id", DataType::Int64(), false},
+      Field{"length", DataType::Int64(), true},
+      Field{"video", DataType::Int64(), true},
+  });
+  Schema meta_schema({
+      Field{"id", DataType::Int64(), false},
+      Field{"rating", DataType::Double(), true},
+      Field{"rating_count", DataType::Int64(), true},
+  });
+  Schema track_schema({
+      Field{"id", DataType::Int64(), false},
+      Field{"recording", DataType::Int64(), false},
+      Field{"position", DataType::Int64(), false},
+  });
+
+  out.recording_complete = std::make_shared<Table>(
+      "recording_complete", recording_schema_complete);
+  out.recording_incomplete = std::make_shared<Table>(
+      "recording_incomplete", recording_schema_incomplete);
+  out.recording_meta =
+      std::make_shared<Table>("recording_meta", meta_schema);
+  out.track = std::make_shared<Table>("track", track_schema);
+
+  out.recording_complete->constraints().primary_key = {"id"};
+  out.recording_incomplete->constraints().primary_key = {"id"};
+  out.recording_meta->constraints().primary_key = {"id"};
+  out.track->constraints().primary_key = {"id"};
+  // Every recording row is guaranteed a recording_meta partner: the join
+  // "JOIN recording_meta rm USING (id)" is non-reductive, which the
+  // skyline-through-join rule can exploit (paper section 5.4).
+  for (auto* t : {out.recording_complete.get(), out.recording_incomplete.get()}) {
+    t->constraints().foreign_keys.push_back(TableConstraints::ForeignKey{
+        {"id"}, "recording_meta", {"id"}, /*referencing_not_null=*/true});
+  }
+
+  Rng rng(options.seed);
+  ZipfDistribution count_dist(2000, 1.2);
+  int64_t track_id = 1;
+
+  for (size_t i = 0; i < options.num_recordings; ++i) {
+    const int64_t id = static_cast<int64_t>(i) + 1;
+    // Track lengths ~ log-normal around 3.5 minutes (in milliseconds).
+    const int64_t length =
+        static_cast<int64_t>(std::exp(rng.Normal(12.3, 0.45)));
+    const int64_t video = rng.Bernoulli(0.08) ? 1 : 0;
+
+    out.recording_complete->AppendRowUnchecked(
+        {Value::Int64(id), Value::Int64(length), Value::Int64(video)});
+
+    Row incomplete_row{Value::Int64(id), Value::Int64(length),
+                       Value::Int64(video)};
+    if (rng.Bernoulli(0.15)) incomplete_row[1] = Value::Null(DataType::Int64());
+    if (rng.Bernoulli(0.05)) incomplete_row[2] = Value::Null(DataType::Int64());
+    out.recording_incomplete->AppendRowUnchecked(std::move(incomplete_row));
+
+    // About one third of recordings carry ratings (the paper selected all
+    // ~500k rated recordings out of 1.5M).
+    Row meta{Value::Int64(id), Value::Null(DataType::Double()),
+             Value::Null(DataType::Int64())};
+    if (rng.Bernoulli(0.34)) {
+      const int64_t count = count_dist.Sample(&rng);
+      meta[1] = Value::Double(
+          std::round(std::clamp(rng.Normal(72.0, 18.0), 0.0, 100.0)));
+      meta[2] = Value::Int64(count);
+    }
+    out.recording_meta->AppendRowUnchecked(std::move(meta));
+
+    // Tracks: every recording appears on at least one track (so the
+    // LEFT OUTER JOIN of Listing 11 never null-extends and the COMPLETE
+    // skyline keyword is justified); a skewed tail appears on many
+    // compilations.
+    const int64_t num_tracks = 1 + (count_dist.Sample(&rng) - 1) % 7;
+    for (int64_t t = 0; t < num_tracks; ++t) {
+      out.track->AppendRowUnchecked({Value::Int64(track_id++), Value::Int64(id),
+                                     Value::Int64(rng.UniformInt(1, 20))});
+    }
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace sparkline

@@ -1,0 +1,127 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+
+namespace sparkline {
+namespace datagen {
+
+TablePtr GenerateStoreSales(const StoreSalesOptions& options) {
+  const bool inc = options.incomplete;
+  Schema schema({
+      Field{"ss_item_sk", DataType::Int64(), false},
+      Field{"ss_ticket_number", DataType::Int64(), false},
+      Field{"ss_quantity", DataType::Int64(), inc},
+      Field{"ss_wholesale_cost", DataType::Double(), inc},
+      Field{"ss_list_price", DataType::Double(), inc},
+      Field{"ss_sales_price", DataType::Double(), inc},
+      Field{"ss_ext_discount_amt", DataType::Double(), inc},
+      Field{"ss_ext_sales_price", DataType::Double(), inc},
+  });
+  auto table = std::make_shared<Table>(options.table_name, std::move(schema));
+  table->constraints().primary_key = {"ss_item_sk", "ss_ticket_number"};
+  table->Reserve(options.num_rows);
+
+  Rng rng(options.seed);
+  auto money = [](double v) { return std::round(v * 100.0) / 100.0; };
+
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    // DSB generates normally-distributed, correlated prices on top of the
+    // TPC-DS schema; quantity stays low-cardinality (1..100), which is why
+    // a 1-dimensional skyline over it keeps ~1% of all tuples.
+    const int64_t quantity = rng.UniformInt(1, 100);
+    const double wholesale =
+        money(std::max(1.0, rng.Normal(47.0, 18.0)));
+    const double list = money(wholesale * rng.Uniform(1.2, 2.4));
+    const double sales = money(list * rng.Uniform(0.35, 1.0));
+    const double discount =
+        money((list - sales) * static_cast<double>(quantity));
+    const double ext_sales = money(sales * static_cast<double>(quantity));
+
+    Row row;
+    row.reserve(8);
+    row.push_back(Value::Int64(rng.UniformInt(1, 200000)));
+    row.push_back(Value::Int64(static_cast<int64_t>(i) + 1));
+    row.push_back(Value::Int64(quantity));
+    row.push_back(Value::Double(wholesale));
+    row.push_back(Value::Double(list));
+    row.push_back(Value::Double(sales));
+    row.push_back(Value::Double(discount));
+    row.push_back(Value::Double(ext_sales));
+
+    if (inc) {
+      for (size_t c = 2; c < 8; ++c) {
+        if (rng.Bernoulli(options.null_rate)) {
+          row[c] = Value::Null(table->schema().field(c).type);
+        }
+      }
+    }
+    table->AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+TablePtr GeneratePoints(const std::string& table_name, size_t num_rows,
+                        size_t num_dims, PointDistribution dist, uint64_t seed,
+                        double null_rate) {
+  Schema schema({Field{"id", DataType::Int64(), false}});
+  for (size_t d = 0; d < num_dims; ++d) {
+    schema.AddField(
+        Field{"d" + std::to_string(d), DataType::Double(), null_rate > 0});
+  }
+  auto table = std::make_shared<Table>(table_name, std::move(schema));
+  table->constraints().primary_key = {"id"};
+  table->Reserve(num_rows);
+
+  Rng rng(seed);
+  for (size_t i = 0; i < num_rows; ++i) {
+    Row row;
+    row.reserve(num_dims + 1);
+    row.push_back(Value::Int64(static_cast<int64_t>(i)));
+    switch (dist) {
+      case PointDistribution::kIndependent:
+        for (size_t d = 0; d < num_dims; ++d) {
+          row.push_back(Value::Double(rng.Uniform(0.0, 1.0)));
+        }
+        break;
+      case PointDistribution::kCorrelated: {
+        const double base = rng.Uniform(0.0, 1.0);
+        for (size_t d = 0; d < num_dims; ++d) {
+          row.push_back(Value::Double(
+              std::clamp(base + rng.Normal(0.0, 0.05), 0.0, 1.0)));
+        }
+        break;
+      }
+      case PointDistribution::kAntiCorrelated: {
+        // Points near the hyperplane sum(x) = c: good in one dimension,
+        // bad in another -> large skylines.
+        const double c = std::clamp(rng.Normal(0.5, 0.05), 0.0, 1.0);
+        std::vector<double> vals(num_dims);
+        double sum = 0;
+        for (auto& v : vals) {
+          v = rng.Uniform(0.0, 1.0);
+          sum += v;
+        }
+        for (size_t d = 0; d < num_dims; ++d) {
+          row.push_back(Value::Double(
+              std::clamp(vals[d] / sum * c * static_cast<double>(num_dims),
+                         0.0, 1.0)));
+        }
+        break;
+      }
+    }
+    if (null_rate > 0) {
+      for (size_t d = 1; d <= num_dims; ++d) {
+        if (rng.Bernoulli(null_rate)) {
+          row[d] = Value::Null(DataType::Double());
+        }
+      }
+    }
+    table->AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace datagen
+}  // namespace sparkline

@@ -1,0 +1,38 @@
+// The dataset representation flowing between physical operators: a list of
+// row partitions (the analog of an RDD's partitions in Spark).
+#pragma once
+
+#include <vector>
+
+#include "expr/expression.h"
+#include "types/value.h"
+
+namespace sparkline {
+
+/// \brief Rows split into partitions, one per (simulated) executor task.
+struct PartitionedRelation {
+  std::vector<Attribute> attrs;
+  std::vector<std::vector<Row>> partitions;
+
+  size_t TotalRows() const {
+    size_t n = 0;
+    for (const auto& p : partitions) n += p.size();
+    return n;
+  }
+
+  /// Concatenates all partitions in order (an AllTuples gather).
+  std::vector<Row> Flatten() && {
+    if (partitions.size() == 1) return std::move(partitions[0]);
+    std::vector<Row> out;
+    out.reserve(TotalRows());
+    for (auto& p : partitions) {
+      for (auto& r : p) out.push_back(std::move(r));
+    }
+    return out;
+  }
+};
+
+/// Approximate in-memory footprint (samples one row per partition).
+int64_t EstimateRelationBytes(const PartitionedRelation& rel);
+
+}  // namespace sparkline

@@ -1,0 +1,377 @@
+#include "exec/physical_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "exec/subquery_expr.h"
+#include "expr/evaluator.h"
+
+namespace sparkline {
+
+int64_t EstimateRelationBytes(const PartitionedRelation& rel) {
+  int64_t total = 0;
+  for (const auto& p : rel.partitions) {
+    if (p.empty()) continue;
+    total += EstimateRowBytes(p.front()) * static_cast<int64_t>(p.size());
+  }
+  return total;
+}
+
+std::string PhysicalPlan::TreeString() const {
+  std::string out = label();
+  for (const auto& c : children_) {
+    out += "\n";
+    out += Indent(c->TreeString(), 2);
+  }
+  return out;
+}
+
+Status PhysicalPlan::RunStage(ExecContext* ctx, size_t num_partitions,
+                              const std::function<Status(size_t)>& fn) const {
+  if (num_partitions == 0) return Status::OK();
+  std::vector<Status> statuses(num_partitions);
+  std::vector<double> cpu_ms(num_partitions, 0.0);
+  ParallelFor(ctx->pool(), num_partitions, [&](size_t i) {
+    ThreadCpuTimer timer;
+    statuses[i] = fn(i);
+    cpu_ms[i] = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+  });
+  // Critical-path model: the stage takes as long as its slowest task.
+  ctx->AddStageTime(label(), *std::max_element(cpu_ms.begin(), cpu_ms.end()));
+  for (const auto& s : statuses) SL_RETURN_NOT_OK(s);
+  return ctx->CheckTimeout();
+}
+
+void PhysicalPlan::AccountMemory(ExecContext* ctx,
+                                 const PartitionedRelation& in,
+                                 const PartitionedRelation& out) const {
+  ctx->memory()->Grow(EstimateRelationBytes(out));
+  ctx->memory()->Shrink(EstimateRelationBytes(in));
+}
+
+Result<ExprPtr> EvaluateSubqueries(const ExprPtr& e, ExecContext* ctx) {
+  Status error = Status::OK();
+  ExprPtr out = Expression::Transform(e, [&](const ExprPtr& n) -> ExprPtr {
+    if (!error.ok() || n->kind() != ExprKind::kPhysicalSubquery) return n;
+    const auto& sub = static_cast<const PhysicalSubqueryExpr&>(*n);
+    auto result = sub.plan()->Execute(ctx);
+    if (!result.ok()) {
+      error = result.status();
+      return n;
+    }
+    std::vector<Row> rows = std::move(*result).Flatten();
+    if (rows.empty()) return Literal::Make(Value::Null(sub.type()));
+    if (rows.size() > 1) {
+      error = Status::ExecutionError(
+          "scalar subquery returned more than one row");
+      return n;
+    }
+    if (rows[0].size() != 1) {
+      error = Status::ExecutionError(
+          "scalar subquery returned more than one column");
+      return n;
+    }
+    return Literal::Make(rows[0][0]);
+  });
+  SL_RETURN_NOT_OK(error);
+  return out;
+}
+
+// --- ScanExec ---------------------------------------------------------------
+
+ScanExec::ScanExec(TablePtr table, std::vector<size_t> column_indices,
+                   std::vector<Attribute> output)
+    : PhysicalPlan(std::move(output), {}),
+      table_(std::move(table)),
+      column_indices_(std::move(column_indices)) {}
+
+std::string ScanExec::label() const {
+  return StrCat("Scan ", table_->name(), " [", column_indices_.size(),
+                " columns]");
+}
+
+Result<PartitionedRelation> ScanExec::Execute(ExecContext* ctx) const {
+  const auto& rows = table_->rows();
+  const size_t n = std::max(1, ctx->config().num_executors);
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.assign(n, {});
+
+  // Contiguous chunks, like a data source with n splits.
+  const size_t per = (rows.size() + n - 1) / n;
+  SL_RETURN_NOT_OK(RunStage(ctx, n, [&](size_t i) -> Status {
+    const size_t begin = std::min(rows.size(), i * per);
+    const size_t end = std::min(rows.size(), begin + per);
+    auto& part = out.partitions[i];
+    part.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      Row projected;
+      projected.reserve(column_indices_.size());
+      for (size_t c : column_indices_) projected.push_back(rows[r][c]);
+      part.push_back(std::move(projected));
+    }
+    return Status::OK();
+  }));
+  ctx->memory()->Grow(EstimateRelationBytes(out));
+  return out;
+}
+
+// --- LocalRelationExec --------------------------------------------------------
+
+LocalRelationExec::LocalRelationExec(std::shared_ptr<std::vector<Row>> rows,
+                                     std::vector<Attribute> output)
+    : PhysicalPlan(std::move(output), {}), rows_(std::move(rows)) {}
+
+Result<PartitionedRelation> LocalRelationExec::Execute(ExecContext* ctx) const {
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.push_back(*rows_);
+  ctx->memory()->Grow(EstimateRelationBytes(out));
+  return out;
+}
+
+// --- ProjectExec ---------------------------------------------------------------
+
+ProjectExec::ProjectExec(std::vector<ExprPtr> bound_list,
+                         std::vector<Attribute> output, PhysicalPlanPtr child)
+    : PhysicalPlan(std::move(output), {std::move(child)}),
+      list_(std::move(bound_list)) {}
+
+Result<PartitionedRelation> ProjectExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  std::vector<ExprPtr> list = list_;
+  for (auto& e : list) {
+    SL_ASSIGN_OR_RETURN(e, EvaluateSubqueries(e, ctx));
+  }
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.assign(in.partitions.size(), {});
+  SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
+    auto& part = out.partitions[i];
+    part.reserve(in.partitions[i].size());
+    for (const Row& row : in.partitions[i]) {
+      Row projected;
+      projected.reserve(list.size());
+      for (const auto& e : list) {
+        SL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
+        projected.push_back(std::move(v));
+      }
+      part.push_back(std::move(projected));
+    }
+    return Status::OK();
+  }));
+  AccountMemory(ctx, in, out);
+  return out;
+}
+
+// --- FilterExec -----------------------------------------------------------------
+
+FilterExec::FilterExec(ExprPtr bound_condition, PhysicalPlanPtr child)
+    : PhysicalPlan(child->output(), {child}),
+      condition_(std::move(bound_condition)) {}
+
+Result<PartitionedRelation> FilterExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  SL_ASSIGN_OR_RETURN(ExprPtr cond, EvaluateSubqueries(condition_, ctx));
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.assign(in.partitions.size(), {});
+  SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
+    auto& part = out.partitions[i];
+    for (Row& row : in.partitions[i]) {
+      SL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*cond, row));
+      if (pass) part.push_back(std::move(row));
+    }
+    return Status::OK();
+  }));
+  AccountMemory(ctx, in, out);
+  return out;
+}
+
+// --- ExchangeExec ----------------------------------------------------------------
+
+namespace {
+/// 32-bit mix (murmur3 finalizer) so distinct null bitmaps spread over
+/// executors even when numerically adjacent.
+uint32_t MixHash(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+}  // namespace
+
+ExchangeExec::ExchangeExec(ExchangeMode mode,
+                           std::vector<skyline::BoundDimension> dims,
+                           PhysicalPlanPtr child)
+    : PhysicalPlan(child->output(), {child}),
+      mode_(mode),
+      dims_(std::move(dims)) {}
+
+std::string ExchangeExec::label() const {
+  switch (mode_) {
+    case ExchangeMode::kGather:
+      return "Exchange [AllTuples]";
+    case ExchangeMode::kRoundRobin:
+      return "Exchange [RoundRobin]";
+    case ExchangeMode::kNullBitmapHash:
+      return "Exchange [NullBitmapHash]";
+    case ExchangeMode::kAngle:
+      return "Exchange [Angle]";
+  }
+  return "Exchange";
+}
+
+namespace {
+/// Simplified angle-based partition assignment (Vlachou et al.): buckets the
+/// hyperspherical angle between the first dimension and the remainder of the
+/// dimension vector. Tuples pointing in similar directions — the ones likely
+/// to dominate each other — share a partition, so local skylines prune more.
+/// Correctness never depends on the scheme (any partitioning is valid for
+/// complete data); only pruning power does.
+size_t AnglePartition(const Row& row,
+                      const std::vector<skyline::BoundDimension>& dims,
+                      size_t n) {
+  if (dims.size() < 2) return 0;
+  auto magnitude = [&](const skyline::BoundDimension& d) {
+    const Value& v = row[d.ordinal];
+    if (v.is_null() || !v.type().is_numeric()) return 1.0;
+    double m = std::abs(v.ToDouble()) + 1.0;
+    return m;
+  };
+  double rest = 0;
+  for (size_t i = 1; i < dims.size(); ++i) {
+    const double m = magnitude(dims[i]);
+    rest += m * m;
+  }
+  const double angle = std::atan2(std::sqrt(rest), magnitude(dims[0]));
+  constexpr double kHalfPi = 1.5707963267948966;
+  size_t bucket = static_cast<size_t>(angle / kHalfPi * static_cast<double>(n));
+  return bucket >= n ? n - 1 : bucket;
+}
+}  // namespace
+
+Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  const int64_t moved = static_cast<int64_t>(in.TotalRows());
+  ctx->AddRowsShuffled(moved);
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  const size_t n = std::max(1, ctx->config().num_executors);
+
+  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+    switch (mode_) {
+      case ExchangeMode::kGather: {
+        out.partitions.push_back(std::move(in).Flatten());
+        break;
+      }
+      case ExchangeMode::kRoundRobin: {
+        out.partitions.assign(n, {});
+        size_t next = 0;
+        for (auto& p : in.partitions) {
+          for (auto& row : p) {
+            out.partitions[next % n].push_back(std::move(row));
+            ++next;
+          }
+        }
+        break;
+      }
+      case ExchangeMode::kNullBitmapHash: {
+        out.partitions.assign(n, {});
+        for (auto& p : in.partitions) {
+          for (auto& row : p) {
+            const uint32_t bitmap = skyline::NullBitmap(row, dims_);
+            out.partitions[MixHash(bitmap) % n].push_back(std::move(row));
+          }
+        }
+        break;
+      }
+      case ExchangeMode::kAngle: {
+        out.partitions.assign(n, {});
+        for (auto& p : in.partitions) {
+          for (auto& row : p) {
+            out.partitions[AnglePartition(row, dims_, n)].push_back(
+                std::move(row));
+          }
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }));
+  // The exchange holds both copies transiently (serialization buffers).
+  ctx->memory()->Grow(EstimateRelationBytes(out));
+  ctx->memory()->Shrink(EstimateRelationBytes(out));
+  return out;
+}
+
+// --- SortExec ---------------------------------------------------------------------
+
+SortExec::SortExec(std::vector<BoundSortOrder> orders, PhysicalPlanPtr child)
+    : PhysicalPlan(child->output(), {child}),
+      orders_(std::move(orders)) {}
+
+Result<PartitionedRelation> SortExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  std::vector<Row> rows = std::move(in).Flatten();
+
+  // Precompute sort keys so the comparator cannot fail mid-sort.
+  std::vector<std::vector<Value>> keys(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys[i].reserve(orders_.size());
+    for (const auto& o : orders_) {
+      SL_ASSIGN_OR_RETURN(Value v, EvalExpr(*o.expr, rows[i]));
+      keys[i].push_back(std::move(v));
+    }
+  }
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < orders_.size(); ++k) {
+        const Value& va = keys[a][k];
+        const Value& vb = keys[b][k];
+        if (va.is_null() || vb.is_null()) {
+          if (va.is_null() && vb.is_null()) continue;
+          return orders_[k].nulls_first ? va.is_null() : vb.is_null();
+        }
+        const int cmp = CompareValues(va, vb);
+        if (cmp != 0) return orders_[k].ascending ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    return Status::OK();
+  }));
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.emplace_back();
+  out.partitions[0].reserve(rows.size());
+  for (size_t i : order) out.partitions[0].push_back(std::move(rows[i]));
+  return out;
+}
+
+// --- LimitExec ----------------------------------------------------------------------
+
+LimitExec::LimitExec(int64_t n, PhysicalPlanPtr child)
+    : PhysicalPlan(child->output(), {child}), n_(n) {}
+
+Result<PartitionedRelation> LimitExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  std::vector<Row> rows = std::move(in).Flatten();
+  if (static_cast<int64_t>(rows.size()) > n_) {
+    rows.resize(static_cast<size_t>(n_));
+  }
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.push_back(std::move(rows));
+  (void)ctx;
+  return out;
+}
+
+}  // namespace sparkline

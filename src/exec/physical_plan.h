@@ -1,0 +1,334 @@
+// Physical operators (Spark's SparkPlan analog).
+//
+// Operators execute materialized partition-at-a-time: each operator consumes
+// its children's PartitionedRelations and produces its own. Stage boundaries
+// (exchanges) match where Spark would shuffle; narrow operators preserve the
+// child partitioning, mirroring the paper's decision to keep Spark's
+// partitioning for the local skyline (section 5.6).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/partitioned.h"
+#include "plan/logical_plan.h"
+#include "skyline/algorithms.h"
+
+namespace sparkline {
+
+class PhysicalPlan;
+using PhysicalPlanPtr = std::shared_ptr<const PhysicalPlan>;
+
+/// \brief How an operator's output is distributed across executors.
+enum class Partitioning : uint8_t {
+  /// num_executors chunks, no particular key (Spark UnspecifiedDistribution).
+  kUnspecified,
+  /// Exactly one partition (Spark AllTuples).
+  kSinglePartition,
+  /// Partitioned by the null bitmap of the skyline dimensions (section 5.7).
+  kNullBitmapHashed,
+};
+
+/// \brief Base class of all physical operators.
+class PhysicalPlan {
+ public:
+  PhysicalPlan(std::vector<Attribute> output,
+               std::vector<PhysicalPlanPtr> children)
+      : output_(std::move(output)), children_(std::move(children)) {}
+  virtual ~PhysicalPlan() = default;
+
+  const std::vector<Attribute>& output() const { return output_; }
+  const std::vector<PhysicalPlanPtr>& children() const { return children_; }
+
+  /// One-line description for EXPLAIN.
+  virtual std::string label() const = 0;
+  virtual Partitioning output_partitioning() const {
+    return children_.empty() ? Partitioning::kUnspecified
+                             : children_[0]->output_partitioning();
+  }
+
+  /// Recursively executes children, then this operator.
+  virtual Result<PartitionedRelation> Execute(ExecContext* ctx) const = 0;
+
+  std::string TreeString() const;
+
+ protected:
+  /// Runs `fn` once per partition on the executor pool, measuring each task
+  /// with the thread-CPU clock and recording the critical path (max task
+  /// time) under this operator's label.
+  Status RunStage(ExecContext* ctx, size_t num_partitions,
+                  const std::function<Status(size_t)>& fn) const;
+
+  /// Standard memory-model bookkeeping: output materialized, input released.
+  void AccountMemory(ExecContext* ctx, const PartitionedRelation& in,
+                     const PartitionedRelation& out) const;
+
+  std::vector<Attribute> output_;
+  std::vector<PhysicalPlanPtr> children_;
+};
+
+// --- leaves ----------------------------------------------------------------
+
+/// \brief Scans a catalog table, splitting it into executor-count chunks and
+/// applying column pruning while copying.
+class ScanExec : public PhysicalPlan {
+ public:
+  ScanExec(TablePtr table, std::vector<size_t> column_indices,
+           std::vector<Attribute> output);
+  std::string label() const override;
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  TablePtr table_;
+  std::vector<size_t> column_indices_;
+};
+
+/// \brief Emits in-memory rows as a single partition.
+class LocalRelationExec : public PhysicalPlan {
+ public:
+  LocalRelationExec(std::shared_ptr<std::vector<Row>> rows,
+                    std::vector<Attribute> output);
+  std::string label() const override { return "LocalRelation"; }
+  Partitioning output_partitioning() const override {
+    return Partitioning::kSinglePartition;
+  }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::shared_ptr<std::vector<Row>> rows_;
+};
+
+// --- narrow operators --------------------------------------------------------
+
+/// \brief Row-at-a-time projection.
+class ProjectExec : public PhysicalPlan {
+ public:
+  ProjectExec(std::vector<ExprPtr> bound_list, std::vector<Attribute> output,
+              PhysicalPlanPtr child);
+  std::string label() const override { return "Project"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<ExprPtr> list_;
+};
+
+/// \brief Predicate filter.
+class FilterExec : public PhysicalPlan {
+ public:
+  FilterExec(ExprPtr bound_condition, PhysicalPlanPtr child);
+  std::string label() const override { return "Filter"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  ExprPtr condition_;
+};
+
+// --- exchanges ---------------------------------------------------------------
+
+enum class ExchangeMode : uint8_t {
+  /// Gather everything into one partition (AllTuples distribution).
+  kGather,
+  /// Spread rows evenly over num_executors partitions.
+  kRoundRobin,
+  /// Hash rows by the null bitmap of the skyline dimensions; rows with the
+  /// same bitmap land in the same partition (section 5.7).
+  kNullBitmapHash,
+  /// Angle-based space partitioning (Vlachou et al.; paper section 7
+  /// future work): rows in similar "directions" of the dimension space land
+  /// together, which keeps local skylines small on anti-correlated data.
+  kAngle,
+};
+
+/// \brief Which kernel the skyline operators run. BNL is the paper's choice;
+/// SFS (presorting) and grid-based cell pruning are the section-7 /
+/// section-2 alternatives implemented as extensions.
+enum class SkylineKernel : uint8_t {
+  kBlockNestedLoop,
+  kSortFilterSkyline,
+  kGridFilter,
+};
+
+/// \brief Re-distributes data; the only operator that moves rows between
+/// executors (a stage boundary, like a Spark shuffle).
+class ExchangeExec : public PhysicalPlan {
+ public:
+  ExchangeExec(ExchangeMode mode, std::vector<skyline::BoundDimension> dims,
+               PhysicalPlanPtr child);
+  std::string label() const override;
+  Partitioning output_partitioning() const override {
+    switch (mode_) {
+      case ExchangeMode::kGather:
+        return Partitioning::kSinglePartition;
+      case ExchangeMode::kNullBitmapHash:
+        return Partitioning::kNullBitmapHashed;
+      default:
+        return Partitioning::kUnspecified;
+    }
+  }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  ExchangeMode mode_;
+  std::vector<skyline::BoundDimension> dims_;  // for kNullBitmapHash
+};
+
+// --- aggregation -------------------------------------------------------------
+
+/// \brief One aggregate to compute.
+struct AggSpec {
+  AggFn fn;
+  ExprPtr bound_arg;  ///< null for COUNT(*)
+  bool distinct = false;
+  DataType result_type;
+};
+
+enum class AggMode : uint8_t { kPartial, kFinal, kComplete };
+
+/// \brief Hash aggregation. Two-phase (partial per partition, final after a
+/// gather) unless a DISTINCT aggregate forces single-phase.
+class HashAggregateExec : public PhysicalPlan {
+ public:
+  HashAggregateExec(std::vector<ExprPtr> bound_groups,
+                    std::vector<AggSpec> aggs, AggMode mode,
+                    std::vector<Attribute> output, PhysicalPlanPtr child);
+  std::string label() const override;
+  Partitioning output_partitioning() const override {
+    return mode_ == AggMode::kPartial ? children_[0]->output_partitioning()
+                                      : Partitioning::kSinglePartition;
+  }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<ExprPtr> groups_;
+  std::vector<AggSpec> aggs_;
+  AggMode mode_;
+};
+
+// --- sorting / limiting -------------------------------------------------------
+
+/// \brief Bound ORDER BY item.
+struct BoundSortOrder {
+  ExprPtr expr;
+  bool ascending;
+  bool nulls_first;
+};
+
+class SortExec : public PhysicalPlan {
+ public:
+  SortExec(std::vector<BoundSortOrder> orders, PhysicalPlanPtr child);
+  std::string label() const override { return "Sort"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<BoundSortOrder> orders_;
+};
+
+class LimitExec : public PhysicalPlan {
+ public:
+  LimitExec(int64_t n, PhysicalPlanPtr child);
+  std::string label() const override { return "Limit"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  int64_t n_;
+};
+
+// --- joins ---------------------------------------------------------------------
+
+/// \brief Broadcast hash join for equi conditions (INNER / LEFT OUTER).
+/// The right side is gathered and hashed once; left partitions probe it.
+class HashJoinExec : public PhysicalPlan {
+ public:
+  HashJoinExec(JoinType type, std::vector<ExprPtr> left_keys,
+               std::vector<ExprPtr> right_keys, ExprPtr residual,
+               std::vector<Attribute> output, PhysicalPlanPtr left,
+               PhysicalPlanPtr right);
+  std::string label() const override;
+  Partitioning output_partitioning() const override {
+    return children_[0]->output_partitioning();
+  }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  JoinType type_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;  // bound against combined row; may be null
+};
+
+/// \brief Broadcast nested-loop join: arbitrary condition, all join types.
+/// This is the operator that executes the plain-SQL "reference" skyline plan
+/// (a left-anti self-join with the dominance predicate), matching Spark's
+/// BroadcastNestedLoopJoin choice for such queries. Left-anti probes exit
+/// early on the first match.
+class NestedLoopJoinExec : public PhysicalPlan {
+ public:
+  NestedLoopJoinExec(JoinType type, ExprPtr condition,
+                     std::vector<Attribute> output, PhysicalPlanPtr left,
+                     PhysicalPlanPtr right);
+  std::string label() const override;
+  Partitioning output_partitioning() const override {
+    return children_[0]->output_partitioning();
+  }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  JoinType type_;
+  ExprPtr condition_;  // bound against concat(left row, right row); may be null
+};
+
+// --- skyline -------------------------------------------------------------------
+
+/// \brief Local skyline computation (paper section 5.5/5.6): one BNL pass
+/// per partition, preserving the child's partitioning. Used for both the
+/// complete and the incomplete algorithm (the latter after a null-bitmap
+/// exchange, which makes every partition bitmap-uniform).
+class LocalSkylineExec : public PhysicalPlan {
+ public:
+  LocalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
+                   skyline::NullSemantics nulls, PhysicalPlanPtr child,
+                   SkylineKernel kernel = SkylineKernel::kBlockNestedLoop);
+  std::string label() const override;
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<skyline::BoundDimension> dims_;
+  bool distinct_;
+  skyline::NullSemantics nulls_;
+  SkylineKernel kernel_;
+};
+
+/// \brief Global skyline for complete data: BNL over the single gathered
+/// partition (requires AllTuples distribution).
+class GlobalSkylineExec : public PhysicalPlan {
+ public:
+  GlobalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
+                    PhysicalPlanPtr child,
+                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop);
+  std::string label() const override { return "GlobalSkyline [complete]"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<skyline::BoundDimension> dims_;
+  bool distinct_;
+  SkylineKernel kernel_;
+};
+
+/// \brief Global skyline for incomplete data: all-pairs with deferred
+/// deletion (paper section 5.7 / Appendix A).
+class GlobalSkylineIncompleteExec : public PhysicalPlan {
+ public:
+  GlobalSkylineIncompleteExec(std::vector<skyline::BoundDimension> dims,
+                              bool distinct, PhysicalPlanPtr child);
+  std::string label() const override { return "GlobalSkyline [incomplete]"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<skyline::BoundDimension> dims_;
+  bool distinct_;
+};
+
+}  // namespace sparkline

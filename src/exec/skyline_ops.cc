@@ -1,0 +1,152 @@
+// The skyline physical operators (paper sections 5.5 - 5.7).
+//
+// Algorithm selection happens in the physical planner (Listing 8); these
+// operators only run the algorithm library over partitions:
+//
+//   distributed complete:   LocalSkylineExec (child partitioning kept)
+//                           -> Exchange[AllTuples] -> GlobalSkylineExec
+//   non-distributed:        Exchange[AllTuples] -> GlobalSkylineExec
+//   distributed incomplete: Exchange[NullBitmapHash] -> LocalSkylineExec
+//                           -> Exchange[AllTuples]
+//                           -> GlobalSkylineIncompleteExec
+#include "common/string_util.h"
+#include "exec/physical_plan.h"
+
+namespace sparkline {
+
+namespace {
+Result<std::vector<Row>> RunKernel(SkylineKernel kernel,
+                                   const std::vector<Row>& rows,
+                                   const std::vector<skyline::BoundDimension>& dims,
+                                   const skyline::SkylineOptions& options) {
+  if (kernel == SkylineKernel::kSortFilterSkyline) {
+    return skyline::SortFilterSkyline(rows, dims, options);
+  }
+  if (kernel == SkylineKernel::kGridFilter) {
+    return skyline::GridFilterSkyline(rows, dims, options);
+  }
+  return skyline::BlockNestedLoop(rows, dims, options);
+}
+}  // namespace
+
+LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
+                                   bool distinct, skyline::NullSemantics nulls,
+                                   PhysicalPlanPtr child, SkylineKernel kernel)
+    : PhysicalPlan(child->output(), {child}),
+      dims_(std::move(dims)),
+      distinct_(distinct),
+      nulls_(nulls),
+      kernel_(kernel) {}
+
+std::string LocalSkylineExec::label() const {
+  return StrCat("LocalSkyline [",
+                nulls_ == skyline::NullSemantics::kComplete ? "complete"
+                                                            : "incomplete",
+                ", ", dims_.size(), " dims",
+                kernel_ == SkylineKernel::kSortFilterSkyline
+                    ? ", sfs"
+                    : (kernel_ == SkylineKernel::kGridFilter ? ", grid" : ""),
+                "]");
+}
+
+Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  skyline::SkylineOptions options;
+  options.distinct = distinct_;
+  options.nulls = nulls_;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.assign(in.partitions.size(), {});
+  SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
+    if (nulls_ == skyline::NullSemantics::kComplete) {
+      SL_ASSIGN_OR_RETURN(out.partitions[i],
+                          RunKernel(kernel_, in.partitions[i], dims_, options));
+      return Status::OK();
+    }
+    // Incomplete data: the exchange routes equal bitmaps to the same
+    // executor, but distinct bitmaps may share one (hash collisions when
+    // there are more bitmaps than executors). BNL is only sound within a
+    // bitmap-uniform group (paper section 5.7), so sub-group here.
+    for (auto& group :
+         skyline::PartitionByNullBitmap(in.partitions[i], dims_)) {
+      SL_ASSIGN_OR_RETURN(std::vector<Row> local,
+                          skyline::BlockNestedLoop(group, dims_, options));
+      for (auto& r : local) out.partitions[i].push_back(std::move(r));
+    }
+    return Status::OK();
+  }));
+  AccountMemory(ctx, in, out);
+  return out;
+}
+
+GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
+                                     bool distinct, PhysicalPlanPtr child,
+                                     SkylineKernel kernel)
+    : PhysicalPlan(child->output(), {child}),
+      dims_(std::move(dims)),
+      distinct_(distinct),
+      kernel_(kernel) {}
+
+Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  // AllTuples distribution: everything on one executor.
+  std::vector<Row> rows = std::move(in).Flatten();
+  ctx->memory()->Grow(
+      rows.empty() ? 0
+                   : EstimateRowBytes(rows.front()) *
+                         static_cast<int64_t>(rows.size()));
+
+  skyline::SkylineOptions options;
+  options.distinct = distinct_;
+  options.nulls = skyline::NullSemantics::kComplete;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.emplace_back();
+  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+    SL_ASSIGN_OR_RETURN(out.partitions[0],
+                        RunKernel(kernel_, rows, dims_, options));
+    return Status::OK();
+  }));
+  ctx->memory()->Shrink(
+      rows.empty() ? 0
+                   : EstimateRowBytes(rows.front()) *
+                         static_cast<int64_t>(rows.size()));
+  return out;
+}
+
+GlobalSkylineIncompleteExec::GlobalSkylineIncompleteExec(
+    std::vector<skyline::BoundDimension> dims, bool distinct,
+    PhysicalPlanPtr child)
+    : PhysicalPlan(child->output(), {child}),
+      dims_(std::move(dims)),
+      distinct_(distinct) {}
+
+Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
+    ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  std::vector<Row> rows = std::move(in).Flatten();
+
+  skyline::SkylineOptions options;
+  options.distinct = distinct_;
+  options.nulls = skyline::NullSemantics::kIncomplete;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.emplace_back();
+  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+    SL_ASSIGN_OR_RETURN(out.partitions[0],
+                        skyline::AllPairsIncomplete(rows, dims_, options));
+    return Status::OK();
+  }));
+  return out;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,338 @@
+#include "expr/expression.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+ExprId NextExprId() {
+  static std::atomic<ExprId> next{1};
+  return next.fetch_add(1);
+}
+
+ExprPtr Attribute::ToRef() const { return AttributeRef::Make(*this); }
+
+std::string Attribute::ToString() const {
+  std::string out;
+  if (!qualifier.empty()) out += qualifier + ".";
+  out += name;
+  out += "#" + std::to_string(id);
+  return out;
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogicalOp(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+const char* SkylineGoalName(SkylineGoal goal) {
+  switch (goal) {
+    case SkylineGoal::kMin:
+      return "MIN";
+    case SkylineGoal::kMax:
+      return "MAX";
+    case SkylineGoal::kDiff:
+      return "DIFF";
+  }
+  return "?";
+}
+
+bool Expression::resolved() const {
+  for (const auto& c : children()) {
+    if (!c->resolved()) return false;
+  }
+  return true;
+}
+
+bool Expression::ContainsAggregate() const {
+  if (kind() == ExprKind::kAggregate) return true;
+  for (const auto& c : children()) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr Expression::Transform(const ExprPtr& e,
+                              const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  auto children = e->children();
+  bool changed = false;
+  for (auto& c : children) {
+    ExprPtr nc = Transform(c, fn);
+    if (nc != c) {
+      c = nc;
+      changed = true;
+    }
+  }
+  ExprPtr base = changed ? e->WithNewChildren(std::move(children)) : e;
+  return fn(base);
+}
+
+void Expression::Foreach(const ExprPtr& e,
+                         const std::function<void(const ExprPtr&)>& fn) {
+  fn(e);
+  for (const auto& c : e->children()) Foreach(c, fn);
+}
+
+std::string Literal::ToString() const {
+  if (!value_.is_null() && value_.type() == DataType::String()) {
+    return StrCat("'", value_.ToString(), "'");
+  }
+  return value_.ToString();
+}
+
+std::string UnresolvedAttribute::ToString() const {
+  return StrCat("'", JoinStrings(parts_, "."));
+}
+
+std::string BoundReference::ToString() const {
+  return StrCat("input[", ordinal_, "]");
+}
+
+std::string Alias::ToString() const {
+  return StrCat(child_->ToString(), " AS ", name_, "#", id_);
+}
+
+DataType BinaryExpr::type() const {
+  if (IsArithmeticOp(op_)) {
+    return CommonType(left_->type(), right_->type());
+  }
+  return DataType::Bool();
+}
+
+std::string BinaryExpr::ToString() const {
+  return StrCat("(", left_->ToString(), " ", BinaryOpSymbol(op_), " ",
+                right_->ToString(), ")");
+}
+
+std::string UnaryExpr::ToString() const {
+  switch (op_) {
+    case UnaryOp::kNot:
+      return StrCat("NOT ", child_->ToString());
+    case UnaryOp::kNegate:
+      return StrCat("(-", child_->ToString(), ")");
+    case UnaryOp::kIsNull:
+      return StrCat(child_->ToString(), " IS NULL");
+    case UnaryOp::kIsNotNull:
+      return StrCat(child_->ToString(), " IS NOT NULL");
+  }
+  return "?";
+}
+
+std::string Cast::ToString() const {
+  return StrCat("CAST(", child_->ToString(), " AS ", target_.ToString(), ")");
+}
+
+DataType FunctionCall::type() const {
+  if (!fn_.has_value() || args_.empty()) return DataType::Int64();
+  switch (*fn_) {
+    case BuiltinFn::kIfNull:
+    case BuiltinFn::kCoalesce:
+    case BuiltinFn::kLeast:
+    case BuiltinFn::kGreatest: {
+      DataType t = args_[0]->type();
+      for (size_t i = 1; i < args_.size(); ++i) {
+        if (TypesComparable(t, args_[i]->type())) {
+          t = CommonType(t, args_[i]->type());
+        }
+      }
+      return t;
+    }
+    case BuiltinFn::kAbs:
+      return args_[0]->type();
+    case BuiltinFn::kRound:
+      return DataType::Double();
+  }
+  return DataType::Int64();
+}
+
+bool FunctionCall::nullable() const {
+  if (fn_.has_value() &&
+      (*fn_ == BuiltinFn::kIfNull || *fn_ == BuiltinFn::kCoalesce)) {
+    // Nullable only if every argument is nullable.
+    for (const auto& a : args_) {
+      if (!a->nullable()) return false;
+    }
+    return true;
+  }
+  for (const auto& a : args_) {
+    if (a->nullable()) return true;
+  }
+  return false;
+}
+
+bool FunctionCall::resolved() const {
+  if (!fn_.has_value()) return false;
+  return Expression::resolved();
+}
+
+std::string FunctionCall::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const auto& a : args_) parts.push_back(a->ToString());
+  return StrCat(name_, "(", JoinStrings(parts, ", "), ")");
+}
+
+DataType AggregateExpr::type() const {
+  switch (fn_) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return DataType::Int64();
+    case AggFn::kAvg:
+      return DataType::Double();
+    case AggFn::kSum:
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return child_ != nullptr ? child_->type() : DataType::Int64();
+  }
+  return DataType::Int64();
+}
+
+std::string AggregateExpr::ToString() const {
+  if (fn_ == AggFn::kCountStar) return "count(*)";
+  return StrCat(AggFnName(fn_), "(", distinct_ ? "DISTINCT " : "",
+                child_->ToString(), ")");
+}
+
+std::string SkylineDimension::ToString() const {
+  return StrCat(child_->ToString(), " ", SkylineGoalName(goal_));
+}
+
+std::string ExistsSubquery::ToString() const {
+  return StrCat(negated_ ? "NOT " : "", "EXISTS(<subquery>)");
+}
+
+std::string ScalarSubquery::ToString() const { return "scalar-subquery()"; }
+
+std::string OuterRef::ToString() const {
+  return StrCat("outer(", inner_->ToString(), ")");
+}
+
+std::string Star::ToString() const {
+  return qualifier_.empty() ? "*" : StrCat(qualifier_, ".*");
+}
+
+std::string SortOrder::ToString() const {
+  return StrCat(expr->ToString(), ascending ? " ASC" : " DESC",
+                nulls_first ? "" : " NULLS LAST");
+}
+
+std::vector<Attribute> CollectAttributes(const ExprPtr& e) {
+  std::vector<Attribute> out;
+  Expression::Foreach(e, [&](const ExprPtr& node) {
+    if (node->kind() == ExprKind::kAttributeRef) {
+      out.push_back(static_cast<const AttributeRef&>(*node).attr());
+    }
+  });
+  return out;
+}
+
+bool ContainsOuterRef(const ExprPtr& e) {
+  bool found = false;
+  Expression::Foreach(e, [&](const ExprPtr& node) {
+    if (node->kind() == ExprKind::kOuterRef) found = true;
+  });
+  return found;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e) {
+  std::vector<ExprPtr> out;
+  if (e == nullptr) return out;
+  if (e->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*e);
+    if (bin.op() == BinaryOp::kAnd) {
+      auto l = SplitConjuncts(bin.left());
+      auto r = SplitConjuncts(bin.right());
+      out.insert(out.end(), l.begin(), l.end());
+      out.insert(out.end(), r.begin(), r.end());
+      return out;
+    }
+  }
+  out.push_back(e);
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out = nullptr;
+  for (const auto& c : conjuncts) {
+    out = out == nullptr ? c : BinaryExpr::Make(BinaryOp::kAnd, out, c);
+  }
+  return out;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,327 @@
+// Generic (non-skyline) optimizer rules. Spark applies the same families of
+// rewrites; skyline queries "benefit from existing optimizations" (paper
+// section 5.4) — these are those optimizations.
+#include <map>
+#include <set>
+
+#include "expr/evaluator.h"
+#include "optimizer/optimizer.h"
+
+namespace sparkline {
+namespace rules {
+
+namespace {
+
+/// Plan-level transform with error propagation.
+Result<LogicalPlanPtr> TransformPlan(
+    const LogicalPlanPtr& plan,
+    const std::function<Result<LogicalPlanPtr>(const LogicalPlanPtr&)>& fn) {
+  Status error = Status::OK();
+  LogicalPlanPtr out =
+      LogicalPlan::Transform(plan, [&](const LogicalPlanPtr& node) {
+        if (!error.ok()) return node;
+        auto result = fn(node);
+        if (!result.ok()) {
+          error = result.status();
+          return node;
+        }
+        return *result;
+      });
+  SL_RETURN_NOT_OK(error);
+  return out;
+}
+
+std::set<ExprId> OutputIds(const LogicalPlanPtr& plan) {
+  std::set<ExprId> ids;
+  for (const auto& a : plan->output()) ids.insert(a.id);
+  return ids;
+}
+
+bool RefsSubsetOf(const ExprPtr& e, const std::set<ExprId>& ids) {
+  for (const auto& a : CollectAttributes(e)) {
+    if (ids.count(a.id) == 0) return false;
+  }
+  return true;
+}
+
+/// Substitution map from a projection list: alias id -> computed expression,
+/// passthrough ref id -> ref.
+std::map<ExprId, ExprPtr> ProjectSubstitutions(
+    const std::vector<ExprPtr>& list) {
+  std::map<ExprId, ExprPtr> map;
+  for (const auto& item : list) {
+    if (item->kind() == ExprKind::kAlias) {
+      const auto& alias = static_cast<const Alias&>(*item);
+      map[alias.id()] = alias.child();
+    } else if (item->kind() == ExprKind::kAttributeRef) {
+      const auto& ref = static_cast<const AttributeRef&>(*item);
+      map[ref.attr().id] = item;
+    }
+  }
+  return map;
+}
+
+ExprPtr Substitute(const ExprPtr& e, const std::map<ExprId, ExprPtr>& map) {
+  return Expression::Transform(e, [&](const ExprPtr& n) -> ExprPtr {
+    if (n->kind() == ExprKind::kAttributeRef) {
+      auto it = map.find(static_cast<const AttributeRef&>(*n).attr().id);
+      if (it != map.end()) return it->second;
+    }
+    return n;
+  });
+}
+
+bool IsTrueLiteral(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const Literal&>(*e).value();
+  return !v.is_null() && v.type() == DataType::Bool() && v.bool_value();
+}
+
+bool IsFalseOrNullLiteral(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const Literal&>(*e).value();
+  return v.is_null() || (v.type() == DataType::Bool() && !v.bool_value());
+}
+
+}  // namespace
+
+Result<LogicalPlanPtr> EliminateSubqueryAliases(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() == PlanKind::kSubqueryAlias) {
+      return static_cast<const SubqueryAlias&>(*node).child();
+    }
+    return node;
+  });
+}
+
+Result<LogicalPlanPtr> ReplaceDistinctWithAggregate(
+    const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kDistinct) return node;
+    const auto& distinct = static_cast<const Distinct&>(*node);
+    std::vector<ExprPtr> refs;
+    for (const auto& a : distinct.child()->output()) refs.push_back(a.ToRef());
+    return Aggregate::Make(refs, refs, distinct.child());
+  });
+}
+
+Result<LogicalPlanPtr> ConstantFolding(const LogicalPlanPtr& plan) {
+  Status error = Status::OK();
+  LogicalPlanPtr out = LogicalPlan::TransformExpressions(
+      plan, [&](const ExprPtr& e) -> ExprPtr {
+        if (!error.ok()) return e;
+        switch (e->kind()) {
+          case ExprKind::kLiteral:
+          case ExprKind::kAlias:              // keep names
+          case ExprKind::kSkylineDimension:   // keep the goal wrapper
+          case ExprKind::kAttributeRef:
+          case ExprKind::kBoundReference:
+            return e;
+          default:
+            break;
+        }
+        if (!IsConstantExpr(e)) return e;
+        auto v = EvalConstant(e);
+        if (!v.ok()) {
+          error = v.status();
+          return e;
+        }
+        return Literal::Make(*v);
+      });
+  SL_RETURN_NOT_OK(error);
+  return out;
+}
+
+Result<LogicalPlanPtr> SimplifyBooleans(const LogicalPlanPtr& plan) {
+  return LogicalPlan::TransformExpressions(
+      plan, [](const ExprPtr& e) -> ExprPtr {
+        if (e->kind() != ExprKind::kBinary) return e;
+        const auto& bin = static_cast<const BinaryExpr&>(*e);
+        if (bin.op() == BinaryOp::kAnd) {
+          if (IsTrueLiteral(bin.left())) return bin.right();
+          if (IsTrueLiteral(bin.right())) return bin.left();
+          if (IsFalseOrNullLiteral(bin.left()) &&
+              !bin.left()->nullable()) {
+            return bin.left();
+          }
+        } else if (bin.op() == BinaryOp::kOr) {
+          if (IsTrueLiteral(bin.left())) return bin.left();
+          if (IsTrueLiteral(bin.right())) return bin.right();
+        }
+        return e;
+      });
+}
+
+Result<LogicalPlanPtr> CombineFilters(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kFilter) return node;
+    const auto& outer = static_cast<const Filter&>(*node);
+    if (outer.child()->kind() != PlanKind::kFilter) return node;
+    const auto& inner = static_cast<const Filter&>(*outer.child());
+    return Filter::Make(BinaryExpr::Make(BinaryOp::kAnd, inner.condition(),
+                                         outer.condition()),
+                        inner.child());
+  });
+}
+
+Result<LogicalPlanPtr> PushFilterThroughProject(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kFilter) return node;
+    const auto& filter = static_cast<const Filter&>(*node);
+    if (filter.child()->kind() != PlanKind::kProject) return node;
+    const auto& project = static_cast<const Project&>(*filter.child());
+    const auto subs = ProjectSubstitutions(project.list());
+    ExprPtr pushed = Substitute(filter.condition(), subs);
+    if (!RefsSubsetOf(pushed, OutputIds(project.child()))) return node;
+    if (pushed->ContainsAggregate()) return node;
+    return Project::Make(project.list(),
+                         Filter::Make(pushed, project.child()));
+  });
+}
+
+Result<LogicalPlanPtr> PushFilterThroughJoin(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kFilter) return node;
+    const auto& filter = static_cast<const Filter&>(*node);
+    if (filter.child()->kind() != PlanKind::kJoin) return node;
+    const auto& join = static_cast<const Join&>(*filter.child());
+
+    const auto left_ids = OutputIds(join.left());
+    const auto right_ids = OutputIds(join.right());
+    std::vector<ExprPtr> to_left, to_right, keep;
+    for (const auto& c : SplitConjuncts(filter.condition())) {
+      if (RefsSubsetOf(c, left_ids)) {
+        to_left.push_back(c);
+      } else if (RefsSubsetOf(c, right_ids) &&
+                 (join.join_type() == JoinType::kInner ||
+                  join.join_type() == JoinType::kCross)) {
+        to_right.push_back(c);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    if (to_left.empty() && to_right.empty()) return node;
+
+    LogicalPlanPtr left = join.left();
+    if (!to_left.empty()) {
+      left = Filter::Make(CombineConjuncts(to_left), left);
+    }
+    LogicalPlanPtr right = join.right();
+    if (!to_right.empty()) {
+      right = Filter::Make(CombineConjuncts(to_right), right);
+    }
+    LogicalPlanPtr new_join = Join::Make(left, right, join.join_type(),
+                                         join.condition(), {});
+    if (keep.empty()) return new_join;
+    return Filter::Make(CombineConjuncts(keep), new_join);
+  });
+}
+
+Result<LogicalPlanPtr> CollapseProjects(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kProject) return node;
+    const auto& outer = static_cast<const Project&>(*node);
+    if (outer.child()->kind() != PlanKind::kProject) return node;
+    const auto& inner = static_cast<const Project&>(*outer.child());
+
+    // Top-level references to inner items keep the inner item (preserving
+    // its name and id); nested references substitute the computed child.
+    std::map<ExprId, ExprPtr> top_level;
+    for (const auto& item : inner.list()) {
+      if (item->kind() == ExprKind::kAlias) {
+        top_level[static_cast<const Alias&>(*item).id()] = item;
+      } else if (item->kind() == ExprKind::kAttributeRef) {
+        top_level[static_cast<const AttributeRef&>(*item).attr().id] = item;
+      } else {
+        return node;  // unresolved projection; leave alone
+      }
+    }
+    const auto nested = ProjectSubstitutions(inner.list());
+
+    std::vector<ExprPtr> list;
+    list.reserve(outer.list().size());
+    for (const auto& item : outer.list()) {
+      if (item->kind() == ExprKind::kAttributeRef) {
+        auto it =
+            top_level.find(static_cast<const AttributeRef&>(*item).attr().id);
+        if (it == top_level.end()) return node;
+        list.push_back(it->second);
+        continue;
+      }
+      if (item->kind() == ExprKind::kAlias) {
+        const auto& alias = static_cast<const Alias&>(*item);
+        ExprPtr child = Substitute(alias.child(), nested);
+        if (!RefsSubsetOf(child, OutputIds(inner.child()))) return node;
+        list.push_back(ExprPtr(
+            std::make_shared<Alias>(child, alias.name(), alias.id())));
+        continue;
+      }
+      return node;
+    }
+    return Project::Make(std::move(list), inner.child());
+  });
+}
+
+Result<LogicalPlanPtr> EliminateNoopProjects(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    if (node->kind() != PlanKind::kProject) return node;
+    const auto& project = static_cast<const Project&>(*node);
+    const auto child_out = project.child()->output();
+    if (project.list().size() != child_out.size()) return node;
+    for (size_t i = 0; i < project.list().size(); ++i) {
+      const auto& item = project.list()[i];
+      if (item->kind() != ExprKind::kAttributeRef) return node;
+      if (static_cast<const AttributeRef&>(*item).attr().id !=
+          child_out[i].id) {
+        return node;
+      }
+    }
+    return project.child();
+  });
+}
+
+Result<LogicalPlanPtr> PruneScanColumns(const LogicalPlanPtr& plan) {
+  return TransformPlan(plan, [](const LogicalPlanPtr& node)
+                                 -> Result<LogicalPlanPtr> {
+    // Only Project and Aggregate restrict the columns they consume.
+    std::set<ExprId> needed;
+    if (node->kind() == PlanKind::kProject ||
+        node->kind() == PlanKind::kAggregate) {
+      for (const auto& e : node->expressions()) {
+        for (const auto& a : CollectAttributes(e)) needed.insert(a.id);
+      }
+    } else {
+      return node;
+    }
+    auto children = node->children();
+    bool changed = false;
+    for (auto& c : children) {
+      if (c->kind() != PlanKind::kScan) continue;
+      const auto& scan = static_cast<const Scan&>(*c);
+      std::vector<Attribute> attrs;
+      std::vector<size_t> indices;
+      for (size_t i = 0; i < scan.output().size(); ++i) {
+        if (needed.count(scan.output()[i].id) > 0) {
+          attrs.push_back(scan.output()[i]);
+          indices.push_back(scan.column_indices()[i]);
+        }
+      }
+      if (attrs.size() == scan.output().size() || attrs.empty()) continue;
+      c = std::make_shared<Scan>(scan.table(), std::move(attrs),
+                                 std::move(indices));
+      changed = true;
+    }
+    if (!changed) return node;
+    return node->WithNewChildren(std::move(children));
+  });
+}
+
+}  // namespace rules
+}  // namespace sparkline

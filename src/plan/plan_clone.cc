@@ -1,0 +1,94 @@
+#include "plan/plan_clone.h"
+
+namespace sparkline {
+
+ExprPtr RemapAttributeIds(const ExprPtr& e,
+                          const std::map<ExprId, ExprId>& id_map) {
+  return Expression::Transform(e, [&](const ExprPtr& n) -> ExprPtr {
+    if (n->kind() == ExprKind::kAttributeRef) {
+      Attribute a = static_cast<const AttributeRef&>(*n).attr();
+      auto it = id_map.find(a.id);
+      if (it == id_map.end()) return n;
+      a.id = it->second;
+      return AttributeRef::Make(std::move(a));
+    }
+    return n;
+  });
+}
+
+namespace {
+
+/// Remaps references and re-mints Alias ids within one node's expressions.
+ExprPtr CloneExpr(const ExprPtr& e, std::map<ExprId, ExprId>* id_map) {
+  return Expression::Transform(e, [&](const ExprPtr& n) -> ExprPtr {
+    if (n->kind() == ExprKind::kAttributeRef) {
+      Attribute a = static_cast<const AttributeRef&>(*n).attr();
+      auto it = id_map->find(a.id);
+      if (it == id_map->end()) return n;
+      a.id = it->second;
+      return AttributeRef::Make(std::move(a));
+    }
+    if (n->kind() == ExprKind::kAlias) {
+      const auto& alias = static_cast<const Alias&>(*n);
+      ExprId fresh = NextExprId();
+      (*id_map)[alias.id()] = fresh;
+      return ExprPtr(
+          std::make_shared<Alias>(alias.child(), alias.name(), fresh));
+    }
+    return n;
+  });
+}
+
+Result<LogicalPlanPtr> CloneRec(const LogicalPlanPtr& plan,
+                                std::map<ExprId, ExprId>* id_map) {
+  auto children = plan->children();
+  for (auto& c : children) {
+    SL_ASSIGN_OR_RETURN(c, CloneRec(c, id_map));
+  }
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const auto& scan = static_cast<const Scan&>(*plan);
+      std::vector<Attribute> attrs = scan.output();
+      for (auto& a : attrs) {
+        ExprId fresh = NextExprId();
+        (*id_map)[a.id] = fresh;
+        a.id = fresh;
+      }
+      return LogicalPlanPtr(std::make_shared<Scan>(
+          scan.table(), std::move(attrs), scan.column_indices()));
+    }
+    case PlanKind::kLocalRelation: {
+      const auto& rel = static_cast<const LocalRelation&>(*plan);
+      std::vector<Attribute> attrs = rel.output();
+      for (auto& a : attrs) {
+        ExprId fresh = NextExprId();
+        (*id_map)[a.id] = fresh;
+        a.id = fresh;
+      }
+      return LogicalPlanPtr(
+          std::make_shared<LocalRelation>(std::move(attrs), rel.rows()));
+    }
+    default: {
+      LogicalPlanPtr node = plan->WithNewChildren(std::move(children));
+      auto exprs = node->expressions();
+      bool changed = false;
+      for (auto& e : exprs) {
+        ExprPtr ne = CloneExpr(e, id_map);
+        if (ne != e) {
+          e = ne;
+          changed = true;
+        }
+      }
+      return changed ? node->WithNewExpressions(std::move(exprs)) : node;
+    }
+  }
+}
+
+}  // namespace
+
+Result<LogicalPlanPtr> CloneWithFreshIds(const LogicalPlanPtr& plan,
+                                         std::map<ExprId, ExprId>* id_map) {
+  return CloneRec(plan, id_map);
+}
+
+}  // namespace sparkline

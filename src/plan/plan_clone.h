@@ -1,0 +1,28 @@
+// Deep-copies a resolved plan while minting fresh attribute ids.
+//
+// Needed wherever one logical subtree must appear twice in a plan with
+// unambiguous references — most prominently the skyline "reference"
+// rewriting (paper Listing 4), which turns SKYLINE OF into a self anti-join,
+// and the single-dimension optimization's scalar subquery (section 5.4).
+#pragma once
+
+#include <map>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+
+namespace sparkline {
+
+/// \brief Clones `plan`, giving every attribute-producing node (Scan,
+/// LocalRelation, Alias) fresh expression ids and remapping all references.
+/// `id_map` receives old-id -> new-id; use it to translate expressions that
+/// referenced the original subtree.
+Result<LogicalPlanPtr> CloneWithFreshIds(const LogicalPlanPtr& plan,
+                                         std::map<ExprId, ExprId>* id_map);
+
+/// \brief Rewrites attribute references in `e` according to `id_map`
+/// (references to unmapped ids are left untouched).
+ExprPtr RemapAttributeIds(const ExprPtr& e,
+                          const std::map<ExprId, ExprId>& id_map);
+
+}  // namespace sparkline

@@ -1,0 +1,358 @@
+#include "skyline/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/timer.h"
+
+namespace sparkline {
+namespace skyline {
+
+namespace {
+
+/// Checks the deadline every few thousand dominance tests.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(int64_t deadline_nanos)
+      : deadline_(deadline_nanos) {}
+
+  Status Check() {
+    if (deadline_ == 0) return Status::OK();
+    if ((++ticks_ & 0x3ff) != 0) return Status::OK();
+    if (StopWatch::NowNanos() > deadline_) {
+      return Status::Timeout("skyline computation exceeded the deadline");
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t deadline_;
+  uint64_t ticks_ = 0;
+};
+
+void CountTest(const SkylineOptions& options) {
+  if (options.counter != nullptr) {
+    options.counter->tests.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
+                                         const std::vector<BoundDimension>& dims,
+                                         const SkylineOptions& options) {
+  std::vector<Row> window;
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (const Row& tuple : input) {
+    bool eliminated = false;
+    size_t i = 0;
+    while (i < window.size()) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      CountTest(options);
+      const Dominance dom = CompareRows(tuple, window[i], dims, options.nulls);
+      if (dom == Dominance::kRightDominates ||
+          (dom == Dominance::kEqual && options.distinct)) {
+        // The newcomer is dominated (or a duplicate under DISTINCT). By
+        // transitivity it cannot dominate anything else in the window.
+        eliminated = true;
+        break;
+      }
+      if (dom == Dominance::kLeftDominates) {
+        // Remove the dominated window tuple (swap-erase keeps this O(1); the
+        // window is an unordered set of candidates).
+        window[i] = std::move(window.back());
+        window.pop_back();
+        continue;  // re-examine the swapped-in element at index i
+      }
+      ++i;
+    }
+    if (!eliminated) window.push_back(tuple);
+  }
+  return window;
+}
+
+Result<std::vector<Row>> AllPairsIncomplete(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options) {
+  const size_t n = input.size();
+  std::vector<char> dominated(n, 0);
+  std::vector<uint32_t> bitmaps(n);
+  for (size_t i = 0; i < n; ++i) bitmaps[i] = NullBitmap(input[i], dims);
+
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // A dominated tuple may still dominate others (Appendix A), so flagged
+      // tuples must keep participating; only pairs where both are already
+      // flagged are irrelevant.
+      if (dominated[i] && dominated[j]) continue;
+      SL_RETURN_NOT_OK(deadline.Check());
+      CountTest(options);
+      const Dominance dom = CompareRows(input[i], input[j], dims, options.nulls);
+      switch (dom) {
+        case Dominance::kLeftDominates:
+          dominated[j] = 1;
+          break;
+        case Dominance::kRightDominates:
+          dominated[i] = 1;
+          break;
+        case Dominance::kEqual:
+          // Duplicates (same null pattern, same values) collapse under
+          // DISTINCT; with different null patterns "equal on common
+          // dimensions" is not equality, so both survive.
+          if (options.distinct && bitmaps[i] == bitmaps[j]) dominated[j] = 1;
+          break;
+        case Dominance::kIncomparable:
+          break;
+      }
+    }
+  }
+  // Deferred deletion: only now drop the flagged tuples.
+  std::vector<Row> result;
+  for (size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) result.push_back(input[i]);
+  }
+  return result;
+}
+
+Result<std::vector<Row>> SortFilterSkyline(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options) {
+  if (options.nulls != NullSemantics::kComplete) {
+    return BlockNestedLoop(input, dims, options);
+  }
+  for (const auto& d : dims) {
+    if (d.goal == SkylineGoal::kDiff) return BlockNestedLoop(input, dims, options);
+    if (!input.empty() && !input[0][d.ordinal].type().is_numeric()) {
+      return BlockNestedLoop(input, dims, options);
+    }
+  }
+  // Monotone score: if a dominates b then score(a) < score(b) strictly.
+  auto score = [&dims](const Row& r) {
+    double s = 0;
+    for (const auto& d : dims) {
+      const double v = r[d.ordinal].ToDouble();
+      s += d.goal == SkylineGoal::kMin ? v : -v;
+    }
+    return s;
+  };
+  std::vector<size_t> order(input.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> scores(input.size());
+  for (size_t i = 0; i < input.size(); ++i) scores[i] = score(input[i]);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<Row> window;
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (size_t idx : order) {
+    const Row& tuple = input[idx];
+    bool eliminated = false;
+    for (const Row& w : window) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      CountTest(options);
+      const Dominance dom = CompareRows(w, tuple, dims, options.nulls);
+      if (dom == Dominance::kLeftDominates ||
+          (dom == Dominance::kEqual && options.distinct)) {
+        eliminated = true;
+        break;
+      }
+    }
+    // Presorting guarantees no later tuple dominates an earlier one, so the
+    // window only ever grows and each member is final skyline output.
+    if (!eliminated) window.push_back(tuple);
+  }
+  return window;
+}
+
+Result<std::vector<Row>> GridFilterSkyline(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options) {
+  const size_t n = input.size();
+  if (options.nulls != NullSemantics::kComplete || n < 64) {
+    return BlockNestedLoop(input, dims, options);
+  }
+  for (const auto& d : dims) {
+    if (d.goal == SkylineGoal::kDiff ||
+        !input[0][d.ordinal].type().is_numeric()) {
+      return BlockNestedLoop(input, dims, options);
+    }
+  }
+  const size_t num_dims = dims.size();
+  // Roughly n^(1/d) buckets per dimension, clamped to [2, 16] so cell keys
+  // pack into 4 bits per dimension.
+  size_t buckets = static_cast<size_t>(
+      std::round(std::pow(static_cast<double>(n), 1.0 / num_dims)));
+  buckets = std::min<size_t>(16, std::max<size_t>(2, buckets));
+
+  std::vector<double> lo(num_dims), hi(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    lo[d] = hi[d] = input[0][dims[d].ordinal].ToDouble();
+  }
+  for (const Row& r : input) {
+    for (size_t d = 0; d < num_dims; ++d) {
+      const double v = r[dims[d].ordinal].ToDouble();
+      lo[d] = std::min(lo[d], v);
+      hi[d] = std::max(hi[d], v);
+    }
+  }
+
+  // Bucket index per dimension with "lower index = better": floor bucketing
+  // for MIN, mirrored for MAX. Floor bucketing makes the strictness
+  // argument work: a point in bucket b is strictly below the lower edge of
+  // bucket b+1, so cell A < cell B in every dimension implies every point
+  // of A strictly dominates every point of B.
+  auto bucket_of = [&](const Row& r, size_t d) -> uint64_t {
+    const double width = (hi[d] - lo[d]) / static_cast<double>(buckets);
+    if (width <= 0) return 0;
+    const double v = r[dims[d].ordinal].ToDouble();
+    auto b = static_cast<size_t>((v - lo[d]) / width);
+    if (b >= buckets) b = buckets - 1;
+    return dims[d].goal == SkylineGoal::kMax ? (buckets - 1 - b) : b;
+  };
+  auto cell_key = [&](const Row& r) {
+    uint64_t key = 0;
+    for (size_t d = 0; d < num_dims; ++d) {
+      key = (key << 4) | bucket_of(r, d);
+    }
+    return key;
+  };
+
+  std::map<uint64_t, std::vector<const Row*>> cells;
+  for (const Row& r : input) cells[cell_key(r)].push_back(&r);
+  if (cells.size() > 4096) {
+    // Too fragmented for the quadratic cell pass to pay off.
+    return BlockNestedLoop(input, dims, options);
+  }
+
+  auto unpack = [&](uint64_t key, size_t d) {
+    return (key >> (4 * (num_dims - 1 - d))) & 0xf;
+  };
+  std::vector<uint64_t> keys;
+  keys.reserve(cells.size());
+  for (const auto& [key, rows] : cells) keys.push_back(key);
+
+  std::vector<Row> survivors;
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (uint64_t key : keys) {
+    bool eliminated = false;
+    for (uint64_t other : keys) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      if (other == key) continue;
+      bool strictly_better_everywhere = true;
+      for (size_t d = 0; d < num_dims; ++d) {
+        if (unpack(other, d) >= unpack(key, d)) {
+          strictly_better_everywhere = false;
+          break;
+        }
+      }
+      if (strictly_better_everywhere) {
+        eliminated = true;
+        break;
+      }
+    }
+    if (!eliminated) {
+      for (const Row* r : cells[key]) survivors.push_back(*r);
+    }
+  }
+  return BlockNestedLoop(survivors, dims, options);
+}
+
+std::vector<Row> FlawedGulzarGlobal(const std::vector<Row>& input,
+                                    const std::vector<BoundDimension>& dims) {
+  // Cluster by null bitmap, in bitmap order (the order is immaterial for the
+  // flaw; any fixed order exhibits it).
+  std::map<uint32_t, std::vector<Row>> clusters;
+  for (const Row& r : input) clusters[NullBitmap(r, dims)].push_back(r);
+
+  std::vector<std::vector<Row>> cluster_list;
+  for (auto& [bitmap, rows] : clusters) cluster_list.push_back(std::move(rows));
+  std::vector<std::vector<char>> deleted(cluster_list.size());
+  for (size_t c = 0; c < cluster_list.size(); ++c) {
+    deleted[c].assign(cluster_list[c].size(), 0);
+  }
+
+  for (size_t ci = 0; ci < cluster_list.size(); ++ci) {
+    for (size_t pi = 0; pi < cluster_list[ci].size(); ++pi) {
+      if (deleted[ci][pi]) continue;
+      bool flagged = false;
+      for (size_t cj = ci + 1; cj < cluster_list.size(); ++cj) {
+        for (size_t qj = 0; qj < cluster_list[cj].size(); ++qj) {
+          if (deleted[cj][qj]) continue;
+          const Dominance dom =
+              CompareRows(cluster_list[ci][pi], cluster_list[cj][qj], dims,
+                          NullSemantics::kIncomplete);
+          if (dom == Dominance::kLeftDominates) {
+            // THE FLAW: eager deletion; q can no longer eliminate anyone.
+            deleted[cj][qj] = 1;
+          } else if (dom == Dominance::kRightDominates) {
+            flagged = true;
+          }
+        }
+      }
+      if (flagged) deleted[ci][pi] = 1;
+    }
+  }
+  std::vector<Row> result;
+  for (size_t c = 0; c < cluster_list.size(); ++c) {
+    for (size_t i = 0; i < cluster_list[c].size(); ++i) {
+      if (!deleted[c][i]) result.push_back(cluster_list[c][i]);
+    }
+  }
+  return result;
+}
+
+std::vector<Row> BruteForceSkyline(const std::vector<Row>& input,
+                                   const std::vector<BoundDimension>& dims,
+                                   const SkylineOptions& options) {
+  std::vector<Row> result;
+  std::vector<uint32_t> bitmaps(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    bitmaps[i] = NullBitmap(input[i], dims);
+  }
+  for (size_t i = 0; i < input.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < input.size() && !dominated; ++j) {
+      if (i == j) continue;
+      CountTest(options);
+      const Dominance dom =
+          CompareRows(input[j], input[i], dims, options.nulls);
+      if (dom == Dominance::kLeftDominates) dominated = true;
+      if (options.distinct && dom == Dominance::kEqual && j < i &&
+          bitmaps[i] == bitmaps[j]) {
+        dominated = true;  // keep only the first of a duplicate group
+      }
+    }
+    if (!dominated) result.push_back(input[i]);
+  }
+  return result;
+}
+
+std::vector<std::vector<Row>> PartitionByNullBitmap(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims) {
+  std::map<uint32_t, std::vector<Row>> groups;
+  for (const Row& r : input) groups[NullBitmap(r, dims)].push_back(r);
+  std::vector<std::vector<Row>> out;
+  out.reserve(groups.size());
+  for (auto& [bitmap, rows] : groups) out.push_back(std::move(rows));
+  return out;
+}
+
+Result<std::vector<Row>> ComputeSkyline(const std::vector<Row>& input,
+                                        const std::vector<BoundDimension>& dims,
+                                        const SkylineOptions& options) {
+  if (options.nulls == NullSemantics::kComplete) {
+    return BlockNestedLoop(input, dims, options);
+  }
+  std::vector<Row> local_union;
+  for (auto& part : PartitionByNullBitmap(input, dims)) {
+    SL_ASSIGN_OR_RETURN(std::vector<Row> local,
+                        BlockNestedLoop(part, dims, options));
+    for (auto& r : local) local_union.push_back(std::move(r));
+  }
+  return AllPairsIncomplete(local_union, dims, options);
+}
+
+}  // namespace skyline
+}  // namespace sparkline

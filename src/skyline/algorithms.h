@@ -1,0 +1,98 @@
+// The skyline algorithms (paper sections 5.6, 5.7 and Appendix A).
+//
+// All functions are deterministic, allocation-conscious and usable standalone
+// (the physical operators are thin wrappers). Cancellation is cooperative via
+// an optional deadline, which implements the paper's benchmark timeouts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "skyline/dominance.h"
+
+namespace sparkline {
+namespace skyline {
+
+/// \brief Options shared by all skyline algorithms.
+struct SkylineOptions {
+  /// SKYLINE OF DISTINCT: among tuples equal in all skyline dimensions,
+  /// keep exactly one (the first encountered).
+  bool distinct = false;
+  /// Complete (Definition 3.1) vs. incomplete (null-restricted) dominance.
+  NullSemantics nulls = NullSemantics::kComplete;
+  /// If non-null, incremented once per dominance test.
+  DominanceCounter* counter = nullptr;
+  /// Monotonic-clock deadline in nanoseconds (0 = none); algorithms return
+  /// Status::Timeout soon after passing it.
+  int64_t deadline_nanos = 0;
+};
+
+/// \brief Block-Nested-Loop skyline (Börzsönyi et al., adapted in paper
+/// section 5.6): maintains a window of incomparable tuples; correctness
+/// relies on the transitivity of dominance.
+///
+/// With NullSemantics::kIncomplete the input must be *bitmap-uniform* (all
+/// rows null in the same dimensions, e.g. one partition produced by
+/// PartitionByNullBitmap) — within such a partition transitivity holds and
+/// BNL stays correct (paper section 5.7).
+Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
+                                         const std::vector<BoundDimension>& dims,
+                                         const SkylineOptions& options);
+
+/// \brief Global skyline for (potentially) incomplete data: compares all
+/// pairs and only *flags* dominated tuples, deleting them after the last
+/// comparison. Deferred deletion is what makes cyclic dominance safe
+/// (paper section 5.7 / Appendix A).
+Result<std::vector<Row>> AllPairsIncomplete(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options);
+
+/// \brief Sort-Filter-Skyline (SFS), the presorting family the paper lists
+/// as future work (section 7). Requires complete data and numeric
+/// dimensions; falls back to BlockNestedLoop otherwise. After sorting by a
+/// monotone score, no tuple can be dominated by a later one, so the window
+/// only grows and every window member is final.
+Result<std::vector<Row>> SortFilterSkyline(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options);
+
+/// \brief Grid-based skyline with cell-level pruning (Tang et al., paper
+/// section 2): rows are bucketed into a uniform grid over the observed
+/// value ranges (bucket order flipped for MAX dimensions so lower indices
+/// are always better); a non-empty cell strictly below another cell in
+/// *every* dimension eliminates that cell wholesale, without per-tuple
+/// dominance tests. Survivors run through BlockNestedLoop. Complete,
+/// numeric data only; falls back to BNL otherwise.
+Result<std::vector<Row>> GridFilterSkyline(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options);
+
+/// \brief The *incorrect* global algorithm of Gulzar et al. [20], kept as an
+/// executable counterexample: it deletes dominated tuples eagerly while
+/// scanning clusters, so cyclic dominance chains leak tuples into the result
+/// (paper Appendix A). Never used by the engine.
+std::vector<Row> FlawedGulzarGlobal(const std::vector<Row>& input,
+                                    const std::vector<BoundDimension>& dims);
+
+/// \brief Quadratic reference oracle implementing the skyline definition
+/// verbatim (used by tests and as the last-resort algorithm).
+std::vector<Row> BruteForceSkyline(const std::vector<Row>& input,
+                                   const std::vector<BoundDimension>& dims,
+                                   const SkylineOptions& options);
+
+/// \brief Groups rows by their null bitmap (paper section 5.7). The result
+/// preserves input order within each group.
+std::vector<std::vector<Row>> PartitionByNullBitmap(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims);
+
+/// \brief End-to-end convenience: partitions by null bitmap, computes local
+/// skylines with BNL, then the global skyline with AllPairsIncomplete (or
+/// plain BNL when `options.nulls` is kComplete). This is the same pipeline
+/// the physical operators execute.
+Result<std::vector<Row>> ComputeSkyline(const std::vector<Row>& input,
+                                        const std::vector<BoundDimension>& dims,
+                                        const SkylineOptions& options);
+
+}  // namespace skyline
+}  // namespace sparkline

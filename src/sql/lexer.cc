@@ -1,0 +1,248 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNeq:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kEof:
+      return "end of input";
+    default:
+      return "keyword";
+  }
+}
+
+std::string Token::ToString() const {
+  if (type == TokenType::kEof) return "<eof>";
+  return text;
+}
+
+namespace {
+
+const std::map<std::string, TokenType>& KeywordMap() {
+  static const std::map<std::string, TokenType> kMap = {
+      {"select", TokenType::kSelect}, {"from", TokenType::kFrom},
+      {"where", TokenType::kWhere},   {"group", TokenType::kGroup},
+      {"by", TokenType::kBy},         {"having", TokenType::kHaving},
+      {"order", TokenType::kOrder},   {"limit", TokenType::kLimit},
+      {"skyline", TokenType::kSkyline}, {"of", TokenType::kOf},
+      {"distinct", TokenType::kDistinct}, {"as", TokenType::kAs},
+      {"on", TokenType::kOn},         {"using", TokenType::kUsing},
+      {"join", TokenType::kJoin},     {"inner", TokenType::kInner},
+      {"left", TokenType::kLeft},     {"outer", TokenType::kOuter},
+      {"cross", TokenType::kCross},   {"not", TokenType::kNot},
+      {"exists", TokenType::kExists}, {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},         {"null", TokenType::kNull},
+      {"is", TokenType::kIs},         {"true", TokenType::kTrue},
+      {"false", TokenType::kFalse},   {"asc", TokenType::kAsc},
+      {"desc", TokenType::kDesc},     {"nulls", TokenType::kNulls},
+      {"first", TokenType::kFirst},   {"last", TokenType::kLast},
+      {"cast", TokenType::kCast},
+  };
+  return kMap;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string text = sql.substr(start, i - start);
+      auto it = KeywordMap().find(ToLower(text));
+      if (it != KeywordMap().end()) {
+        out.push_back(Token{it->second, std::move(text), start});
+      } else {
+        out.push_back(Token{TokenType::kIdentifier, std::move(text), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      out.push_back(Token{is_float ? TokenType::kFloat : TokenType::kInteger,
+                          sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at offset ", start));
+      }
+      out.push_back(Token{TokenType::kString, std::move(text), start});
+      continue;
+    }
+    auto push1 = [&](TokenType t) {
+      out.push_back(Token{t, sql.substr(start, 1), start});
+      ++i;
+    };
+    switch (c) {
+      case '(':
+        push1(TokenType::kLParen);
+        break;
+      case ')':
+        push1(TokenType::kRParen);
+        break;
+      case ',':
+        push1(TokenType::kComma);
+        break;
+      case '.':
+        push1(TokenType::kDot);
+        break;
+      case ';':
+        push1(TokenType::kSemicolon);
+        break;
+      case '+':
+        push1(TokenType::kPlus);
+        break;
+      case '-':
+        push1(TokenType::kMinus);
+        break;
+      case '*':
+        push1(TokenType::kStar);
+        break;
+      case '/':
+        push1(TokenType::kSlash);
+        break;
+      case '%':
+        push1(TokenType::kPercent);
+        break;
+      case '=':
+        push1(TokenType::kEq);
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back(Token{TokenType::kLe, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          out.push_back(Token{TokenType::kNeq, "<>", start});
+          i += 2;
+        } else {
+          push1(TokenType::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back(Token{TokenType::kGe, ">=", start});
+          i += 2;
+        } else {
+          push1(TokenType::kGt);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back(Token{TokenType::kNeq, "!=", start});
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StrCat("unexpected character '!' at offset ", start));
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrCat("unexpected character '", std::string(1, c),
+                   "' at offset ", start));
+    }
+  }
+  out.push_back(Token{TokenType::kEof, "", n});
+  return out;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,90 @@
+// SQL tokenizer.
+//
+// Keyword policy: only structural keywords are lexed as keywords. MIN / MAX /
+// DIFF / COMPLETE are contextual (plain identifiers matched by text inside
+// the skyline clause) so they remain usable as function and column names —
+// the same trick ANTLR grammars use for soft keywords.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sparkline {
+
+enum class TokenType : uint8_t {
+  // literals & names
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  // symbols
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // keywords
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kHaving,
+  kOrder,
+  kLimit,
+  kSkyline,
+  kOf,
+  kDistinct,
+  kAs,
+  kOn,
+  kUsing,
+  kJoin,
+  kInner,
+  kLeft,
+  kOuter,
+  kCross,
+  kNot,
+  kExists,
+  kAnd,
+  kOr,
+  kNull,
+  kIs,
+  kTrue,
+  kFalse,
+  kAsc,
+  kDesc,
+  kNulls,
+  kFirst,
+  kLast,
+  kCast,
+  kEof,
+};
+
+const char* TokenTypeName(TokenType t);
+
+struct Token {
+  TokenType type;
+  std::string text;  ///< original text (identifiers keep their case)
+  size_t pos = 0;    ///< byte offset in the input, for error messages
+
+  std::string ToString() const;
+};
+
+/// \brief Tokenizes `sql`; returns a vector ending in an EOF token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sparkline

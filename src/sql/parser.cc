@@ -1,0 +1,578 @@
+#include "sql/parser.h"
+
+#include <optional>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace sparkline {
+
+namespace {
+
+/// Aggregate function names recognized by the parser.
+std::optional<AggFn> LookupAggFn(const std::string& lower) {
+  if (lower == "count") return AggFn::kCount;
+  if (lower == "sum") return AggFn::kSum;
+  if (lower == "min") return AggFn::kMin;
+  if (lower == "max") return AggFn::kMax;
+  if (lower == "avg") return AggFn::kAvg;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<LogicalPlanPtr> ParseStatement() {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr plan, ParseQuery());
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEof) {
+      return Unexpected("end of statement");
+    }
+    return plan;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    SL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEof) {
+      return Unexpected("end of expression");
+    }
+    return e;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t) {
+    if (Match(t)) return Status::OK();
+    return Status::ParseError(StrCat("expected ", TokenTypeName(t), " but got '",
+                                     Peek().ToString(), "' at offset ",
+                                     Peek().pos));
+  }
+  Status Unexpected(const std::string& wanted) const {
+    return Status::ParseError(StrCat("expected ", wanted, " but got '",
+                                     Peek().ToString(), "' at offset ",
+                                     Peek().pos));
+  }
+  /// Contextual ("soft") keyword check against an identifier's text.
+  bool MatchSoftKeyword(const char* word) {
+    if (Check(TokenType::kIdentifier) && EqualsIgnoreCase(Peek().text, word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  // --- query ---------------------------------------------------------------
+  Result<LogicalPlanPtr> ParseQuery() {
+    SL_RETURN_NOT_OK(Expect(TokenType::kSelect));
+    const bool select_distinct = Match(TokenType::kDistinct);
+
+    std::vector<ExprPtr> select_list;
+    bool has_aggregate = false;
+    do {
+      SL_ASSIGN_OR_RETURN(ExprPtr item, ParseSelectItem());
+      if (item->ContainsAggregate()) has_aggregate = true;
+      select_list.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+
+    LogicalPlanPtr plan;
+    if (Match(TokenType::kFrom)) {
+      SL_ASSIGN_OR_RETURN(plan, ParseTableRef());
+    } else {
+      // FROM-less SELECT evaluates over one empty row.
+      plan = LocalRelation::Make(Schema{}, {Row{}});
+    }
+
+    if (Match(TokenType::kWhere)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      plan = Filter::Make(std::move(cond), std::move(plan));
+    }
+
+    std::vector<ExprPtr> group_list;
+    bool has_group_by = false;
+    if (Match(TokenType::kGroup)) {
+      SL_RETURN_NOT_OK(Expect(TokenType::kBy));
+      has_group_by = true;
+      do {
+        SL_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        group_list.push_back(std::move(g));
+      } while (Match(TokenType::kComma));
+    }
+
+    // Name the select items now; Aggregate and Project both carry them.
+    std::vector<ExprPtr> named = NameSelectItems(select_list);
+
+    if (has_group_by || has_aggregate) {
+      plan = Aggregate::Make(std::move(group_list), std::move(named),
+                             std::move(plan));
+    } else {
+      plan = Project::Make(std::move(named), std::move(plan));
+    }
+
+    if (Match(TokenType::kHaving)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      plan = Filter::Make(std::move(cond), std::move(plan));
+    }
+
+    // skylineClause (Listing 5): after HAVING, before ORDER BY.
+    if (Match(TokenType::kSkyline)) {
+      SL_RETURN_NOT_OK(Expect(TokenType::kOf));
+      const bool sky_distinct = Match(TokenType::kDistinct);
+      const bool sky_complete = MatchSoftKeyword("complete");
+      std::vector<ExprPtr> dims;
+      do {
+        SL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        SkylineGoal goal;
+        if (MatchSoftKeyword("min")) {
+          goal = SkylineGoal::kMin;
+        } else if (MatchSoftKeyword("max")) {
+          goal = SkylineGoal::kMax;
+        } else if (MatchSoftKeyword("diff")) {
+          goal = SkylineGoal::kDiff;
+        } else {
+          return Unexpected("MIN, MAX or DIFF after skyline dimension");
+        }
+        dims.push_back(SkylineDimension::Make(std::move(e), goal));
+      } while (Match(TokenType::kComma));
+      plan = SkylineNode::Make(sky_distinct, sky_complete, std::move(dims),
+                               std::move(plan));
+    }
+
+    if (select_distinct) {
+      plan = Distinct::Make(std::move(plan));
+    }
+
+    if (Match(TokenType::kOrder)) {
+      SL_RETURN_NOT_OK(Expect(TokenType::kBy));
+      std::vector<SortOrder> orders;
+      do {
+        SortOrder order;
+        SL_ASSIGN_OR_RETURN(order.expr, ParseExpr());
+        if (Match(TokenType::kDesc)) {
+          order.ascending = false;
+          order.nulls_first = false;
+        } else {
+          Match(TokenType::kAsc);
+        }
+        if (Match(TokenType::kNulls)) {
+          if (Match(TokenType::kFirst)) {
+            order.nulls_first = true;
+          } else {
+            SL_RETURN_NOT_OK(Expect(TokenType::kLast));
+            order.nulls_first = false;
+          }
+        }
+        orders.push_back(std::move(order));
+      } while (Match(TokenType::kComma));
+      plan = Sort::Make(std::move(orders), std::move(plan));
+    }
+
+    if (Match(TokenType::kLimit)) {
+      if (!Check(TokenType::kInteger)) return Unexpected("integer after LIMIT");
+      int64_t n = std::stoll(Advance().text);
+      plan = Limit::Make(n, std::move(plan));
+    }
+
+    return plan;
+  }
+
+  /// Wraps non-trivial select items in Aliases with derived names.
+  static std::vector<ExprPtr> NameSelectItems(
+      const std::vector<ExprPtr>& items) {
+    std::vector<ExprPtr> out;
+    out.reserve(items.size());
+    for (const auto& e : items) {
+      switch (e->kind()) {
+        case ExprKind::kAlias:
+        case ExprKind::kStar:
+        case ExprKind::kUnresolvedAttribute:
+        case ExprKind::kAttributeRef:
+          out.push_back(e);
+          break;
+        default:
+          out.push_back(Alias::Make(e, DeriveName(e)));
+      }
+    }
+    return out;
+  }
+
+  static std::string DeriveName(const ExprPtr& e) {
+    if (e->kind() == ExprKind::kFunctionCall) {
+      return ToLower(static_cast<const FunctionCall&>(*e).name());
+    }
+    if (e->kind() == ExprKind::kAggregate) {
+      const auto& agg = static_cast<const AggregateExpr&>(*e);
+      if (agg.fn() == AggFn::kCountStar) return "count";
+      return AggFnName(agg.fn());
+    }
+    return e->ToString();
+  }
+
+  // --- table references ----------------------------------------------------
+  Result<LogicalPlanPtr> ParseTableRef() {
+    SL_ASSIGN_OR_RETURN(LogicalPlanPtr left, ParseTablePrimary());
+    for (;;) {
+      JoinType type = JoinType::kInner;
+      if (Match(TokenType::kCross)) {
+        SL_RETURN_NOT_OK(Expect(TokenType::kJoin));
+        type = JoinType::kCross;
+      } else if (Match(TokenType::kInner)) {
+        SL_RETURN_NOT_OK(Expect(TokenType::kJoin));
+      } else if (Match(TokenType::kLeft)) {
+        Match(TokenType::kOuter);
+        SL_RETURN_NOT_OK(Expect(TokenType::kJoin));
+        type = JoinType::kLeftOuter;
+      } else if (Match(TokenType::kJoin)) {
+        // plain JOIN == INNER JOIN
+      } else {
+        break;
+      }
+      SL_ASSIGN_OR_RETURN(LogicalPlanPtr right, ParseTablePrimary());
+      ExprPtr condition = nullptr;
+      std::vector<std::string> using_cols;
+      if (Match(TokenType::kOn)) {
+        SL_ASSIGN_OR_RETURN(condition, ParseExpr());
+      } else if (Match(TokenType::kUsing)) {
+        SL_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        do {
+          if (!Check(TokenType::kIdentifier)) {
+            return Unexpected("column name in USING");
+          }
+          using_cols.push_back(Advance().text);
+        } while (Match(TokenType::kComma));
+        SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      } else if (type != JoinType::kCross) {
+        return Unexpected("ON or USING after JOIN");
+      }
+      left = Join::Make(std::move(left), std::move(right), type,
+                        std::move(condition), std::move(using_cols));
+    }
+    return left;
+  }
+
+  Result<LogicalPlanPtr> ParseTablePrimary() {
+    if (Match(TokenType::kLParen)) {
+      SL_ASSIGN_OR_RETURN(LogicalPlanPtr sub, ParseQuery());
+      SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      // A derived table requires an alias (optional AS).
+      Match(TokenType::kAs);
+      if (Check(TokenType::kIdentifier)) {
+        return SubqueryAlias::Make(Advance().text, std::move(sub));
+      }
+      return sub;
+    }
+    if (!Check(TokenType::kIdentifier)) return Unexpected("table name");
+    std::string name = Advance().text;
+    LogicalPlanPtr rel = UnresolvedRelation::Make(name);
+    if (Match(TokenType::kAs)) {
+      if (!Check(TokenType::kIdentifier)) return Unexpected("alias after AS");
+      return SubqueryAlias::Make(Advance().text, std::move(rel));
+    }
+    if (Check(TokenType::kIdentifier)) {
+      return SubqueryAlias::Make(Advance().text, std::move(rel));
+    }
+    return rel;
+  }
+
+  // --- select items --------------------------------------------------------
+  Result<ExprPtr> ParseSelectItem() {
+    if (Match(TokenType::kStar)) return Star::Make();
+    // "t.*"
+    if (Check(TokenType::kIdentifier) && Peek(1).type == TokenType::kDot &&
+        Peek(2).type == TokenType::kStar) {
+      std::string qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return Star::Make(std::move(qualifier));
+    }
+    SL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Match(TokenType::kAs)) {
+      if (!Check(TokenType::kIdentifier)) return Unexpected("alias after AS");
+      return Alias::Make(std::move(e), Advance().text);
+    }
+    if (Check(TokenType::kIdentifier)) {
+      return Alias::Make(std::move(e), Advance().text);
+    }
+    return e;
+  }
+
+  // --- expressions ---------------------------------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Match(TokenType::kOr)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = BinaryExpr::Make(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Match(TokenType::kAnd)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left =
+          BinaryExpr::Make(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Match(TokenType::kNot)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      // NOT EXISTS folds into the subquery expression itself.
+      if (inner->kind() == ExprKind::kExistsSubquery) {
+        const auto& ex = static_cast<const ExistsSubquery&>(*inner);
+        return ExistsSubquery::Make(ex.plan(), !ex.negated());
+      }
+      return UnaryExpr::Make(UnaryOp::kNot, std::move(inner));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    for (;;) {
+      BinaryOp op;
+      if (Match(TokenType::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Match(TokenType::kNeq)) {
+        op = BinaryOp::kNeq;
+      } else if (Match(TokenType::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Match(TokenType::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Match(TokenType::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (Match(TokenType::kGe)) {
+        op = BinaryOp::kGe;
+      } else if (Match(TokenType::kIs)) {
+        const bool negated = Match(TokenType::kNot);
+        SL_RETURN_NOT_OK(Expect(TokenType::kNull));
+        left = UnaryExpr::Make(
+            negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull, std::move(left));
+        continue;
+      } else {
+        break;
+      }
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = BinaryExpr::Make(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Match(TokenType::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Match(TokenType::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        break;
+      }
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = BinaryExpr::Make(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Match(TokenType::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Match(TokenType::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Match(TokenType::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      SL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = BinaryExpr::Make(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenType::kMinus)) {
+      SL_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      // Fold "-literal" immediately so negative constants stay literals.
+      if (inner->kind() == ExprKind::kLiteral) {
+        const Value& v = static_cast<const Literal&>(*inner).value();
+        if (!v.is_null() && v.type() == DataType::Int64()) {
+          return Literal::Make(Value::Int64(-v.int64_value()));
+        }
+        if (!v.is_null() && v.type() == DataType::Double()) {
+          return Literal::Make(Value::Double(-v.double_value()));
+        }
+      }
+      return UnaryExpr::Make(UnaryOp::kNegate, std::move(inner));
+    }
+    Match(TokenType::kPlus);
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger:
+        Advance();
+        return Literal::Make(Value::Int64(std::stoll(tok.text)));
+      case TokenType::kFloat:
+        Advance();
+        return Literal::Make(Value::Double(std::stod(tok.text)));
+      case TokenType::kString:
+        Advance();
+        return Literal::Make(Value::String(tok.text));
+      case TokenType::kTrue:
+        Advance();
+        return Literal::Make(Value::Bool(true));
+      case TokenType::kFalse:
+        Advance();
+        return Literal::Make(Value::Bool(false));
+      case TokenType::kNull:
+        Advance();
+        return Literal::Make(Value::Null());
+      case TokenType::kExists: {
+        Advance();
+        SL_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        SL_ASSIGN_OR_RETURN(LogicalPlanPtr sub, ParseQuery());
+        SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return ExistsSubquery::Make(std::move(sub), /*negated=*/false);
+      }
+      case TokenType::kCast: {
+        Advance();
+        SL_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        SL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        SL_RETURN_NOT_OK(Expect(TokenType::kAs));
+        SL_ASSIGN_OR_RETURN(DataType type, ParseTypeName());
+        SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return Cast::Make(std::move(inner), type);
+      }
+      case TokenType::kLParen: {
+        // Either a parenthesized expression or a scalar subquery.
+        if (Peek(1).type == TokenType::kSelect) {
+          Advance();
+          SL_ASSIGN_OR_RETURN(LogicalPlanPtr sub, ParseQuery());
+          SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+          return ScalarSubquery::Make(std::move(sub), DataType::Int64(),
+                                      /*nullable=*/true, /*resolved=*/false);
+        }
+        Advance();
+        SL_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return inner;
+      }
+      case TokenType::kIdentifier:
+        return ParseNameOrCall();
+      default:
+        break;
+    }
+    return Unexpected("expression");
+  }
+
+  Result<DataType> ParseTypeName() {
+    if (!Check(TokenType::kIdentifier)) return Unexpected("type name");
+    std::string name = ToLower(Advance().text);
+    if (name == "bigint" || name == "int" || name == "integer" ||
+        name == "long") {
+      return DataType::Int64();
+    }
+    if (name == "double" || name == "float" || name == "real") {
+      return DataType::Double();
+    }
+    if (name == "varchar" || name == "string" || name == "text") {
+      return DataType::String();
+    }
+    if (name == "boolean" || name == "bool") return DataType::Bool();
+    return Status::ParseError(StrCat("unknown type name '", name, "'"));
+  }
+
+  Result<ExprPtr> ParseNameOrCall() {
+    std::string first = Advance().text;
+
+    if (Check(TokenType::kLParen)) {
+      // Function or aggregate call.
+      Advance();
+      const std::string lower = ToLower(first);
+      std::optional<AggFn> agg = LookupAggFn(lower);
+      bool distinct = Match(TokenType::kDistinct);
+      if (agg.has_value() && Match(TokenType::kStar)) {
+        SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        if (lower != "count") {
+          return Status::ParseError(StrCat(lower, "(*) is not supported"));
+        }
+        return AggregateExpr::Make(AggFn::kCountStar, nullptr);
+      }
+      std::vector<ExprPtr> args;
+      if (!Check(TokenType::kRParen)) {
+        do {
+          SL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (Match(TokenType::kComma));
+      }
+      SL_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      if (agg.has_value()) {
+        if (args.size() != 1) {
+          return Status::ParseError(
+              StrCat(lower, "() expects exactly one argument"));
+        }
+        return AggregateExpr::Make(*agg, args[0], distinct);
+      }
+      if (distinct) {
+        return Status::ParseError(
+            StrCat("DISTINCT is not supported in ", lower, "()"));
+      }
+      return FunctionCall::Make(std::move(first), std::move(args));
+    }
+
+    std::vector<std::string> parts{std::move(first)};
+    while (Check(TokenType::kDot)) {
+      if (Peek(1).type == TokenType::kStar) break;  // "t.*" handled upstream
+      Advance();
+      if (!Check(TokenType::kIdentifier)) {
+        return Unexpected("identifier after '.'");
+      }
+      parts.push_back(Advance().text);
+    }
+    return UnresolvedAttribute::Make(std::move(parts));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LogicalPlanPtr> ParseSql(const std::string& sql) {
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace sparkline

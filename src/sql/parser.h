@@ -1,0 +1,33 @@
+// Recursive-descent SQL parser producing *unresolved* logical plans
+// (the combination of Spark's ANTLR parser + AstBuilder).
+//
+// Supported grammar (paper Listings 3 and 5):
+//
+//   query      := SELECT [DISTINCT] selectItem, ...
+//                 [FROM tableRef] [WHERE expr]
+//                 [GROUP BY expr, ...] [HAVING expr]
+//                 [SKYLINE OF [DISTINCT] [COMPLETE] item (MIN|MAX|DIFF), ...]
+//                 [ORDER BY sortItem, ...] [LIMIT n]
+//   tableRef   := primary ([INNER|CROSS|LEFT [OUTER]] JOIN primary
+//                          [ON expr | USING (col, ...)])*
+//   primary    := name [[AS] alias] | '(' query ')' [AS] alias
+//
+// plus scalar subqueries, [NOT] EXISTS subqueries, CAST, IS [NOT] NULL and
+// the usual arithmetic/comparison/boolean operators.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+
+namespace sparkline {
+
+/// \brief Parses one SQL statement into an unresolved logical plan.
+Result<LogicalPlanPtr> ParseSql(const std::string& sql);
+
+/// \brief Parses a standalone scalar/boolean expression (used by the
+/// DataFrame API's `expr("...")` helper and by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sparkline

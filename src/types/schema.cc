@@ -1,0 +1,25 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace sparkline {
+
+std::string Field::ToString() const {
+  return StrCat(name, " ", type.ToString(), nullable ? "" : " NOT NULL");
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& f : fields_) parts.push_back(f.ToString());
+  return StrCat("(", JoinStrings(parts, ", "), ")");
+}
+
+}  // namespace sparkline

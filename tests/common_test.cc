@@ -1,0 +1,195 @@
+// Tests for src/common: Status/Result, string utils, thread pool, memory
+// tracker, RNG distributions.
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace sparkline {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "Parse error: bad token");
+}
+
+TEST(StatusTest, TimeoutPredicate) {
+  EXPECT_TRUE(Status::Timeout("t").IsTimeout());
+  EXPECT_FALSE(Status::Invalid("x").IsTimeout());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SL_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(Split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a..", '.'), (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SkyLine"), "skyline");
+  EXPECT_EQ(ToUpper("min"), "MIN");
+  EXPECT_TRUE(EqualsIgnoreCase("SKYLINE", "skyline"));
+  EXPECT_FALSE(EqualsIgnoreCase("skyline", "skylines"));
+}
+
+TEST(StringUtilTest, DoubleToString) {
+  EXPECT_EQ(DoubleToString(3.0), "3");
+  EXPECT_EQ(DoubleToString(3.5), "3.5");
+  EXPECT_EQ(DoubleToString(-0.25), "-0.25");
+}
+
+TEST(StringUtilTest, Indent) {
+  EXPECT_EQ(Indent("a\nb", 2), "  a\n  b");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(&pool, 64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndSingle) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(&pool, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker t;
+  t.Grow(100);
+  t.Grow(50);
+  t.Shrink(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.Grow(10);
+  EXPECT_EQ(t.peak_bytes(), 150);  // peak unchanged below the high-water mark
+}
+
+TEST(MemoryTrackerTest, ScopedReservation) {
+  MemoryTracker t;
+  {
+    ScopedReservation r(&t, 64);
+    EXPECT_EQ(t.current_bytes(), 64);
+  }
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(t.peak_bytes(), 64);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, SkewedTowardsSmallValues) {
+  Rng rng(5);
+  ZipfDistribution zipf(100, 1.2);
+  int64_t ones = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = zipf.Sample(&rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    if (v == 1) ++ones;
+    total += v;
+  }
+  // Rank 1 should be by far the most common outcome.
+  EXPECT_GT(ones, 5000 / 10);
+  EXPECT_LT(total / 5000, 20);
+}
+
+TEST(TimerTest, WallClockAdvances) {
+  StopWatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(w.ElapsedNanos(), 0);
+}
+
+TEST(TimerTest, ThreadCpuAdvancesUnderWork) {
+  ThreadCpuTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+}
+
+}  // namespace
+}  // namespace sparkline

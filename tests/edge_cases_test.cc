@@ -1,0 +1,201 @@
+// Edge cases and failure injection across the whole stack.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "skyline/algorithms.h"
+#include "test_util.h"
+
+namespace sparkline {
+namespace {
+
+using ::sparkline::testing::Rows;
+
+TEST(EdgeCaseTest, SkylineOfEmptyTable) {
+  Session session;
+  Schema s({Field{"a", DataType::Double(), false}});
+  ASSERT_OK(session.catalog()->RegisterTable(std::make_shared<Table>("e", s)));
+  auto rows = Rows(&session, "SELECT * FROM e SKYLINE OF a MIN");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(EdgeCaseTest, SkylineOfSingleRow) {
+  Session session;
+  Schema s({Field{"a", DataType::Double(), false}});
+  auto t = std::make_shared<Table>("one", s);
+  ASSERT_OK(t->AppendRow({Value::Double(1)}));
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  EXPECT_EQ(Rows(&session, "SELECT * FROM one SKYLINE OF a MIN").size(), 1u);
+}
+
+TEST(EdgeCaseTest, AllRowsEqualAreAllInSkyline) {
+  Session session;
+  Schema s({Field{"a", DataType::Int64(), false},
+            Field{"b", DataType::Int64(), false}});
+  auto t = std::make_shared<Table>("eq", s);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(t->AppendRow({Value::Int64(7), Value::Int64(7)}));
+  }
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  EXPECT_EQ(Rows(&session, "SELECT * FROM eq SKYLINE OF a MIN, b MAX").size(),
+            10u);
+  EXPECT_EQ(
+      Rows(&session, "SELECT * FROM eq SKYLINE OF DISTINCT a MIN, b MAX")
+          .size(),
+      1u);
+}
+
+TEST(EdgeCaseTest, AllNullDimensionRowsSurvive) {
+  // A tuple that is NULL in every skyline dimension is incomparable to
+  // everything under the incomplete semantics, hence in the skyline.
+  Session session;
+  Schema s({Field{"id", DataType::Int64(), false},
+            Field{"a", DataType::Double(), true}});
+  auto t = std::make_shared<Table>("n", s);
+  ASSERT_OK(t->AppendRow({Value::Int64(1), Value::Double(5)}));
+  ASSERT_OK(t->AppendRow({Value::Int64(2), Value::Null(DataType::Double())}));
+  ASSERT_OK(t->AppendRow({Value::Int64(3), Value::Double(1)}));
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  auto rows = Rows(&session, "SELECT id FROM n SKYLINE OF a MIN");
+  // id=3 (minimum) and id=2 (all-null) survive; id=1 is dominated.
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(EdgeCaseTest, BooleanSkylineDimension) {
+  Session session;
+  Schema s({Field{"id", DataType::Int64(), false},
+            Field{"flag", DataType::Bool(), false}});
+  auto t = std::make_shared<Table>("b", s);
+  ASSERT_OK(t->AppendRow({Value::Int64(1), Value::Bool(false)}));
+  ASSERT_OK(t->AppendRow({Value::Int64(2), Value::Bool(true)}));
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  auto rows = Rows(&session, "SELECT id FROM b SKYLINE OF flag MAX");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 2);
+}
+
+TEST(EdgeCaseTest, ThirtyTwoDimensionLimit) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "wide", 20, 33, datagen::PointDistribution::kIndependent, 1)));
+  std::string ok_items, too_many;
+  for (int d = 0; d < 33; ++d) {
+    std::string item = "d" + std::to_string(d) + " MIN";
+    if (d < 32) ok_items += (d ? ", " : "") + item;
+    too_many += (d ? ", " : "") + item;
+  }
+  EXPECT_TRUE(session.Sql("SELECT * FROM wide SKYLINE OF " + ok_items).ok());
+  auto r = session.Sql("SELECT * FROM wide SKYLINE OF " + too_many);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("32"), std::string::npos);
+}
+
+TEST(EdgeCaseTest, DuplicateSkylineDimensionIsHarmless) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "p", 100, 2, datagen::PointDistribution::kIndependent, 4)));
+  auto once = Rows(&session, "SELECT * FROM p SKYLINE OF d0 MIN, d1 MIN");
+  auto twice =
+      Rows(&session, "SELECT * FROM p SKYLINE OF d0 MIN, d0 MIN, d1 MIN");
+  EXPECT_SAME_ROWS(once, twice);
+}
+
+TEST(EdgeCaseTest, MinAndMaxOfSameColumnKeepsExtremes) {
+  // d0 MIN + d0 MAX makes every pair with distinct d0 incomparable.
+  Session session;
+  Schema s({Field{"v", DataType::Int64(), false}});
+  auto t = std::make_shared<Table>("mm", s);
+  for (int i = 1; i <= 5; ++i) ASSERT_OK(t->AppendRow({Value::Int64(i)}));
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  EXPECT_EQ(Rows(&session, "SELECT * FROM mm SKYLINE OF v MIN, v MAX").size(),
+            5u);
+}
+
+TEST(EdgeCaseTest, NegativeAndExtremeValues) {
+  Session session;
+  Schema s({Field{"id", DataType::Int64(), false},
+            Field{"v", DataType::Double(), false}});
+  auto t = std::make_shared<Table>("x", s);
+  ASSERT_OK(t->AppendRow({Value::Int64(1), Value::Double(-1e300)}));
+  ASSERT_OK(t->AppendRow({Value::Int64(2), Value::Double(1e300)}));
+  ASSERT_OK(t->AppendRow({Value::Int64(3), Value::Double(0)}));
+  ASSERT_OK(session.catalog()->RegisterTable(t));
+  auto rows = Rows(&session, "SELECT id FROM x SKYLINE OF v MIN");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 1);
+}
+
+TEST(EdgeCaseTest, SkylineDirectlyOverJoinOfEmptySides) {
+  Session session;
+  Schema s({Field{"k", DataType::Int64(), false},
+            Field{"v", DataType::Double(), false}});
+  ASSERT_OK(session.catalog()->RegisterTable(std::make_shared<Table>("l", s)));
+  ASSERT_OK(session.catalog()->RegisterTable(std::make_shared<Table>("r", s)));
+  auto rows = Rows(&session,
+                   "SELECT l.v FROM l JOIN r ON l.k = r.k "
+                   "SKYLINE OF l.v MIN");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(EdgeCaseTest, GroupByEmptyGroupsVsSkyline) {
+  Session session;
+  Schema s({Field{"g", DataType::Int64(), false},
+            Field{"v", DataType::Double(), false}});
+  auto t = std::make_shared<Table>("gv", s);
+  ASSERT_OK(session.catalog()->RegisterTable(t));  // empty table
+  auto rows = Rows(&session,
+                   "SELECT g, sum(v) AS s FROM gv GROUP BY g "
+                   "SKYLINE OF s MAX");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(EdgeCaseTest, OneExecutorMatchesMany) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "p", 500, 3, datagen::PointDistribution::kAntiCorrelated, 8)));
+  const std::string q =
+      "SELECT * FROM p SKYLINE OF d0 MIN, d1 MIN, d2 MIN";
+  ASSERT_OK(session.SetConf("sparkline.executors", "1"));
+  auto one = Rows(&session, q);
+  ASSERT_OK(session.SetConf("sparkline.executors", "16"));
+  auto many = Rows(&session, q);
+  EXPECT_SAME_ROWS(one, many);
+}
+
+TEST(EdgeCaseTest, MoreExecutorsThanRows) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.executors", "50"));
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "p", 5, 2, datagen::PointDistribution::kIndependent, 9)));
+  auto rows = Rows(&session, "SELECT * FROM p SKYLINE OF d0 MIN, d1 MIN");
+  EXPECT_GE(rows.size(), 1u);
+}
+
+TEST(EdgeCaseTest, SkylineUnderExistsSubquery) {
+  // Subqueries and skylines compose: keep points whose x appears in the
+  // 1-D skyline of a second table.
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "a", 50, 1, datagen::PointDistribution::kIndependent, 10)));
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "b", 50, 1, datagen::PointDistribution::kIndependent, 10)));
+  auto rows = Rows(&session,
+                   "SELECT * FROM a WHERE EXISTS("
+                   "SELECT * FROM (SELECT d0 FROM b SKYLINE OF d0 MIN) m "
+                   "WHERE m.d0 <= a.d0)");
+  EXPECT_EQ(rows.size(), 50u);  // the min of b is <= every a.d0 (same gen)
+}
+
+TEST(EdgeCaseTest, DeterministicAcrossRuns) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "p", 300, 3, datagen::PointDistribution::kIndependent, 11)));
+  const std::string q = "SELECT * FROM p SKYLINE OF d0 MIN, d1 MAX, d2 MIN";
+  auto first = Rows(&session, q);
+  for (int i = 0; i < 3; ++i) {
+    auto again = Rows(&session, q);
+    EXPECT_SAME_ROWS(first, again);
+  }
+}
+
+}  // namespace
+}  // namespace sparkline

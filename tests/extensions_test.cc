@@ -1,0 +1,159 @@
+// Tests for the paper's section-7 future-work features implemented here:
+// the SFS kernel, angle-based partitioning, and the lightweight cost-based
+// strategy refinement.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "exec/planner.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sparkline {
+namespace {
+
+using ::sparkline::testing::Rows;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>();
+    ASSERT_OK(session_->SetConf("sparkline.executors", "4"));
+    ASSERT_OK(session_->catalog()->RegisterTable(datagen::GeneratePoints(
+        "anti", 600, 3, datagen::PointDistribution::kAntiCorrelated, 5)));
+    ASSERT_OK(session_->catalog()->RegisterTable(datagen::GeneratePoints(
+        "tiny", 50, 2, datagen::PointDistribution::kIndependent, 6)));
+  }
+
+  std::string PhysicalTree(const std::string& sql) {
+    auto df = session_->Sql(sql);
+    SL_CHECK(df.ok()) << df.status().ToString();
+    auto info = df->Explain();
+    SL_CHECK(info.ok()) << info.status().ToString();
+    return info->physical;
+  }
+
+  std::unique_ptr<Session> session_;
+};
+
+constexpr const char* kQuery =
+    "SELECT * FROM anti SKYLINE OF d0 MIN, d1 MIN, d2 MIN";
+
+TEST_F(ExtensionsTest, SfsKernelProducesSameSkyline) {
+  auto bnl = Rows(session_.get(), kQuery);
+  ASSERT_OK(session_->SetConf("sparkline.skyline.kernel", "sfs"));
+  auto sfs = Rows(session_.get(), kQuery);
+  EXPECT_SAME_ROWS(bnl, sfs);
+  EXPECT_NE(PhysicalTree(kQuery).find("sfs"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, GridKernelProducesSameSkyline) {
+  auto bnl = Rows(session_.get(), kQuery);
+  ASSERT_OK(session_->SetConf("sparkline.skyline.kernel", "grid"));
+  auto grid = Rows(session_.get(), kQuery);
+  EXPECT_SAME_ROWS(bnl, grid);
+  EXPECT_NE(PhysicalTree(kQuery).find("grid"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, UnknownKernelRejected) {
+  EXPECT_FALSE(session_->SetConf("sparkline.skyline.kernel", "quadtree").ok());
+}
+
+TEST_F(ExtensionsTest, AnglePartitioningPreservesResults) {
+  auto as_is = Rows(session_.get(), kQuery);
+  for (const char* scheme : {"roundrobin", "angle"}) {
+    ASSERT_OK(session_->SetConf("sparkline.skyline.partitioning", scheme));
+    auto rows = Rows(session_.get(), kQuery);
+    EXPECT_SAME_ROWS(as_is, rows) << scheme;
+  }
+}
+
+TEST_F(ExtensionsTest, AnglePartitioningAddsExchange) {
+  ASSERT_OK(session_->SetConf("sparkline.skyline.partitioning", "angle"));
+  EXPECT_NE(PhysicalTree(kQuery).find("Exchange [Angle]"), std::string::npos);
+  ASSERT_OK(session_->SetConf("sparkline.skyline.partitioning", "asis"));
+  EXPECT_EQ(PhysicalTree(kQuery).find("Exchange [Angle]"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, AnglePartitioningPrunesMoreOnAntiCorrelatedData) {
+  // Angle partitioning groups tuples that can dominate each other, so the
+  // union of local skylines shipped to the global stage shrinks and fewer
+  // dominance tests happen overall.
+  auto tests_with = [&](const char* scheme) {
+    SL_CHECK_OK(session_->SetConf("sparkline.skyline.partitioning", scheme));
+    SL_CHECK_OK(session_->SetConf("sparkline.executors", "8"));
+    auto df = session_->Sql(kQuery);
+    SL_CHECK(df.ok());
+    auto r = df->Collect();
+    SL_CHECK(r.ok());
+    return r->metrics.dominance_tests;
+  };
+  // Round-robin is the neutral baseline (contiguous chunks of generated
+  // data could be accidentally ordered).
+  const int64_t neutral = tests_with("roundrobin");
+  const int64_t angle = tests_with("angle");
+  EXPECT_LT(angle, neutral);
+}
+
+TEST_F(ExtensionsTest, CostBasedRefinementSkipsLocalStageForTinyInputs) {
+  // tiny has 50 rows and anti 600; a threshold of 100 separates them.
+  ASSERT_OK(
+      session_->SetConf("sparkline.skyline.nonDistributedThreshold", "100"));
+  const std::string tiny_q = "SELECT * FROM tiny SKYLINE OF d0 MIN, d1 MIN";
+  EXPECT_EQ(PhysicalTree(tiny_q).find("LocalSkyline"), std::string::npos);
+  // Above the threshold the distributed plan is kept.
+  EXPECT_NE(PhysicalTree(kQuery).find("LocalSkyline"), std::string::npos);
+  // Results stay the same either way.
+  auto with = Rows(session_.get(), tiny_q);
+  ASSERT_OK(session_->SetConf("sparkline.skyline.nonDistributedThreshold", "0"));
+  auto without = Rows(session_.get(), tiny_q);
+  EXPECT_SAME_ROWS(with, without);
+}
+
+TEST_F(ExtensionsTest, CostBasedRefinementIgnoresForcedStrategies) {
+  ASSERT_OK(session_->SetConf("sparkline.skyline.nonDistributedThreshold",
+                              "1000000"));
+  ASSERT_OK(session_->SetConf("sparkline.skyline.strategy", "distributed"));
+  EXPECT_NE(PhysicalTree(kQuery).find("LocalSkyline"), std::string::npos);
+}
+
+TEST(EstimateRowCountTest, WalksThePlan) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 1000, 2, datagen::PointDistribution::kIndependent, 7)));
+  auto analyzed = [&](const std::string& sql) {
+    auto plan = ParseSql(sql);
+    SL_CHECK(plan.ok());
+    auto a = session.Analyze(*plan);
+    SL_CHECK(a.ok()) << a.status().ToString();
+    return *a;
+  };
+  EXPECT_EQ(EstimateRowCount(analyzed("SELECT * FROM pts")), 1000);
+  EXPECT_EQ(EstimateRowCount(analyzed("SELECT * FROM pts WHERE d0 < 0.5")),
+            500);
+  EXPECT_EQ(EstimateRowCount(analyzed("SELECT * FROM pts LIMIT 10")), 10);
+  EXPECT_EQ(EstimateRowCount(analyzed("SELECT count(*) FROM pts")), 1);
+  EXPECT_EQ(EstimateRowCount(
+                analyzed("SELECT * FROM pts a CROSS JOIN pts b LIMIT 5")),
+            5);
+  EXPECT_EQ(EstimateRowCount(analyzed(
+                "SELECT d0 FROM pts SKYLINE OF d0 MIN, d1 MIN")),
+            1000);  // skylines are conservatively passed through
+}
+
+TEST(SfsKernelTest, MatchesAcrossStrategiesAndData) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.skyline.kernel", "sfs"));
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 400, 4, datagen::PointDistribution::kIndependent, 9)));
+  const std::string q =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MIN, d2 MAX, d3 MIN";
+  auto expected = Rows(&session, q);
+  for (const char* strategy : {"distributed", "non_distributed"}) {
+    ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+    auto rows = Rows(&session, q);
+    EXPECT_SAME_ROWS(expected, rows) << strategy;
+  }
+}
+
+}  // namespace
+}  // namespace sparkline

@@ -1,0 +1,80 @@
+// The configuration matrix test: every combination of execution strategy,
+// kernel, partitioning scheme and executor count must produce the identical
+// skyline. This is the strongest single correctness statement the engine
+// makes — no physical-plan knob may change results.
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "datagen/datagen.h"
+#include "test_util.h"
+
+namespace sparkline {
+namespace {
+
+using ::sparkline::testing::Rows;
+using ::sparkline::testing::RowStrings;
+
+struct MatrixCase {
+  const char* dataset;  // complete | incomplete
+  size_t dims;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ConfigMatrix, AllConfigurationsAgree) {
+  const auto& param = GetParam();
+  const bool incomplete = std::string(param.dataset) == "incomplete";
+
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 400, param.dims, datagen::PointDistribution::kAntiCorrelated,
+      /*seed=*/1234, incomplete ? 0.2 : 0.0)));
+
+  std::vector<std::string> items;
+  for (size_t d = 0; d < param.dims; ++d) {
+    items.push_back(StrCat("d", d, d % 2 == 0 ? " MIN" : " MAX"));
+  }
+  const std::string query =
+      StrCat("SELECT * FROM pts SKYLINE OF ", JoinStrings(items, ", "));
+
+  std::vector<std::string> expected;
+  int combinations = 0;
+  const std::vector<const char*> strategies =
+      incomplete ? std::vector<const char*>{"auto", "incomplete"}
+                 : std::vector<const char*>{"auto", "distributed",
+                                            "non_distributed", "incomplete",
+                                            "reference"};
+  for (const char* strategy : strategies) {
+    for (const char* kernel : {"bnl", "sfs", "grid"}) {
+      for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
+        for (const char* executors : {"1", "3", "8"}) {
+          ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+          ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
+          ASSERT_OK(
+              session.SetConf("sparkline.skyline.partitioning", partitioning));
+          ASSERT_OK(session.SetConf("sparkline.executors", executors));
+          auto rows = RowStrings(Rows(&session, query));
+          if (expected.empty()) {
+            expected = rows;
+            ASSERT_FALSE(expected.empty());
+          } else {
+            ASSERT_EQ(expected, rows)
+                << "strategy=" << strategy << " kernel=" << kernel
+                << " partitioning=" << partitioning
+                << " executors=" << executors;
+          }
+          ++combinations;
+        }
+      }
+    }
+  }
+  EXPECT_GE(combinations, 2 * 3 * 3 * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigMatrix,
+                         ::testing::Values(MatrixCase{"complete", 2},
+                                           MatrixCase{"complete", 4},
+                                           MatrixCase{"incomplete", 3}));
+
+}  // namespace
+}  // namespace sparkline

@@ -1,0 +1,254 @@
+// Tests for the SQL lexer and parser, with emphasis on the skylineClause
+// grammar of paper Listing 5.
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace sparkline {
+namespace {
+
+LogicalPlanPtr Parse(const std::string& sql) {
+  auto r = ParseSql(sql);
+  SL_CHECK(r.ok()) << sql << " -> " << r.status().ToString();
+  return *r;
+}
+
+const SkylineNode* FindSkyline(const LogicalPlanPtr& plan) {
+  const SkylineNode* found = nullptr;
+  LogicalPlan::Foreach(plan, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kSkyline) {
+      found = static_cast<const SkylineNode*>(n.get());
+    }
+  });
+  return found;
+}
+
+TEST(LexerTest, TokenizesSymbolsAndKeywords) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a <= 1.5 AND b <> 'x'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().type, TokenType::kSelect);
+  EXPECT_EQ(tokens->back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, SoftKeywordsStayIdentifiers) {
+  auto tokens = Tokenize("min max diff complete");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kIdentifier);
+  }
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- everything\n1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, NumbersIntVsFloat) {
+  auto tokens = Tokenize("1 2.5 3e4 5.e? ");
+  // "5.e?" fails on '?'; check the error message points at the offset.
+  EXPECT_FALSE(tokens.ok());
+  auto ok = Tokenize("1 2.5 3e4");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*ok)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*ok)[2].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, HotelSkylineQuery) {
+  auto plan = Parse(
+      "SELECT price, user_rating FROM hotels "
+      "SKYLINE OF price MIN, user_rating MAX");
+  const SkylineNode* sky = FindSkyline(plan);
+  ASSERT_NE(sky, nullptr);
+  EXPECT_FALSE(sky->distinct());
+  EXPECT_FALSE(sky->complete());
+  ASSERT_EQ(sky->dimensions().size(), 2u);
+  const auto& d0 = static_cast<const SkylineDimension&>(*sky->dimensions()[0]);
+  const auto& d1 = static_cast<const SkylineDimension&>(*sky->dimensions()[1]);
+  EXPECT_EQ(d0.goal(), SkylineGoal::kMin);
+  EXPECT_EQ(d1.goal(), SkylineGoal::kMax);
+}
+
+TEST(ParserTest, SkylineDistinctCompleteFlags) {
+  auto plan = Parse("SELECT * FROM t SKYLINE OF DISTINCT COMPLETE a MIN");
+  const SkylineNode* sky = FindSkyline(plan);
+  ASSERT_NE(sky, nullptr);
+  EXPECT_TRUE(sky->distinct());
+  EXPECT_TRUE(sky->complete());
+}
+
+TEST(ParserTest, SkylineDiffDimension) {
+  auto plan = Parse("SELECT * FROM t SKYLINE OF a MIN, b DIFF");
+  const SkylineNode* sky = FindSkyline(plan);
+  ASSERT_NE(sky, nullptr);
+  const auto& d1 = static_cast<const SkylineDimension&>(*sky->dimensions()[1]);
+  EXPECT_EQ(d1.goal(), SkylineGoal::kDiff);
+}
+
+TEST(ParserTest, SkylinePositionAfterHavingBeforeOrderBy) {
+  auto plan = Parse(
+      "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 "
+      "SKYLINE OF a MIN ORDER BY a");
+  // Sort must be the root; the skyline below it; the HAVING filter below.
+  EXPECT_EQ(plan->kind(), PlanKind::kSort);
+  EXPECT_EQ(plan->children()[0]->kind(), PlanKind::kSkyline);
+  EXPECT_EQ(plan->children()[0]->children()[0]->kind(), PlanKind::kFilter);
+}
+
+TEST(ParserTest, MissingGoalFails) {
+  EXPECT_FALSE(ParseSql("SELECT * FROM t SKYLINE OF a").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t SKYLINE OF a ASCENDING").ok());
+}
+
+TEST(ParserTest, SkylineOfRequiresOf) {
+  EXPECT_FALSE(ParseSql("SELECT * FROM t SKYLINE a MIN").ok());
+}
+
+TEST(ParserTest, SelectStarAndQualifiedStar) {
+  auto plan = Parse("SELECT t.*, 1 one FROM x t");
+  EXPECT_EQ(plan->kind(), PlanKind::kProject);
+}
+
+TEST(ParserTest, WhereGroupHavingOrderLimit) {
+  auto plan = Parse(
+      "SELECT a, sum(b) AS total FROM t WHERE c > 0 GROUP BY a "
+      "HAVING sum(b) > 10 ORDER BY total DESC NULLS LAST LIMIT 5");
+  EXPECT_EQ(plan->kind(), PlanKind::kLimit);
+  EXPECT_EQ(plan->children()[0]->kind(), PlanKind::kSort);
+  const auto& sort = static_cast<const Sort&>(*plan->children()[0]);
+  EXPECT_FALSE(sort.orders()[0].ascending);
+  EXPECT_FALSE(sort.orders()[0].nulls_first);
+}
+
+TEST(ParserTest, JoinVariants) {
+  EXPECT_EQ(Parse("SELECT * FROM a JOIN b ON a.x = b.x")->children().size(),
+            1u);
+  auto left = Parse("SELECT * FROM a LEFT OUTER JOIN b USING (id)");
+  const Join* join = nullptr;
+  LogicalPlan::Foreach(left, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kJoin) join = static_cast<const Join*>(n.get());
+  });
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_type(), JoinType::kLeftOuter);
+  EXPECT_EQ(join->using_columns(), std::vector<std::string>{"id"});
+  Parse("SELECT * FROM a CROSS JOIN b");
+  EXPECT_FALSE(ParseSql("SELECT * FROM a JOIN b").ok());  // needs ON/USING
+}
+
+TEST(ParserTest, DerivedTableNeedsParens) {
+  auto plan = Parse("SELECT * FROM (SELECT a FROM t) AS sub WHERE a > 0");
+  bool has_alias = false;
+  LogicalPlan::Foreach(plan, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kSubqueryAlias) has_alias = true;
+  });
+  EXPECT_TRUE(has_alias);
+}
+
+TEST(ParserTest, NotExistsSubquery) {
+  auto plan = Parse(
+      "SELECT * FROM t o WHERE NOT EXISTS(SELECT * FROM t i WHERE i.a < o.a)");
+  const Filter* filter = nullptr;
+  LogicalPlan::Foreach(plan, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kFilter && filter == nullptr) {
+      filter = static_cast<const Filter*>(n.get());
+    }
+  });
+  ASSERT_NE(filter, nullptr);
+  ASSERT_EQ(filter->condition()->kind(), ExprKind::kExistsSubquery);
+  EXPECT_TRUE(
+      static_cast<const ExistsSubquery&>(*filter->condition()).negated());
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto plan = Parse("SELECT * FROM t WHERE a = (SELECT min(a) FROM t)");
+  const Filter* filter = nullptr;
+  LogicalPlan::Foreach(plan, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kFilter) {
+      filter = static_cast<const Filter*>(n.get());
+    }
+  });
+  ASSERT_NE(filter, nullptr);
+  bool has_scalar = false;
+  Expression::Foreach(filter->condition(), [&](const ExprPtr& e) {
+    if (e->kind() == ExprKind::kScalarSubquery) has_scalar = true;
+  });
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(ParserTest, AggregatesAndCountStar) {
+  auto plan = Parse("SELECT count(*), sum(a), avg(b), count(DISTINCT c) FROM t");
+  EXPECT_EQ(plan->kind(), PlanKind::kAggregate);
+  EXPECT_FALSE(ParseSql("SELECT sum(*) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT sum(a, b) FROM t").ok());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 < 10 AND NOT false OR true");
+  ASSERT_TRUE(e.ok());
+  // OR binds loosest.
+  ASSERT_EQ((*e)->kind(), ExprKind::kBinary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(**e).op(), BinaryOp::kOr);
+}
+
+TEST(ParserTest, NegativeNumbersFoldIntoLiterals) {
+  auto e = ParseExpression("-42");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ((*e)->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const Literal&>(**e).value().int64_value(), -42);
+}
+
+TEST(ParserTest, CastExpression) {
+  auto e = ParseExpression("CAST(a AS double)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), ExprKind::kCast);
+  EXPECT_FALSE(ParseExpression("CAST(a AS nosuchtype)").ok());
+}
+
+TEST(ParserTest, IsNullPredicates) {
+  auto e = ParseExpression("a IS NULL AND b IS NOT NULL");
+  ASSERT_TRUE(e.ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra tokens here").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("").ok());
+}
+
+TEST(ParserTest, SemicolonAccepted) {
+  Parse("SELECT a FROM t;");
+}
+
+TEST(ParserTest, FromlessSelect) {
+  auto plan = Parse("SELECT 1 + 1 AS two");
+  EXPECT_EQ(plan->kind(), PlanKind::kProject);
+  EXPECT_EQ(plan->children()[0]->kind(), PlanKind::kLocalRelation);
+}
+
+TEST(ParserTest, SkylineOverExpressionDimension) {
+  auto plan = Parse("SELECT * FROM t SKYLINE OF a + b MIN, abs(c) MAX");
+  const SkylineNode* sky = FindSkyline(plan);
+  ASSERT_NE(sky, nullptr);
+  EXPECT_EQ(sky->dimensions().size(), 2u);
+}
+
+TEST(ParserTest, DistinctSelect) {
+  auto plan = Parse("SELECT DISTINCT a FROM t");
+  EXPECT_EQ(plan->kind(), PlanKind::kDistinct);
+}
+
+}  // namespace
+}  // namespace sparkline

@@ -1,0 +1,216 @@
+// Tests for logical-plan infrastructure: outputs, tree printing, transforms,
+// MissingInput, expression rewrites, and plan cloning.
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+#include "plan/plan_clone.h"
+#include "test_util.h"
+
+namespace sparkline {
+namespace {
+
+TablePtr MakeTable() {
+  Schema s({Field{"a", DataType::Int64(), false},
+            Field{"b", DataType::Double(), true}});
+  return std::make_shared<Table>("t", s);
+}
+
+TEST(LogicalPlanTest, ScanMintsFreshIds) {
+  auto table = MakeTable();
+  auto s1 = Scan::Make(table);
+  auto s2 = Scan::Make(table);
+  EXPECT_NE(s1->output()[0].id, s2->output()[0].id);
+  EXPECT_EQ(s1->output()[0].name, "a");
+  EXPECT_FALSE(s1->output()[0].nullable);
+  EXPECT_TRUE(s1->output()[1].nullable);
+}
+
+TEST(LogicalPlanTest, SubqueryAliasQualifiesOutput) {
+  auto scan = Scan::Make(MakeTable());
+  auto aliased = SubqueryAlias::Make("x", scan);
+  EXPECT_EQ(aliased->output()[0].qualifier, "x");
+  // Ids survive aliasing (resolution binds by id, not by name).
+  EXPECT_EQ(aliased->output()[0].id, scan->output()[0].id);
+}
+
+TEST(LogicalPlanTest, ProjectOutputFromAliases) {
+  auto scan = Scan::Make(MakeTable());
+  auto a = scan->output()[0];
+  auto project = Project::Make(
+      {Alias::Make(BinaryExpr::Make(BinaryOp::kAdd, a.ToRef(),
+                                    Literal::Make(Value::Int64(1))),
+                   "a1"),
+       a.ToRef()},
+      scan);
+  auto out = project->output();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].name, "a1");
+  EXPECT_EQ(out[1].id, a.id);
+  EXPECT_TRUE(project->resolved());
+}
+
+TEST(LogicalPlanTest, JoinOutputNullability) {
+  auto left = Scan::Make(MakeTable());
+  auto right = Scan::Make(MakeTable());
+  auto inner = Join::Make(left, right, JoinType::kInner, nullptr);
+  EXPECT_EQ(inner->output().size(), 4u);
+  EXPECT_FALSE(inner->output()[2].nullable);  // right "a" stays non-null
+  auto outer = Join::Make(left, right, JoinType::kLeftOuter,
+                          BinaryExpr::Make(BinaryOp::kEq,
+                                           left->output()[0].ToRef(),
+                                           right->output()[0].ToRef()));
+  EXPECT_TRUE(outer->output()[2].nullable);  // null-extended side
+  auto anti = Join::Make(left, right, JoinType::kLeftAnti, nullptr);
+  EXPECT_EQ(anti->output().size(), 2u);  // left columns only
+}
+
+TEST(LogicalPlanTest, SkylineOutputEqualsChild) {
+  auto scan = Scan::Make(MakeTable());
+  auto dims = std::vector<ExprPtr>{
+      SkylineDimension::Make(scan->output()[0].ToRef(), SkylineGoal::kMin)};
+  auto sky = SkylineNode::Make(false, true, dims, scan);
+  EXPECT_EQ(sky->output().size(), scan->output().size());
+  EXPECT_EQ(sky->output()[0].id, scan->output()[0].id);
+  EXPECT_NE(sky->NodeString().find("COMPLETE"), std::string::npos);
+}
+
+TEST(LogicalPlanTest, TreeStringIndentsChildren) {
+  auto scan = Scan::Make(MakeTable());
+  auto filter = Filter::Make(
+      UnaryExpr::Make(UnaryOp::kIsNotNull, scan->output()[1].ToRef()), scan);
+  const std::string tree = filter->TreeString();
+  EXPECT_NE(tree.find("Filter"), std::string::npos);
+  EXPECT_NE(tree.find("\n  Scan"), std::string::npos);
+}
+
+TEST(LogicalPlanTest, MissingInputDetectsForeignRefs) {
+  auto scan = Scan::Make(MakeTable());
+  Attribute foreign{"zz", DataType::Int64(), false, NextExprId(), ""};
+  auto filter = Filter::Make(
+      BinaryExpr::Make(BinaryOp::kEq, foreign.ToRef(),
+                       Literal::Make(Value::Int64(1))),
+      scan);
+  auto missing = filter->MissingInput();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].id, foreign.id);
+  auto ok_filter = Filter::Make(
+      BinaryExpr::Make(BinaryOp::kEq, scan->output()[0].ToRef(),
+                       Literal::Make(Value::Int64(1))),
+      scan);
+  EXPECT_TRUE(ok_filter->MissingInput().empty());
+}
+
+TEST(LogicalPlanTest, TransformRebuildsOnlyChangedNodes) {
+  auto scan = Scan::Make(MakeTable());
+  auto filter = Filter::Make(
+      UnaryExpr::Make(UnaryOp::kIsNull, scan->output()[1].ToRef()), scan);
+  // Identity transform returns the same pointers.
+  auto same = LogicalPlan::Transform(
+      filter, [](const LogicalPlanPtr& n) { return n; });
+  EXPECT_EQ(same.get(), filter.get());
+  // A transform replacing the scan rebuilds the filter above it.
+  auto scan2 = Scan::Make(MakeTable());
+  auto replaced =
+      LogicalPlan::Transform(filter, [&](const LogicalPlanPtr& n) {
+        return n->kind() == PlanKind::kScan ? scan2 : n;
+      });
+  EXPECT_NE(replaced.get(), filter.get());
+  EXPECT_EQ(replaced->children()[0].get(), scan2.get());
+}
+
+TEST(LogicalPlanTest, TransformExpressionsReachesAllNodes) {
+  auto scan = Scan::Make(MakeTable());
+  auto filter = Filter::Make(
+      BinaryExpr::Make(BinaryOp::kLt, scan->output()[0].ToRef(),
+                       Literal::Make(Value::Int64(5))),
+      scan);
+  auto sort = Sort::Make({SortOrder{scan->output()[1].ToRef(), true, true}},
+                         filter);
+  int refs = 0;
+  LogicalPlan::TransformExpressions(sort, [&](const ExprPtr& e) {
+    if (e->kind() == ExprKind::kAttributeRef) ++refs;
+    return e;
+  });
+  EXPECT_EQ(refs, 2);  // one in the filter, one in the sort order
+}
+
+TEST(PlanCloneTest, SharesTableButNotIds) {
+  auto scan = Scan::Make(MakeTable());
+  std::map<ExprId, ExprId> ids;
+  auto clone = CloneWithFreshIds(scan, &ids);
+  ASSERT_TRUE(clone.ok());
+  const auto& cloned_scan = static_cast<const Scan&>(**clone);
+  EXPECT_EQ(cloned_scan.table().get(),
+            static_cast<const Scan&>(*scan).table().get());
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids.at(scan->output()[0].id), (*clone)->output()[0].id);
+}
+
+TEST(PlanCloneTest, RemapsThroughFiltersAndAliases) {
+  auto scan = Scan::Make(MakeTable());
+  auto a = scan->output()[0];
+  auto plan = Project::Make(
+      {Alias::Make(BinaryExpr::Make(BinaryOp::kMul, a.ToRef(),
+                                    Literal::Make(Value::Int64(2))),
+                   "a2")},
+      Filter::Make(BinaryExpr::Make(BinaryOp::kGt, a.ToRef(),
+                                    Literal::Make(Value::Int64(0))),
+                   scan));
+  std::map<ExprId, ExprId> ids;
+  auto clone = CloneWithFreshIds(plan, &ids);
+  ASSERT_TRUE(clone.ok());
+  EXPECT_TRUE((*clone)->resolved());
+  // Every attribute referenced inside the clone is produced by the clone.
+  std::set<ExprId> produced;
+  LogicalPlan::Foreach(*clone, [&](const LogicalPlanPtr& n) {
+    if (n->kind() == PlanKind::kScan) {
+      for (const auto& attr : n->output()) produced.insert(attr.id);
+    }
+  });
+  LogicalPlan::Foreach(*clone, [&](const LogicalPlanPtr& n) {
+    for (const auto& e : n->expressions()) {
+      for (const auto& attr : CollectAttributes(e)) {
+        EXPECT_TRUE(produced.count(attr.id) > 0)
+            << "dangling " << attr.ToString();
+      }
+    }
+  });
+  // The clone's output id differs from the original Alias id.
+  EXPECT_NE((*clone)->output()[0].id, plan->output()[0].id);
+}
+
+TEST(PlanCloneTest, RemapAttributeIdsLeavesUnknownIdsAlone) {
+  Attribute a{"a", DataType::Int64(), false, 1000, ""};
+  Attribute b{"b", DataType::Int64(), false, 2000, ""};
+  std::map<ExprId, ExprId> ids{{1000, 1}};
+  auto remapped = RemapAttributeIds(
+      BinaryExpr::Make(BinaryOp::kAdd, a.ToRef(), b.ToRef()), ids);
+  auto attrs = CollectAttributes(remapped);
+  EXPECT_EQ(attrs[0].id, 1);
+  EXPECT_EQ(attrs[1].id, 2000);
+}
+
+TEST(LogicalPlanTest, LocalRelationOutputAndRows) {
+  Schema s({Field{"x", DataType::Int64(), false}});
+  auto rel = LocalRelation::Make(s, {{Value::Int64(1)}, {Value::Int64(2)}});
+  EXPECT_EQ(rel->output().size(), 1u);
+  EXPECT_EQ(static_cast<const LocalRelation&>(*rel).rows()->size(), 2u);
+  EXPECT_NE(rel->NodeString().find("2 rows"), std::string::npos);
+}
+
+TEST(LogicalPlanTest, AggregateExpressionsRoundTrip) {
+  auto scan = Scan::Make(MakeTable());
+  auto a = scan->output()[0];
+  auto agg = Aggregate::Make(
+      {a.ToRef()},
+      {a.ToRef(), Alias::Make(AggregateExpr::Make(AggFn::kCount, a.ToRef()),
+                              "n")},
+      scan);
+  auto exprs = agg->expressions();
+  ASSERT_EQ(exprs.size(), 3u);  // 1 group + 2 outputs
+  auto rebuilt = agg->WithNewExpressions(exprs);
+  EXPECT_EQ(rebuilt->TreeString(), agg->TreeString());
+}
+
+}  // namespace
+}  // namespace sparkline

@@ -1,0 +1,131 @@
+// Tests for the type system (Value, DataType, Schema, rows).
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sparkline {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataType::Bool().ToString(), "BOOLEAN");
+  EXPECT_EQ(DataType::Int64().ToString(), "BIGINT");
+  EXPECT_EQ(DataType::Double().ToString(), "DOUBLE");
+  EXPECT_EQ(DataType::String().ToString(), "VARCHAR");
+}
+
+TEST(DataTypeTest, Comparability) {
+  EXPECT_TRUE(TypesComparable(DataType::Int64(), DataType::Double()));
+  EXPECT_TRUE(TypesComparable(DataType::String(), DataType::String()));
+  EXPECT_FALSE(TypesComparable(DataType::String(), DataType::Int64()));
+  EXPECT_EQ(CommonType(DataType::Int64(), DataType::Double()),
+            DataType::Double());
+  EXPECT_EQ(CommonType(DataType::Int64(), DataType::Int64()),
+            DataType::Int64());
+}
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  Value typed = Value::Null(DataType::String());
+  EXPECT_EQ(typed.type(), DataType::String());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int64(42).int64_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, NumericWideningEquality) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null(DataType::Double())));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null(DataType::String()).Hash());
+}
+
+TEST(ValueTest, CompareValues) {
+  EXPECT_LT(CompareValues(Value::Int64(1), Value::Int64(2)), 0);
+  EXPECT_GT(CompareValues(Value::Double(2.5), Value::Int64(2)), 0);
+  EXPECT_EQ(CompareValues(Value::String("a"), Value::String("a")), 0);
+  EXPECT_LT(CompareValues(Value::Bool(false), Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, CastNumeric) {
+  auto d = Value::Int64(3).CastTo(DataType::Double());
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->double_value(), 3.0);
+  auto i = Value::Double(2.6).CastTo(DataType::Int64());
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->int64_value(), 3);  // rounds
+}
+
+TEST(ValueTest, CastStringParses) {
+  auto i = Value::String("123").CastTo(DataType::Int64());
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->int64_value(), 123);
+  auto d = Value::String("1.5").CastTo(DataType::Double());
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->double_value(), 1.5);
+  EXPECT_FALSE(Value::String("abc").CastTo(DataType::Int64()).ok());
+}
+
+TEST(ValueTest, CastNullStaysNull) {
+  auto v = Value::Null().CastTo(DataType::String());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_EQ(v->type(), DataType::String());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Double(3.0).ToString(), "3");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(RowTest, RowToString) {
+  Row r{Value::Int64(1), Value::String("x"), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, 'x', NULL)");
+}
+
+TEST(RowTest, HashAndEq) {
+  RowHash h;
+  RowEq eq;
+  Row a{Value::Int64(1), Value::Double(2.0)};
+  Row b{Value::Int64(1), Value::Int64(2)};  // widening equality
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(h(a), h(b));
+  Row c{Value::Int64(1), Value::Null()};
+  Row d{Value::Int64(1), Value::Null(DataType::Double())};
+  EXPECT_TRUE(eq(c, d));  // SQL grouping: NULL == NULL
+  EXPECT_FALSE(eq(a, c));
+}
+
+TEST(RowTest, EstimateBytesGrowsWithStrings) {
+  Row small{Value::Int64(1)};
+  Row large{Value::String(std::string(1000, 'x'))};
+  EXPECT_GT(EstimateRowBytes(large), EstimateRowBytes(small));
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s({Field{"Id", DataType::Int64(), false},
+            Field{"price", DataType::Double(), true}});
+  EXPECT_EQ(s.IndexOf("id"), 0);
+  EXPECT_EQ(s.IndexOf("PRICE"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, ToStringShowsNullability) {
+  Schema s({Field{"id", DataType::Int64(), false}});
+  EXPECT_EQ(s.ToString(), "(id BIGINT NOT NULL)");
+}
+
+}  // namespace
+}  // namespace sparkline
