@@ -126,6 +126,14 @@ int main(int argc, char** argv) {
       "SELECT * FROM anti SKYLINE OF d0 MIN, d1 MIN, d2 MIN, d3 MIN";
 
   {
+    // Columnar dominance fast path (skyline/columnar.h) on vs. off.
+    Cell columnar = RunCell(&session, anti_sql, "distributed", 4, config);
+    SL_CHECK_OK(session.SetConf("sparkline.skyline.columnar", "false"));
+    Cell row = RunCell(&session, anti_sql, "distributed", 4, config);
+    SL_CHECK_OK(session.SetConf("sparkline.skyline.columnar", "true"));
+    Report("columnar dominance", columnar, row);
+  }
+  {
     Cell bnl = RunCell(&session, anti_sql, "distributed", 4, config);
     SL_CHECK_OK(session.SetConf("sparkline.skyline.kernel", "sfs"));
     Cell sfs = RunCell(&session, anti_sql, "distributed", 4, config);

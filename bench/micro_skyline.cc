@@ -3,10 +3,15 @@
 // (the paper's future-work presorting family), the all-pairs incomplete
 // algorithm, and null-bitmap partitioning — across the classic correlated /
 // independent / anti-correlated workloads.
+// The row-kernel vs. columnar-kernel ablation lives here too: every
+// BM_Columnar* benchmark has a row-oriented sibling over the same data, and
+// the dominance-test-throughput counters quantify the projection's payoff
+// (recorded in CHANGES.md).
 #include <benchmark/benchmark.h>
 
 #include "datagen/datagen.h"
 #include "skyline/algorithms.h"
+#include "skyline/columnar.h"
 
 namespace sparkline {
 namespace {
@@ -64,15 +69,83 @@ void BM_DominanceTestIncomplete(benchmark::State& state) {
 }
 BENCHMARK(BM_DominanceTestIncomplete)->Arg(2)->Arg(6);
 
+void BM_ColumnarDominanceTest(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  auto rows = MakeRows(2, dims, PointDistribution::kIndependent);
+  auto bound = MinDims(dims);
+  auto matrix = skyline::DominanceMatrix::TryBuild(rows, bound);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matrix->Compare(0, 1, skyline::NullSemantics::kComplete));
+  }
+}
+BENCHMARK(BM_ColumnarDominanceTest)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+/// The six store_sales skyline dimensions of paper Table 2 (ordinals into
+/// the generated table's rows).
+std::vector<skyline::BoundDimension> StoreSalesDims() {
+  return {{2, SkylineGoal::kMax}, {3, SkylineGoal::kMin},
+          {4, SkylineGoal::kMin}, {5, SkylineGoal::kMin},
+          {6, SkylineGoal::kMax}, {7, SkylineGoal::kMin}};
+}
+
+std::vector<Row> MakeStoreSales(size_t n) {
+  datagen::StoreSalesOptions opts;
+  opts.num_rows = n;
+  auto table = datagen::GenerateStoreSales(opts);
+  return table->rows();
+}
+
+/// Reports dominance tests per second — "the main cost factor of skyline
+/// computation" (paper section 2) — alongside wall time.
+void SetThroughput(benchmark::State& state, const skyline::DominanceCounter& c,
+                   int64_t rows) {
+  state.counters["dom_tests/s"] = benchmark::Counter(
+      static_cast<double>(c.tests.load()), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+
+void BM_RowBnlStoreSales(benchmark::State& state) {
+  auto rows = MakeStoreSales(static_cast<size_t>(state.range(0)));
+  auto dims = StoreSalesDims();
+  skyline::DominanceCounter counter;
+  skyline::SkylineOptions opts;
+  opts.counter = &counter;
+  for (auto _ : state) {
+    auto result = skyline::BlockNestedLoop(rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  SetThroughput(state, counter, state.range(0));
+}
+BENCHMARK(BM_RowBnlStoreSales)->Arg(5000)->Arg(20000);
+
+void BM_ColumnarBnlStoreSales(benchmark::State& state) {
+  auto rows = MakeStoreSales(static_cast<size_t>(state.range(0)));
+  auto dims = StoreSalesDims();
+  skyline::DominanceCounter counter;
+  skyline::SkylineOptions opts;
+  opts.counter = &counter;
+  for (auto _ : state) {
+    auto result = skyline::ColumnarSkyline(
+        skyline::ColumnarKernel::kBlockNestedLoop, rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  SetThroughput(state, counter, state.range(0));
+}
+BENCHMARK(BM_ColumnarBnlStoreSales)->Arg(5000)->Arg(20000);
+
 void BM_BlockNestedLoop(benchmark::State& state) {
   auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
                        DistFromArg(state.range(1)));
   auto dims = MinDims(4);
+  skyline::DominanceCounter counter;
+  skyline::SkylineOptions opts;
+  opts.counter = &counter;
   for (auto _ : state) {
-    auto result = skyline::BlockNestedLoop(rows, dims, {});
+    auto result = skyline::BlockNestedLoop(rows, dims, opts);
     benchmark::DoNotOptimize(result);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  SetThroughput(state, counter, state.range(0));
 }
 BENCHMARK(BM_BlockNestedLoop)
     ->Args({2000, 0})
@@ -80,6 +153,41 @@ BENCHMARK(BM_BlockNestedLoop)
     ->Args({2000, 2})
     ->Args({10000, 0})
     ->Args({10000, 1});
+
+void BM_ColumnarBlockNestedLoop(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       DistFromArg(state.range(1)));
+  auto dims = MinDims(4);
+  skyline::DominanceCounter counter;
+  skyline::SkylineOptions opts;
+  opts.counter = &counter;
+  for (auto _ : state) {
+    auto result = skyline::ColumnarSkyline(
+        skyline::ColumnarKernel::kBlockNestedLoop, rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  SetThroughput(state, counter, state.range(0));
+}
+BENCHMARK(BM_ColumnarBlockNestedLoop)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+void BM_ColumnarAllPairsIncomplete(benchmark::State& state) {
+  auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,
+                       PointDistribution::kIndependent, 0.25);
+  auto dims = MinDims(4);
+  skyline::SkylineOptions opts;
+  opts.nulls = skyline::NullSemantics::kIncomplete;
+  for (auto _ : state) {
+    auto result = skyline::ColumnarAllPairsSkyline(rows, dims, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnarAllPairsIncomplete)->Arg(500)->Arg(1000)->Arg(2000);
 
 void BM_SortFilterSkyline(benchmark::State& state) {
   auto rows = MakeRows(static_cast<size_t>(state.range(0)), 4,

@@ -79,6 +79,10 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     return Status::Invalid(
         StrCat("unknown skyline kernel '", value, "' (bnl | sfs | grid)"));
   }
+  if (k == "sparkline.skyline.columnar") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_columnar, ParseBool(value));
+    return Status::OK();
+  }
   if (k == "sparkline.skyline.partitioning") {
     SL_ASSIGN_OR_RETURN(config_.skyline_partitioning,
                         ParseSkylinePartitioning(value));
@@ -148,6 +152,7 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   opts.cluster = config_.cluster;
   opts.skyline_strategy = config_.skyline_strategy;
   opts.skyline_kernel = config_.skyline_kernel;
+  opts.skyline_columnar = config_.skyline_columnar;
   opts.skyline_partitioning = config_.skyline_partitioning;
   opts.non_distributed_threshold = config_.non_distributed_threshold;
   PhysicalPlanner planner(opts);

@@ -14,6 +14,7 @@
 //   sparkline.timeout_ms                    per-query timeout (0 = none)
 //   sparkline.memory.executorOverheadMb     simulated per-executor footprint
 //   sparkline.skyline.kernel                bnl | sfs | grid
+//   sparkline.skyline.columnar              bool, columnar dominance fast path
 //   sparkline.skyline.partitioning          asis | roundrobin | angle
 //   sparkline.skyline.nonDistributedThreshold  rows; 0 disables (section 7)
 //   sparkline.optimizer.singleDimRewrite    bool
@@ -47,6 +48,10 @@ struct SessionConfig {
   /// pruning (Tang et al., paper section 2). Key:
   /// sparkline.skyline.kernel = bnl | sfs | grid.
   SkylineKernel skyline_kernel = SkylineKernel::kBlockNestedLoop;
+  /// Columnar dominance fast path (structure-of-arrays projection +
+  /// index-based kernels; see skyline/columnar.h). Results are identical
+  /// with the toggle on or off. Key: sparkline.skyline.columnar = bool.
+  bool skyline_columnar = true;
   /// Local-stage partitioning for complete data. Key:
   /// sparkline.skyline.partitioning = asis | roundrobin | angle.
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;

@@ -29,6 +29,12 @@ std::string PhysicalPlan::TreeString() const {
 
 Status PhysicalPlan::RunStage(ExecContext* ctx, size_t num_partitions,
                               const std::function<Status(size_t)>& fn) const {
+  return RunStage(ctx, label(), num_partitions, fn);
+}
+
+Status PhysicalPlan::RunStage(ExecContext* ctx, const std::string& stage_label,
+                              size_t num_partitions,
+                              const std::function<Status(size_t)>& fn) const {
   if (num_partitions == 0) return Status::OK();
   std::vector<Status> statuses(num_partitions);
   std::vector<double> cpu_ms(num_partitions, 0.0);
@@ -38,7 +44,8 @@ Status PhysicalPlan::RunStage(ExecContext* ctx, size_t num_partitions,
     cpu_ms[i] = static_cast<double>(timer.ElapsedNanos()) / 1e6;
   });
   // Critical-path model: the stage takes as long as its slowest task.
-  ctx->AddStageTime(label(), *std::max_element(cpu_ms.begin(), cpu_ms.end()));
+  ctx->AddStageTime(stage_label,
+                    *std::max_element(cpu_ms.begin(), cpu_ms.end()));
   for (const auto& s : statuses) SL_RETURN_NOT_OK(s);
   return ctx->CheckTimeout();
 }

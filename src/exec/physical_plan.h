@@ -62,6 +62,14 @@ class PhysicalPlan {
   Status RunStage(ExecContext* ctx, size_t num_partitions,
                   const std::function<Status(size_t)>& fn) const;
 
+  /// Same, but records the critical path under an explicit stage label —
+  /// for operators that run more than one stage (e.g. the parallel global
+  /// skyline's partial + merge passes) and want them separately visible in
+  /// QueryMetrics::operator_ms.
+  Status RunStage(ExecContext* ctx, const std::string& stage_label,
+                  size_t num_partitions,
+                  const std::function<Status(size_t)>& fn) const;
+
   /// Standard memory-model bookkeeping: output materialized, input released.
   void AccountMemory(ExecContext* ctx, const PartitionedRelation& in,
                      const PartitionedRelation& out) const;
@@ -290,7 +298,8 @@ class LocalSkylineExec : public PhysicalPlan {
  public:
   LocalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                    skyline::NullSemantics nulls, PhysicalPlanPtr child,
-                   SkylineKernel kernel = SkylineKernel::kBlockNestedLoop);
+                   SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
+                   bool columnar = true);
   std::string label() const override;
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -299,15 +308,25 @@ class LocalSkylineExec : public PhysicalPlan {
   bool distinct_;
   skyline::NullSemantics nulls_;
   SkylineKernel kernel_;
+  bool columnar_;
 };
 
-/// \brief Global skyline for complete data: BNL over the single gathered
+/// \brief Global skyline for complete data over the single gathered
 /// partition (requires AllTuples distribution).
+///
+/// With more than one executor the gathered input is split into
+/// executor-count chunks whose skylines are computed concurrently (a
+/// partial-skyline round, as in Ciaccia & Martinenghi's parallel skyline
+/// optimization), followed by a single-task BNL merge of the partial
+/// windows — removing the paper's single-task global bottleneck while
+/// keeping the critical-path time model intact. The two stages are
+/// recorded under "<label> [partial]" / "<label> [merge]".
 class GlobalSkylineExec : public PhysicalPlan {
  public:
   GlobalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                     PhysicalPlanPtr child,
-                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop);
+                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
+                    bool columnar = true);
   std::string label() const override { return "GlobalSkyline [complete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -315,6 +334,7 @@ class GlobalSkylineExec : public PhysicalPlan {
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
   SkylineKernel kernel_;
+  bool columnar_;
 };
 
 /// \brief Global skyline for incomplete data: all-pairs with deferred
@@ -322,13 +342,15 @@ class GlobalSkylineExec : public PhysicalPlan {
 class GlobalSkylineIncompleteExec : public PhysicalPlan {
  public:
   GlobalSkylineIncompleteExec(std::vector<skyline::BoundDimension> dims,
-                              bool distinct, PhysicalPlanPtr child);
+                              bool distinct, PhysicalPlanPtr child,
+                              bool columnar = true);
   std::string label() const override { return "GlobalSkyline [incomplete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
+  bool columnar_;
 };
 
 }  // namespace sparkline

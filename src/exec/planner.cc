@@ -496,16 +496,17 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
       }
       PhysicalPlanPtr local = std::make_shared<LocalSkylineExec>(
           dims, sky.distinct(), skyline::NullSemantics::kComplete,
-          std::move(local_input), options_.skyline_kernel);
+          std::move(local_input), options_.skyline_kernel,
+          options_.skyline_columnar);
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
-          options_.skyline_kernel);
+          options_.skyline_kernel, options_.skyline_columnar);
       break;
     }
     case SkylineStrategy::kNonDistributedComplete: {
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(input)),
-          options_.skyline_kernel);
+          options_.skyline_kernel, options_.skyline_columnar);
       break;
     }
     case SkylineStrategy::kDistributedIncomplete: {
@@ -515,9 +516,11 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
           ExchangeMode::kNullBitmapHash, dims, std::move(input));
       PhysicalPlanPtr local = std::make_shared<LocalSkylineExec>(
           dims, sky.distinct(), skyline::NullSemantics::kIncomplete,
-          std::move(exchange));
+          std::move(exchange), SkylineKernel::kBlockNestedLoop,
+          options_.skyline_columnar);
       result = std::make_shared<GlobalSkylineIncompleteExec>(
-          dims, sky.distinct(), EnsureSinglePartition(std::move(local)));
+          dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
+          options_.skyline_columnar);
       break;
     }
     case SkylineStrategy::kAuto:

@@ -46,6 +46,11 @@ struct PlannerOptions {
   /// Kernel used by the skyline operators (paper future work: presorting).
   SkylineKernel skyline_kernel = SkylineKernel::kBlockNestedLoop;
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;
+  /// Columnar dominance fast path (skyline/columnar.h): project each
+  /// partition once into structure-of-arrays form and run index-based
+  /// kernels. Falls back to the row kernels per partition when the shape is
+  /// unsupported; results are identical either way.
+  bool skyline_columnar = true;
   /// Lightweight cost-based selection (paper section 7): below this
   /// estimated input cardinality the planner skips the distributed local
   /// stage, because the global stage dominates anyway. 0 disables.

@@ -9,16 +9,54 @@
 //   distributed incomplete: Exchange[NullBitmapHash] -> LocalSkylineExec
 //                           -> Exchange[AllTuples]
 //                           -> GlobalSkylineIncompleteExec
+//
+// Dominance tests run through the columnar fast path by default: each
+// partition is projected once into a DominanceMatrix (skyline/columnar.h)
+// and the index-based kernels run over it, materializing rows only for the
+// survivors. Unsupported shapes (and sparkline.skyline.columnar = false)
+// take the original row-oriented kernels.
+#include <algorithm>
+#include <iterator>
+
 #include "common/string_util.h"
 #include "exec/physical_plan.h"
+#include "skyline/columnar.h"
 
 namespace sparkline {
 
 namespace {
+
+skyline::ColumnarKernel ToColumnarKernel(SkylineKernel kernel) {
+  switch (kernel) {
+    case SkylineKernel::kSortFilterSkyline:
+      return skyline::ColumnarKernel::kSortFilterSkyline;
+    case SkylineKernel::kGridFilter:
+      return skyline::ColumnarKernel::kGridFilter;
+    case SkylineKernel::kBlockNestedLoop:
+      break;
+  }
+  return skyline::ColumnarKernel::kBlockNestedLoop;
+}
+
+/// Runs one partition through the configured kernel. Complete semantics
+/// dispatch the kernel directly; incomplete semantics compute one BNL per
+/// bitmap-uniform group (the local-stage contract of paper section 5.7 —
+/// the exchange routes equal bitmaps together, but distinct bitmaps may
+/// share an executor, so sub-grouping here stays necessary).
 Result<std::vector<Row>> RunKernel(SkylineKernel kernel,
                                    const std::vector<Row>& rows,
                                    const std::vector<skyline::BoundDimension>& dims,
-                                   const skyline::SkylineOptions& options) {
+                                   const skyline::SkylineOptions& options,
+                                   bool columnar) {
+  if (columnar) {
+    // ColumnarSkyline handles both semantics and falls back to the row
+    // kernels internally when the shape is unsupported.
+    return skyline::ColumnarSkyline(ToColumnarKernel(kernel), rows, dims,
+                                    options);
+  }
+  if (options.nulls == skyline::NullSemantics::kIncomplete) {
+    return skyline::BitmapGroupedBnl(rows, dims, options);
+  }
   if (kernel == SkylineKernel::kSortFilterSkyline) {
     return skyline::SortFilterSkyline(rows, dims, options);
   }
@@ -27,16 +65,19 @@ Result<std::vector<Row>> RunKernel(SkylineKernel kernel,
   }
   return skyline::BlockNestedLoop(rows, dims, options);
 }
+
 }  // namespace
 
 LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                    bool distinct, skyline::NullSemantics nulls,
-                                   PhysicalPlanPtr child, SkylineKernel kernel)
+                                   PhysicalPlanPtr child, SkylineKernel kernel,
+                                   bool columnar)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       nulls_(nulls),
-      kernel_(kernel) {}
+      kernel_(kernel),
+      columnar_(columnar) {}
 
 std::string LocalSkylineExec::label() const {
   return StrCat("LocalSkyline [",
@@ -61,21 +102,9 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   out.attrs = output_;
   out.partitions.assign(in.partitions.size(), {});
   SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
-    if (nulls_ == skyline::NullSemantics::kComplete) {
-      SL_ASSIGN_OR_RETURN(out.partitions[i],
-                          RunKernel(kernel_, in.partitions[i], dims_, options));
-      return Status::OK();
-    }
-    // Incomplete data: the exchange routes equal bitmaps to the same
-    // executor, but distinct bitmaps may share one (hash collisions when
-    // there are more bitmaps than executors). BNL is only sound within a
-    // bitmap-uniform group (paper section 5.7), so sub-group here.
-    for (auto& group :
-         skyline::PartitionByNullBitmap(in.partitions[i], dims_)) {
-      SL_ASSIGN_OR_RETURN(std::vector<Row> local,
-                          skyline::BlockNestedLoop(group, dims_, options));
-      for (auto& r : local) out.partitions[i].push_back(std::move(r));
-    }
+    SL_ASSIGN_OR_RETURN(
+        out.partitions[i],
+        RunKernel(kernel_, in.partitions[i], dims_, options, columnar_));
     return Status::OK();
   }));
   AccountMemory(ctx, in, out);
@@ -84,20 +113,22 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
 
 GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                      bool distinct, PhysicalPlanPtr child,
-                                     SkylineKernel kernel)
+                                     SkylineKernel kernel, bool columnar)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
-      kernel_(kernel) {}
+      kernel_(kernel),
+      columnar_(columnar) {}
 
 Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
   // AllTuples distribution: everything on one executor.
   std::vector<Row> rows = std::move(in).Flatten();
-  ctx->memory()->Grow(
+  const int64_t input_bytes =
       rows.empty() ? 0
                    : EstimateRowBytes(rows.front()) *
-                         static_cast<int64_t>(rows.size()));
+                         static_cast<int64_t>(rows.size());
+  ctx->memory()->Grow(input_bytes);
 
   skyline::SkylineOptions options;
   options.distinct = distinct_;
@@ -108,24 +139,71 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.emplace_back();
-  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
-    SL_ASSIGN_OR_RETURN(out.partitions[0],
-                        RunKernel(kernel_, rows, dims_, options));
-    return Status::OK();
-  }));
-  ctx->memory()->Shrink(
-      rows.empty() ? 0
-                   : EstimateRowBytes(rows.front()) *
-                         static_cast<int64_t>(rows.size()));
+
+  const size_t num_executors =
+      static_cast<size_t>(std::max(1, ctx->config().num_executors));
+  if (num_executors <= 1 || rows.size() < 2) {
+    // Single executor: the classic single-task global pass.
+    SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+      SL_ASSIGN_OR_RETURN(out.partitions[0],
+                          RunKernel(kernel_, rows, dims_, options, columnar_));
+      return Status::OK();
+    }));
+    ctx->memory()->Shrink(input_bytes);
+    return out;
+  }
+
+  // Parallel partial-merge global skyline: split the gathered rows into
+  // executor-count chunks, compute chunk skylines concurrently, then merge
+  // the partial windows in one BNL pass. Correct because complete dominance
+  // is transitive: a tuple dominated in its chunk is also dominated in the
+  // full input, so chunk pruning never removes a global skyline point.
+  const size_t chunks = std::min(num_executors, rows.size());
+  // Balanced split: sizes differ by at most one, so no executor idles and
+  // the partial stage's critical path is as short as the split allows.
+  const size_t base = rows.size() / chunks;
+  const size_t extra = rows.size() % chunks;
+  std::vector<std::vector<Row>> chunk_rows(chunks);
+  size_t begin = 0;
+  for (size_t i = 0; i < chunks; ++i) {
+    const size_t end = begin + base + (i < extra ? 1 : 0);
+    chunk_rows[i].assign(std::make_move_iterator(rows.begin() + begin),
+                         std::make_move_iterator(rows.begin() + end));
+    begin = end;
+  }
+  rows.clear();
+
+  std::vector<std::vector<Row>> partials(chunks);
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [partial]"), chunks, [&](size_t i) -> Status {
+        SL_ASSIGN_OR_RETURN(
+            partials[i],
+            RunKernel(kernel_, chunk_rows[i], dims_, options, columnar_));
+        return Status::OK();
+      }));
+
+  std::vector<Row> merge_input;
+  for (auto& p : partials) {
+    for (auto& r : p) merge_input.push_back(std::move(r));
+  }
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [merge]"), 1, [&](size_t) -> Status {
+        SL_ASSIGN_OR_RETURN(out.partitions[0],
+                            RunKernel(SkylineKernel::kBlockNestedLoop,
+                                      merge_input, dims_, options, columnar_));
+        return Status::OK();
+      }));
+  ctx->memory()->Shrink(input_bytes);
   return out;
 }
 
 GlobalSkylineIncompleteExec::GlobalSkylineIncompleteExec(
     std::vector<skyline::BoundDimension> dims, bool distinct,
-    PhysicalPlanPtr child)
+    PhysicalPlanPtr child, bool columnar)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
-      distinct_(distinct) {}
+      distinct_(distinct),
+      columnar_(columnar) {}
 
 Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
     ExecContext* ctx) const {
@@ -142,8 +220,13 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
   out.attrs = output_;
   out.partitions.emplace_back();
   SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
-    SL_ASSIGN_OR_RETURN(out.partitions[0],
-                        skyline::AllPairsIncomplete(rows, dims_, options));
+    if (columnar_) {
+      SL_ASSIGN_OR_RETURN(out.partitions[0],
+                          skyline::ColumnarAllPairsSkyline(rows, dims_, options));
+    } else {
+      SL_ASSIGN_OR_RETURN(out.partitions[0],
+                          skyline::AllPairsIncomplete(rows, dims_, options));
+    }
     return Status::OK();
   }));
   return out;

@@ -4,44 +4,18 @@
 #include <cmath>
 #include <map>
 
-#include "common/timer.h"
+#include "skyline/kernel_common.h"
 
 namespace sparkline {
 namespace skyline {
 
-namespace {
-
-/// Checks the deadline every few thousand dominance tests.
-class DeadlineChecker {
- public:
-  explicit DeadlineChecker(int64_t deadline_nanos)
-      : deadline_(deadline_nanos) {}
-
-  Status Check() {
-    if (deadline_ == 0) return Status::OK();
-    if ((++ticks_ & 0x3ff) != 0) return Status::OK();
-    if (StopWatch::NowNanos() > deadline_) {
-      return Status::Timeout("skyline computation exceeded the deadline");
-    }
-    return Status::OK();
-  }
-
- private:
-  int64_t deadline_;
-  uint64_t ticks_ = 0;
-};
-
-void CountTest(const SkylineOptions& options) {
-  if (options.counter != nullptr) {
-    options.counter->tests.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-}  // namespace
+using internal::CountTest;
+using internal::DeadlineChecker;
 
 Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
                                          const std::vector<BoundDimension>& dims,
                                          const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   std::vector<Row> window;
   DeadlineChecker deadline(options.deadline_nanos);
   for (const Row& tuple : input) {
@@ -75,6 +49,7 @@ Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
 Result<std::vector<Row>> AllPairsIncomplete(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   const size_t n = input.size();
   std::vector<char> dominated(n, 0);
   std::vector<uint32_t> bitmaps(n);
@@ -119,6 +94,7 @@ Result<std::vector<Row>> AllPairsIncomplete(
 Result<std::vector<Row>> SortFilterSkyline(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   if (options.nulls != NullSemantics::kComplete) {
     return BlockNestedLoop(input, dims, options);
   }
@@ -169,8 +145,13 @@ Result<std::vector<Row>> SortFilterSkyline(
 Result<std::vector<Row>> GridFilterSkyline(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   const size_t n = input.size();
-  if (options.nulls != NullSemantics::kComplete || n < 64) {
+  // Cell keys pack 4 bits per dimension into a uint64_t; beyond 16
+  // dimensions `key = (key << 4) | bucket` would silently wrap, merging
+  // unrelated cells and wrongly eliminating tuples — fall back to BNL.
+  if (options.nulls != NullSemantics::kComplete || n < 64 ||
+      dims.size() > 16) {
     return BlockNestedLoop(input, dims, options);
   }
   for (const auto& d : dims) {
@@ -339,9 +320,22 @@ std::vector<std::vector<Row>> PartitionByNullBitmap(
   return out;
 }
 
+Result<std::vector<Row>> BitmapGroupedBnl(const std::vector<Row>& input,
+                                          const std::vector<BoundDimension>& dims,
+                                          const SkylineOptions& options) {
+  std::vector<Row> out;
+  for (auto& group : PartitionByNullBitmap(input, dims)) {
+    SL_ASSIGN_OR_RETURN(std::vector<Row> local,
+                        BlockNestedLoop(group, dims, options));
+    for (auto& r : local) out.push_back(std::move(r));
+  }
+  return out;
+}
+
 Result<std::vector<Row>> ComputeSkyline(const std::vector<Row>& input,
                                         const std::vector<BoundDimension>& dims,
                                         const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   if (options.nulls == NullSemantics::kComplete) {
     return BlockNestedLoop(input, dims, options);
   }

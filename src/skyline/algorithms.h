@@ -86,6 +86,14 @@ std::vector<Row> BruteForceSkyline(const std::vector<Row>& input,
 std::vector<std::vector<Row>> PartitionByNullBitmap(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims);
 
+/// \brief The incomplete local-stage contract (paper section 5.7): BNL is
+/// only sound within a bitmap-uniform group, so partition by null bitmap,
+/// run one BNL per group, and concatenate (in ascending bitmap order).
+/// Shared by the row and columnar execution paths.
+Result<std::vector<Row>> BitmapGroupedBnl(const std::vector<Row>& input,
+                                          const std::vector<BoundDimension>& dims,
+                                          const SkylineOptions& options);
+
 /// \brief End-to-end convenience: partitions by null bitmap, computes local
 /// skylines with BNL, then the global skyline with AllPairsIncomplete (or
 /// plain BNL when `options.nulls` is kComplete). This is the same pipeline

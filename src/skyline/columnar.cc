@@ -1,0 +1,430 @@
+#include "skyline/columnar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "skyline/kernel_common.h"
+
+namespace sparkline {
+namespace skyline {
+
+namespace {
+
+using internal::BatchedCounter;
+using internal::DeadlineChecker;
+
+/// Largest BIGINT magnitude exactly representable as double; larger values
+/// could flip a comparison after projection, so TryBuild refuses them.
+constexpr int64_t kMaxExactInt = int64_t{1} << 53;
+
+}  // namespace
+
+std::optional<DominanceMatrix> DominanceMatrix::TryBuild(
+    const std::vector<Row>& rows, const std::vector<BoundDimension>& dims) {
+  if (dims.empty() || dims.size() > kMaxDims) return std::nullopt;
+
+  DominanceMatrix m;
+  m.n_ = rows.size();
+  m.d_ = dims.size();
+  m.keys_.assign(m.n_ * m.d_, 0.0);
+  m.numeric_minmax_ = true;
+
+  bool any_null = false;
+  std::vector<uint32_t> nulls(m.n_, 0);
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const BoundDimension& dim = dims[d];
+    const bool is_diff = dim.goal == SkylineGoal::kDiff;
+    if (is_diff) m.diff_mask_ |= (1u << d);
+    const double sign = dim.goal == SkylineGoal::kMax ? -1.0 : 1.0;
+
+    // Dictionary for VARCHAR DIFF dimensions; codes only need to preserve
+    // equality, so insertion order is fine.
+    std::unordered_map<std::string, double> dictionary;
+
+    bool dim_numeric = !is_diff;
+    for (size_t r = 0; r < m.n_; ++r) {
+      double& slot = m.keys_[r * m.d_ + d];
+      const Value& v = rows[r][dim.ordinal];
+      if (v.is_null()) {
+        nulls[r] |= (1u << d);
+        any_null = true;
+        continue;
+      }
+      double key;
+      switch (v.type().id()) {
+        case TypeId::kBool:
+          key = v.bool_value() ? 1.0 : 0.0;
+          dim_numeric = false;  // row SFS/grid treat BOOLEAN as non-numeric
+          break;
+        case TypeId::kInt64: {
+          const int64_t i = v.int64_value();
+          if (i > kMaxExactInt || i < -kMaxExactInt) return std::nullopt;
+          key = static_cast<double>(i);
+          break;
+        }
+        case TypeId::kDouble:
+          key = v.double_value();
+          if (std::isnan(key)) return std::nullopt;
+          break;
+        case TypeId::kString: {
+          if (!is_diff) return std::nullopt;  // MIN/MAX over VARCHAR
+          auto [it, inserted] = dictionary.emplace(
+              v.string_value(), static_cast<double>(dictionary.size()));
+          slot = it->second;
+          continue;
+        }
+        default:
+          return std::nullopt;
+      }
+      slot = is_diff ? key : sign * key;
+    }
+    m.numeric_minmax_ = m.numeric_minmax_ && dim_numeric;
+  }
+  if (any_null) m.nulls_ = std::move(nulls);
+  return m;
+}
+
+std::vector<uint32_t> AllIndices(const DominanceMatrix& matrix) {
+  std::vector<uint32_t> idx(matrix.num_rows());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  const size_t d = matrix.num_dims();
+  const uint32_t diff_mask = matrix.diff_mask();
+  const bool incomplete = options.nulls == NullSemantics::kIncomplete;
+  const bool branchless = !incomplete && diff_mask == 0;
+
+  // The window is the structure every incoming tuple scans, so its keys are
+  // kept in a dense local buffer (window_keys[i*d .. i*d+d)) — the scan
+  // reads memory sequentially instead of hopping through the matrix by
+  // survivor index.
+  std::vector<uint32_t> window;
+  std::vector<double> window_keys;
+  std::vector<uint32_t> window_nulls;
+
+  DeadlineChecker deadline(options.deadline_nanos);
+  BatchedCounter tests(options);
+  for (const uint32_t tuple : input) {
+    const double* keys = matrix.row_keys(tuple);
+    const uint32_t nulls = matrix.null_bitmap(tuple);
+    bool eliminated = false;
+    size_t i = 0;
+    while (i < window.size()) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      tests.Tick();
+      const double* wkeys = window_keys.data() + i * d;
+      const Dominance dom =
+          branchless ? CompareKeySpansComplete(keys, wkeys, d)
+                     : CompareKeySpans(keys, wkeys, d, diff_mask,
+                                       incomplete ? (nulls | window_nulls[i])
+                                                  : 0);
+      if (dom == Dominance::kRightDominates ||
+          (dom == Dominance::kEqual && options.distinct)) {
+        // The newcomer is dominated (or a duplicate under DISTINCT); by
+        // transitivity it cannot dominate anything else in the window.
+        eliminated = true;
+        break;
+      }
+      if (dom == Dominance::kLeftDominates) {
+        // Swap-erase the dominated window tuple, keys included.
+        window[i] = window.back();
+        window.pop_back();
+        window_nulls[i] = window_nulls.back();
+        window_nulls.pop_back();
+        std::copy_n(window_keys.end() - d, d, window_keys.begin() + i * d);
+        window_keys.resize(window_keys.size() - d);
+        continue;  // re-examine the swapped-in element at index i
+      }
+      ++i;
+    }
+    if (!eliminated) {
+      window.push_back(tuple);
+      window_nulls.push_back(nulls);
+      window_keys.insert(window_keys.end(), keys, keys + d);
+    }
+  }
+  return window;
+}
+
+Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  if (options.nulls != NullSemantics::kComplete ||
+      !matrix.all_numeric_minmax()) {
+    return ColumnarBlockNestedLoop(matrix, input, options);
+  }
+  // Monotone score over the negated-for-MAX keys: if a dominates b then
+  // score(a) < score(b) strictly, so after sorting the window only grows.
+  std::vector<double> scores(input.size());
+  for (size_t i = 0; i < input.size(); ++i) scores[i] = matrix.Score(input[i]);
+  std::vector<uint32_t> order(input.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return scores[a] < scores[b]; });
+
+  // Presorting guarantees no later tuple dominates an earlier one, so the
+  // window only grows — an append-only dense key buffer scanned
+  // sequentially per incoming tuple.
+  const size_t d = matrix.num_dims();
+  std::vector<uint32_t> window;
+  std::vector<double> window_keys;
+  DeadlineChecker deadline(options.deadline_nanos);
+  BatchedCounter tests(options);
+  for (const uint32_t pos : order) {
+    const uint32_t tuple = input[pos];
+    const double* keys = matrix.row_keys(tuple);
+    bool eliminated = false;
+    for (size_t i = 0; i < window.size(); ++i) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      tests.Tick();
+      // SFS runs only on complete numeric MIN/MAX inputs, so the
+      // branchless compare applies unconditionally.
+      const Dominance dom =
+          CompareKeySpansComplete(window_keys.data() + i * d, keys, d);
+      if (dom == Dominance::kLeftDominates ||
+          (dom == Dominance::kEqual && options.distinct)) {
+        eliminated = true;
+        break;
+      }
+    }
+    if (!eliminated) {
+      window.push_back(tuple);
+      window_keys.insert(window_keys.end(), keys, keys + d);
+    }
+  }
+  return window;
+}
+
+Result<std::vector<uint32_t>> ColumnarGridFilterSkyline(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  const size_t n = input.size();
+  const size_t num_dims = matrix.num_dims();
+  // Cell keys pack 4 bits per dimension into a uint64_t, so beyond 16
+  // dimensions the shift would silently wrap — fall back (regression-tested).
+  if (options.nulls != NullSemantics::kComplete || n < 64 ||
+      !matrix.all_numeric_minmax() || num_dims > 16) {
+    return ColumnarBlockNestedLoop(matrix, input, options);
+  }
+  // Roughly n^(1/d) buckets per dimension, clamped to [2, 16]. All keys are
+  // already "smaller is better", so no bucket mirroring is needed: floor
+  // bucketing keeps the strictness argument — a point in bucket b lies
+  // strictly below the lower edge of bucket b+1, so cell A < cell B in every
+  // dimension implies every point of A strictly dominates every point of B.
+  size_t buckets = static_cast<size_t>(
+      std::round(std::pow(static_cast<double>(n), 1.0 / num_dims)));
+  buckets = std::min<size_t>(16, std::max<size_t>(2, buckets));
+
+  std::vector<double> lo(num_dims), hi(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    lo[d] = hi[d] = matrix.key(input[0], d);
+  }
+  for (const uint32_t r : input) {
+    const double* keys = matrix.row_keys(r);
+    for (size_t d = 0; d < num_dims; ++d) {
+      lo[d] = std::min(lo[d], keys[d]);
+      hi[d] = std::max(hi[d], keys[d]);
+    }
+  }
+
+  auto cell_key = [&](uint32_t r) {
+    const double* keys = matrix.row_keys(r);
+    uint64_t key = 0;
+    for (size_t d = 0; d < num_dims; ++d) {
+      const double width = (hi[d] - lo[d]) / static_cast<double>(buckets);
+      uint64_t b = 0;
+      if (width > 0) {
+        b = static_cast<uint64_t>((keys[d] - lo[d]) / width);
+        if (b >= buckets) b = buckets - 1;
+      }
+      key = (key << 4) | b;
+    }
+    return key;
+  };
+
+  std::map<uint64_t, std::vector<uint32_t>> cells;
+  for (const uint32_t r : input) cells[cell_key(r)].push_back(r);
+  if (cells.size() > 4096) {
+    // Too fragmented for the quadratic cell pass to pay off.
+    return ColumnarBlockNestedLoop(matrix, input, options);
+  }
+
+  auto unpack = [&](uint64_t key, size_t d) {
+    return (key >> (4 * (num_dims - 1 - d))) & 0xf;
+  };
+  std::vector<uint64_t> keys;
+  keys.reserve(cells.size());
+  for (const auto& [key, rows] : cells) keys.push_back(key);
+
+  std::vector<uint32_t> survivors;
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (const uint64_t key : keys) {
+    bool eliminated = false;
+    for (const uint64_t other : keys) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      if (other == key) continue;
+      bool strictly_better_everywhere = true;
+      for (size_t d = 0; d < num_dims; ++d) {
+        if (unpack(other, d) >= unpack(key, d)) {
+          strictly_better_everywhere = false;
+          break;
+        }
+      }
+      if (strictly_better_everywhere) {
+        eliminated = true;
+        break;
+      }
+    }
+    if (!eliminated) {
+      for (const uint32_t r : cells[key]) survivors.push_back(r);
+    }
+  }
+  return ColumnarBlockNestedLoop(matrix, survivors, options);
+}
+
+Result<std::vector<uint32_t>> ColumnarAllPairsIncomplete(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  const size_t n = input.size();
+  std::vector<char> dominated(n, 0);
+  DeadlineChecker deadline(options.deadline_nanos);
+  BatchedCounter tests(options);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // A dominated tuple may still dominate others (Appendix A); only pairs
+      // where both are already flagged are irrelevant.
+      if (dominated[i] && dominated[j]) continue;
+      SL_RETURN_NOT_OK(deadline.Check());
+      tests.Tick();
+      const Dominance dom =
+          matrix.Compare(input[i], input[j], options.nulls);
+      switch (dom) {
+        case Dominance::kLeftDominates:
+          dominated[j] = 1;
+          break;
+        case Dominance::kRightDominates:
+          dominated[i] = 1;
+          break;
+        case Dominance::kEqual:
+          // Duplicates collapse under DISTINCT only within one null pattern;
+          // "equal on common dimensions" across patterns is not equality.
+          if (options.distinct &&
+              matrix.null_bitmap(input[i]) == matrix.null_bitmap(input[j])) {
+            dominated[j] = 1;
+          }
+          break;
+        case Dominance::kIncomparable:
+          break;
+      }
+    }
+  }
+  // Deferred deletion: only now drop the flagged tuples.
+  std::vector<uint32_t> result;
+  for (size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) result.push_back(input[i]);
+  }
+  return result;
+}
+
+std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
+    const DominanceMatrix& matrix) {
+  std::map<uint32_t, std::vector<uint32_t>> groups;
+  for (uint32_t r = 0; r < matrix.num_rows(); ++r) {
+    groups[matrix.null_bitmap(r)].push_back(r);
+  }
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& [bitmap, rows] : groups) out.push_back(std::move(rows));
+  return out;
+}
+
+std::vector<Row> MaterializeRows(const std::vector<Row>& input,
+                                 const std::vector<uint32_t>& indices) {
+  std::vector<Row> out;
+  out.reserve(indices.size());
+  for (const uint32_t i : indices) out.push_back(input[i]);
+  return out;
+}
+
+namespace {
+
+Result<std::vector<uint32_t>> DispatchKernel(ColumnarKernel kernel,
+                                             const DominanceMatrix& matrix,
+                                             const std::vector<uint32_t>& input,
+                                             const SkylineOptions& options) {
+  switch (kernel) {
+    case ColumnarKernel::kSortFilterSkyline:
+      return ColumnarSortFilterSkyline(matrix, input, options);
+    case ColumnarKernel::kGridFilter:
+      return ColumnarGridFilterSkyline(matrix, input, options);
+    case ColumnarKernel::kBlockNestedLoop:
+      break;
+  }
+  return ColumnarBlockNestedLoop(matrix, input, options);
+}
+
+Result<std::vector<Row>> RowFallback(ColumnarKernel kernel,
+                                     const std::vector<Row>& input,
+                                     const std::vector<BoundDimension>& dims,
+                                     const SkylineOptions& options) {
+  switch (kernel) {
+    case ColumnarKernel::kSortFilterSkyline:
+      return SortFilterSkyline(input, dims, options);
+    case ColumnarKernel::kGridFilter:
+      return GridFilterSkyline(input, dims, options);
+    case ColumnarKernel::kBlockNestedLoop:
+      break;
+  }
+  return BlockNestedLoop(input, dims, options);
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ColumnarSkyline(ColumnarKernel kernel,
+                                         const std::vector<Row>& input,
+                                         const std::vector<BoundDimension>& dims,
+                                         const SkylineOptions& options) {
+  std::optional<DominanceMatrix> matrix = DominanceMatrix::TryBuild(input, dims);
+  if (!matrix.has_value()) {
+    if (options.nulls == NullSemantics::kComplete) {
+      return RowFallback(kernel, input, dims, options);
+    }
+    return BitmapGroupedBnl(input, dims, options);
+  }
+
+  if (options.nulls == NullSemantics::kComplete) {
+    SL_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> survivors,
+        DispatchKernel(kernel, *matrix, AllIndices(*matrix), options));
+    return MaterializeRows(input, survivors);
+  }
+  // Incomplete semantics: one BNL per bitmap-uniform group over a single
+  // shared matrix (no per-group re-projection).
+  std::vector<uint32_t> survivors;
+  for (const auto& group : PartitionIndicesByNullBitmap(*matrix)) {
+    SL_ASSIGN_OR_RETURN(std::vector<uint32_t> local,
+                        ColumnarBlockNestedLoop(*matrix, group, options));
+    survivors.insert(survivors.end(), local.begin(), local.end());
+  }
+  return MaterializeRows(input, survivors);
+}
+
+Result<std::vector<Row>> ColumnarAllPairsSkyline(
+    const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
+    const SkylineOptions& options) {
+  std::optional<DominanceMatrix> matrix = DominanceMatrix::TryBuild(input, dims);
+  if (!matrix.has_value()) return AllPairsIncomplete(input, dims, options);
+  SL_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> survivors,
+      ColumnarAllPairsIncomplete(*matrix, AllIndices(*matrix), options));
+  return MaterializeRows(input, survivors);
+}
+
+}  // namespace skyline
+}  // namespace sparkline

@@ -1,5 +1,7 @@
 #include "skyline/dominance.h"
 
+#include "common/string_util.h"
+
 namespace sparkline {
 namespace skyline {
 
@@ -52,6 +54,14 @@ uint32_t NullBitmap(const Row& row, const std::vector<BoundDimension>& dims) {
     if (row[dims[i].ordinal].is_null()) bitmap |= (1u << i);
   }
   return bitmap;
+}
+
+Status CheckDimensionLimit(const std::vector<BoundDimension>& dims) {
+  if (dims.size() > 32) {
+    return Status::Invalid(StrCat("at most 32 skyline dimensions supported, got ",
+                                  dims.size()));
+  }
+  return Status::OK();
 }
 
 }  // namespace skyline

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "expr/expression.h"  // for SkylineGoal
 #include "types/value.h"
 
@@ -59,6 +60,13 @@ Dominance CompareRows(const Row& left, const Row& right,
 /// (paper section 5.7); rows with equal bitmaps form one partition within
 /// which dominance is transitive again.
 uint32_t NullBitmap(const Row& row, const std::vector<BoundDimension>& dims);
+
+/// \brief Checked guard for the 32-dimension bitmap limit, enforced in all
+/// build types (NullBitmap itself only SL_DCHECKs, so a release-mode caller
+/// bypassing analysis validation could otherwise compute wrong bitmaps).
+/// Every Result-returning skyline algorithm calls this on entry; the
+/// analyzer additionally rejects >32 dimensions at validation time.
+Status CheckDimensionLimit(const std::vector<BoundDimension>& dims);
 
 }  // namespace skyline
 }  // namespace sparkline

@@ -1,0 +1,291 @@
+// Tests for the columnar dominance subsystem (skyline/columnar.h): the
+// DominanceMatrix projection, the index-based kernels' equivalence with the
+// row kernels and the brute-force oracle, and the fallback conditions that
+// keep the fast path safe (huge BIGINTs, NaN, >32 dimensions, >16-dimension
+// grid cell keys).
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "skyline/columnar.h"
+
+namespace sparkline {
+namespace skyline {
+namespace {
+
+Row R(std::vector<double> vals) {
+  Row row;
+  for (double v : vals) row.push_back(Value::Double(v));
+  return row;
+}
+
+std::vector<BoundDimension> MinDims(size_t n) {
+  std::vector<BoundDimension> dims;
+  for (size_t i = 0; i < n; ++i) dims.push_back({i, SkylineGoal::kMin});
+  return dims;
+}
+
+std::vector<std::string> Sorted(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const auto& r : rows) out.push_back(RowToString(r));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Row> RandomRows(size_t n, size_t dims, double null_rate,
+                            int cardinality, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    for (size_t d = 0; d < dims; ++d) {
+      if (null_rate > 0 && rng.Bernoulli(null_rate)) {
+        row.push_back(Value::Null(DataType::Double()));
+      } else {
+        row.push_back(
+            Value::Double(static_cast<double>(rng.UniformInt(0, cardinality))));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// --- DominanceMatrix --------------------------------------------------------
+
+TEST(DominanceMatrixTest, CompareMatchesCompareRows) {
+  Rng rng(11);
+  std::vector<BoundDimension> dims{{0, SkylineGoal::kMin},
+                                   {1, SkylineGoal::kMax},
+                                   {2, SkylineGoal::kDiff}};
+  std::vector<Row> rows = RandomRows(80, 3, /*null_rate=*/0.0, 5, 21);
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+  EXPECT_FALSE(matrix->has_nulls());
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    for (uint32_t j = 0; j < rows.size(); ++j) {
+      EXPECT_EQ(matrix->Compare(i, j, NullSemantics::kComplete),
+                CompareRows(rows[i], rows[j], dims, NullSemantics::kComplete))
+          << "rows " << i << " vs " << j;
+    }
+  }
+}
+
+TEST(DominanceMatrixTest, IncompleteCompareMatchesCompareRows) {
+  std::vector<BoundDimension> dims{{0, SkylineGoal::kMin},
+                                   {1, SkylineGoal::kMax},
+                                   {2, SkylineGoal::kMin}};
+  std::vector<Row> rows = RandomRows(80, 3, /*null_rate=*/0.3, 4, 22);
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(matrix->null_bitmap(i), NullBitmap(rows[i], dims));
+    for (uint32_t j = 0; j < rows.size(); ++j) {
+      EXPECT_EQ(matrix->Compare(i, j, NullSemantics::kIncomplete),
+                CompareRows(rows[i], rows[j], dims, NullSemantics::kIncomplete));
+    }
+  }
+}
+
+TEST(DominanceMatrixTest, VarcharDiffUsesDictionaryCodes) {
+  std::vector<BoundDimension> dims{{0, SkylineGoal::kMin},
+                                   {1, SkylineGoal::kDiff}};
+  std::vector<Row> rows;
+  rows.push_back({Value::Double(1), Value::String("red")});
+  rows.push_back({Value::Double(2), Value::String("red")});
+  rows.push_back({Value::Double(0.5), Value::String("blue")});
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+  // Same color: plain MIN dominance; different color: incomparable.
+  EXPECT_EQ(matrix->Compare(0, 1, NullSemantics::kComplete),
+            Dominance::kLeftDominates);
+  EXPECT_EQ(matrix->Compare(0, 2, NullSemantics::kComplete),
+            Dominance::kIncomparable);
+}
+
+TEST(DominanceMatrixTest, RefusesHugeBigints) {
+  std::vector<Row> rows;
+  rows.push_back({Value::Int64((int64_t{1} << 53) + 1)});
+  rows.push_back({Value::Int64(int64_t{1} << 53)});
+  // The two values are distinguishable as int64 but collapse as double, so
+  // the projection must refuse (callers then use the row kernels).
+  EXPECT_FALSE(DominanceMatrix::TryBuild(rows, MinDims(1)).has_value());
+}
+
+TEST(DominanceMatrixTest, RefusesNaN) {
+  std::vector<Row> rows{R({1.0}), R({std::nan("")})};
+  EXPECT_FALSE(DominanceMatrix::TryBuild(rows, MinDims(1)).has_value());
+}
+
+TEST(DominanceMatrixTest, RefusesTooManyDimensions) {
+  std::vector<Row> rows{R(std::vector<double>(33, 1.0))};
+  EXPECT_FALSE(DominanceMatrix::TryBuild(rows, MinDims(33)).has_value());
+}
+
+TEST(DominanceMatrixTest, SmallBigintsAreExact) {
+  std::vector<Row> rows;
+  rows.push_back({Value::Int64(3), Value::Int64(7)});
+  rows.push_back({Value::Int64(3), Value::Int64(9)});
+  auto matrix = DominanceMatrix::TryBuild(rows, MinDims(2));
+  ASSERT_TRUE(matrix.has_value());
+  EXPECT_EQ(matrix->Compare(0, 1, NullSemantics::kComplete),
+            Dominance::kLeftDominates);
+}
+
+// --- kernel equivalence -----------------------------------------------------
+
+struct KernelCase {
+  ColumnarKernel kernel;
+  const char* name;
+};
+
+class ColumnarKernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(ColumnarKernelEquivalence, MatchesBruteForceComplete) {
+  const auto& param = GetParam();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<Row> rows = RandomRows(300, 3, /*null_rate=*/0.0, 8, seed);
+    auto dims = MinDims(3);
+    dims[1].goal = SkylineGoal::kMax;
+    SkylineOptions options;
+    auto columnar = ColumnarSkyline(param.kernel, rows, dims, options);
+    ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+    EXPECT_EQ(Sorted(*columnar),
+              Sorted(BruteForceSkyline(rows, dims, options)))
+        << param.name << " seed=" << seed;
+  }
+}
+
+TEST_P(ColumnarKernelEquivalence, MatchesRowKernelWithDistinct) {
+  const auto& param = GetParam();
+  // Low cardinality forces duplicate tuples, exercising DISTINCT.
+  std::vector<Row> rows = RandomRows(200, 2, /*null_rate=*/0.0, 3, 77);
+  auto dims = MinDims(2);
+  SkylineOptions options;
+  options.distinct = true;
+  auto columnar = ColumnarSkyline(param.kernel, rows, dims, options);
+  ASSERT_TRUE(columnar.ok());
+  EXPECT_EQ(Sorted(*columnar), Sorted(BruteForceSkyline(rows, dims, options)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ColumnarKernelEquivalence,
+    ::testing::Values(
+        KernelCase{ColumnarKernel::kBlockNestedLoop, "bnl"},
+        KernelCase{ColumnarKernel::kSortFilterSkyline, "sfs"},
+        KernelCase{ColumnarKernel::kGridFilter, "grid"}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ColumnarKernelTest, IndexBnlMatchesRowBnlExactly) {
+  // Not just set-equal: BNL's window policy is deterministic, so the
+  // columnar kernel must produce the same rows in the same order.
+  std::vector<Row> rows = RandomRows(250, 4, /*null_rate=*/0.0, 6, 5);
+  auto dims = MinDims(4);
+  SkylineOptions options;
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+  auto indices = ColumnarBlockNestedLoop(*matrix, AllIndices(*matrix), options);
+  ASSERT_TRUE(indices.ok());
+  auto row_result = BlockNestedLoop(rows, dims, options);
+  ASSERT_TRUE(row_result.ok());
+  const std::vector<Row> materialized = MaterializeRows(rows, *indices);
+  ASSERT_EQ(materialized.size(), row_result->size());
+  for (size_t i = 0; i < materialized.size(); ++i) {
+    EXPECT_EQ(RowToString(materialized[i]), RowToString((*row_result)[i]));
+  }
+}
+
+TEST(ColumnarKernelTest, IncompletePipelineMatchesRowPipeline) {
+  std::vector<Row> rows = RandomRows(300, 3, /*null_rate=*/0.25, 5, 31);
+  auto dims = MinDims(3);
+  SkylineOptions options;
+  options.nulls = NullSemantics::kIncomplete;
+
+  // Local stage: bitmap-grouped BNL.
+  auto columnar_local =
+      ColumnarSkyline(ColumnarKernel::kBlockNestedLoop, rows, dims, options);
+  ASSERT_TRUE(columnar_local.ok());
+  std::vector<Row> row_local;
+  for (auto& group : PartitionByNullBitmap(rows, dims)) {
+    auto local = BlockNestedLoop(group, dims, options);
+    ASSERT_TRUE(local.ok());
+    for (auto& r : *local) row_local.push_back(std::move(r));
+  }
+  EXPECT_EQ(Sorted(*columnar_local), Sorted(row_local));
+
+  // Global stage: all-pairs with deferred deletion.
+  auto columnar_global = ColumnarAllPairsSkyline(*columnar_local, dims, options);
+  ASSERT_TRUE(columnar_global.ok());
+  auto row_global = AllPairsIncomplete(row_local, dims, options);
+  ASSERT_TRUE(row_global.ok());
+  EXPECT_EQ(Sorted(*columnar_global), Sorted(*row_global));
+}
+
+TEST(ColumnarKernelTest, CountsDominanceTestsLikeRowBnl) {
+  std::vector<Row> rows = RandomRows(150, 3, /*null_rate=*/0.0, 10, 13);
+  auto dims = MinDims(3);
+  DominanceCounter row_counter, col_counter;
+  SkylineOptions row_options;
+  row_options.counter = &row_counter;
+  SkylineOptions col_options;
+  col_options.counter = &col_counter;
+  ASSERT_TRUE(BlockNestedLoop(rows, dims, row_options).ok());
+  ASSERT_TRUE(ColumnarSkyline(ColumnarKernel::kBlockNestedLoop, rows, dims,
+                              col_options)
+                  .ok());
+  EXPECT_EQ(row_counter.tests.load(), col_counter.tests.load());
+}
+
+// --- regression: grid cell-key overflow past 16 dimensions -----------------
+
+TEST(GridOverflowRegression, RowGridFallsBackBeyond16Dims) {
+  // 17 dimensions * 4 bits = 68 bits: the cell key would silently wrap and
+  // merge unrelated cells. The guard must fall back to BNL and keep the
+  // result identical to brute force.
+  std::vector<Row> rows = RandomRows(128, 17, /*null_rate=*/0.0, 2, 99);
+  auto dims = MinDims(17);
+  SkylineOptions options;
+  auto grid = GridFilterSkyline(rows, dims, options);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(Sorted(*grid), Sorted(BruteForceSkyline(rows, dims, options)));
+}
+
+TEST(GridOverflowRegression, ColumnarGridFallsBackBeyond16Dims) {
+  std::vector<Row> rows = RandomRows(128, 17, /*null_rate=*/0.0, 2, 98);
+  auto dims = MinDims(17);
+  SkylineOptions options;
+  auto grid = ColumnarSkyline(ColumnarKernel::kGridFilter, rows, dims, options);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(Sorted(*grid), Sorted(BruteForceSkyline(rows, dims, options)));
+}
+
+// --- regression: 32-dimension limit is a checked Status --------------------
+
+TEST(DimensionLimitTest, AlgorithmsReturnStatusBeyond32Dims) {
+  std::vector<Row> rows{R(std::vector<double>(33, 1.0))};
+  auto dims = MinDims(33);
+  EXPECT_FALSE(BlockNestedLoop(rows, dims, {}).ok());
+  EXPECT_FALSE(SortFilterSkyline(rows, dims, {}).ok());
+  EXPECT_FALSE(GridFilterSkyline(rows, dims, {}).ok());
+  EXPECT_FALSE(AllPairsIncomplete(rows, dims, {}).ok());
+  EXPECT_FALSE(ComputeSkyline(rows, dims, {}).ok());
+  EXPECT_EQ(BlockNestedLoop(rows, dims, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DimensionLimitTest, Exactly32DimsStillWorks) {
+  std::vector<Row> rows{R(std::vector<double>(32, 1.0)),
+                        R(std::vector<double>(32, 2.0))};
+  auto result = BlockNestedLoop(rows, MinDims(32), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+}  // namespace
+}  // namespace skyline
+}  // namespace sparkline

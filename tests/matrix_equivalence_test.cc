@@ -1,11 +1,14 @@
 // The configuration matrix test: every combination of execution strategy,
-// kernel, partitioning scheme and executor count must produce the identical
-// skyline. This is the strongest single correctness statement the engine
-// makes — no physical-plan knob may change results.
+// kernel, dominance representation (row vs. columnar), partitioning scheme
+// and executor count must produce the identical skyline — and that skyline
+// must equal the brute-force oracle computed directly from the table. This
+// is the strongest single correctness statement the engine makes — no
+// physical-plan knob may change results.
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
 #include "datagen/datagen.h"
+#include "skyline/algorithms.h"
 #include "test_util.h"
 
 namespace sparkline {
@@ -17,27 +20,43 @@ using ::sparkline::testing::RowStrings;
 struct MatrixCase {
   const char* dataset;  // complete | incomplete
   size_t dims;
+  bool distinct;
 };
 
 class ConfigMatrix : public ::testing::TestWithParam<MatrixCase> {};
 
-TEST_P(ConfigMatrix, AllConfigurationsAgree) {
+TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
   const auto& param = GetParam();
   const bool incomplete = std::string(param.dataset) == "incomplete";
 
   Session session;
-  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+  TablePtr table = datagen::GeneratePoints(
       "pts", 400, param.dims, datagen::PointDistribution::kAntiCorrelated,
-      /*seed=*/1234, incomplete ? 0.2 : 0.0)));
+      /*seed=*/1234, incomplete ? 0.2 : 0.0);
+  ASSERT_OK(session.catalog()->RegisterTable(table));
 
   std::vector<std::string> items;
   for (size_t d = 0; d < param.dims; ++d) {
     items.push_back(StrCat("d", d, d % 2 == 0 ? " MIN" : " MAX"));
   }
   const std::string query =
-      StrCat("SELECT * FROM pts SKYLINE OF ", JoinStrings(items, ", "));
+      StrCat("SELECT * FROM pts SKYLINE OF ", param.distinct ? "DISTINCT " : "",
+             JoinStrings(items, ", "));
 
-  std::vector<std::string> expected;
+  // Brute-force oracle straight from the table (column 0 is the id).
+  std::vector<skyline::BoundDimension> oracle_dims;
+  for (size_t d = 0; d < param.dims; ++d) {
+    oracle_dims.push_back(skyline::BoundDimension{
+        d + 1, d % 2 == 0 ? SkylineGoal::kMin : SkylineGoal::kMax});
+  }
+  skyline::SkylineOptions oracle_options;
+  oracle_options.distinct = param.distinct;
+  oracle_options.nulls = incomplete ? skyline::NullSemantics::kIncomplete
+                                    : skyline::NullSemantics::kComplete;
+  const std::vector<std::string> expected = RowStrings(
+      skyline::BruteForceSkyline(table->rows(), oracle_dims, oracle_options));
+  ASSERT_FALSE(expected.empty());
+
   int combinations = 0;
   const std::vector<const char*> strategies =
       incomplete ? std::vector<const char*>{"auto", "incomplete"}
@@ -46,35 +65,68 @@ TEST_P(ConfigMatrix, AllConfigurationsAgree) {
                                             "reference"};
   for (const char* strategy : strategies) {
     for (const char* kernel : {"bnl", "sfs", "grid"}) {
-      for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
-        for (const char* executors : {"1", "3", "8"}) {
-          ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
-          ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
-          ASSERT_OK(
-              session.SetConf("sparkline.skyline.partitioning", partitioning));
-          ASSERT_OK(session.SetConf("sparkline.executors", executors));
-          auto rows = RowStrings(Rows(&session, query));
-          if (expected.empty()) {
-            expected = rows;
-            ASSERT_FALSE(expected.empty());
-          } else {
+      for (const char* columnar : {"true", "false"}) {
+        for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
+          for (const char* executors : {"1", "3", "8"}) {
+            ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+            ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
+            ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
+            ASSERT_OK(session.SetConf("sparkline.skyline.partitioning",
+                                      partitioning));
+            ASSERT_OK(session.SetConf("sparkline.executors", executors));
+            auto rows = RowStrings(Rows(&session, query));
             ASSERT_EQ(expected, rows)
                 << "strategy=" << strategy << " kernel=" << kernel
+                << " columnar=" << columnar
                 << " partitioning=" << partitioning
                 << " executors=" << executors;
+            ++combinations;
           }
-          ++combinations;
         }
       }
     }
   }
-  EXPECT_GE(combinations, 2 * 3 * 3 * 3);
+  EXPECT_GE(combinations, 2 * 3 * 2 * 3 * 3);
 }
 
-INSTANTIATE_TEST_SUITE_P(Matrix, ConfigMatrix,
-                         ::testing::Values(MatrixCase{"complete", 2},
-                                           MatrixCase{"complete", 4},
-                                           MatrixCase{"incomplete", 3}));
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigMatrix,
+    ::testing::Values(MatrixCase{"complete", 2, false},
+                      MatrixCase{"complete", 4, false},
+                      MatrixCase{"complete", 3, true},
+                      MatrixCase{"incomplete", 3, false},
+                      MatrixCase{"incomplete", 3, true}));
+
+// The parallel partial-merge global stage (the tentpole of the columnar
+// PR): with multiple executors the complete global skyline must run as a
+// parallel partial stage plus a single-task merge — not as one single task.
+TEST(ParallelGlobalMerge, GlobalStageSplitsForMultipleExecutors) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 2000, 3, datagen::PointDistribution::kAntiCorrelated, 7)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+  const std::string query =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX, d2 MIN";
+
+  auto metrics_for = [&](const char* execs) {
+    SL_CHECK_OK(session.SetConf("sparkline.executors", execs));
+    auto df = session.Sql(query);
+    SL_CHECK(df.ok());
+    auto r = df->Collect();
+    SL_CHECK(r.ok()) << r.status().ToString();
+    return r->metrics;
+  };
+
+  const QueryMetrics multi = metrics_for("4");
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [complete]"), 0u)
+      << "global stage still runs as a single task with 4 executors";
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [complete] [partial]"), 1u);
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [complete] [merge]"), 1u);
+
+  const QueryMetrics single = metrics_for("1");
+  EXPECT_EQ(single.operator_ms.count("GlobalSkyline [complete]"), 1u);
+  EXPECT_EQ(single.operator_ms.count("GlobalSkyline [complete] [partial]"), 0u);
+}
 
 }  // namespace
 }  // namespace sparkline
