@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_airbnb_tour.dir/examples/airbnb_tour.cpp.o"
+  "CMakeFiles/example_airbnb_tour.dir/examples/airbnb_tour.cpp.o.d"
+  "example_airbnb_tour"
+  "example_airbnb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_airbnb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_complex_query.dir/examples/complex_query.cpp.o"
+  "CMakeFiles/example_complex_query.dir/examples/complex_query.cpp.o.d"
+  "example_complex_query"
+  "example_complex_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_complex_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

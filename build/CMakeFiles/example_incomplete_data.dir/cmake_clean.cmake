@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incomplete_data.dir/examples/incomplete_data.cpp.o"
+  "CMakeFiles/example_incomplete_data.dir/examples/incomplete_data.cpp.o.d"
+  "example_incomplete_data"
+  "example_incomplete_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incomplete_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

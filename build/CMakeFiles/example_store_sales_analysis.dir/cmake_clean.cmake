@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_store_sales_analysis.dir/examples/store_sales_analysis.cpp.o"
+  "CMakeFiles/example_store_sales_analysis.dir/examples/store_sales_analysis.cpp.o.d"
+  "example_store_sales_analysis"
+  "example_store_sales_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_store_sales_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_19_musicbrainz.dir/bench/fig16_19_musicbrainz.cc.o"
+  "CMakeFiles/fig16_19_musicbrainz.dir/bench/fig16_19_musicbrainz.cc.o.d"
+  "fig16_19_musicbrainz"
+  "fig16_19_musicbrainz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_19_musicbrainz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

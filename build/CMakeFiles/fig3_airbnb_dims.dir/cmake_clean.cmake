@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_airbnb_dims.dir/bench/fig3_airbnb_dims.cc.o"
+  "CMakeFiles/fig3_airbnb_dims.dir/bench/fig3_airbnb_dims.cc.o.d"
+  "fig3_airbnb_dims"
+  "fig3_airbnb_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_airbnb_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_store_dims.dir/bench/fig4_store_dims.cc.o"
+  "CMakeFiles/fig4_store_dims.dir/bench/fig4_store_dims.cc.o.d"
+  "fig4_store_dims"
+  "fig4_store_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_store_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

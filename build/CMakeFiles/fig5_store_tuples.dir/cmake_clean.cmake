@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_store_tuples.dir/bench/fig5_store_tuples.cc.o"
+  "CMakeFiles/fig5_store_tuples.dir/bench/fig5_store_tuples.cc.o.d"
+  "fig5_store_tuples"
+  "fig5_store_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_store_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

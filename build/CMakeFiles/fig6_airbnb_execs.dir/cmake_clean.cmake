@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_airbnb_execs.dir/bench/fig6_airbnb_execs.cc.o"
+  "CMakeFiles/fig6_airbnb_execs.dir/bench/fig6_airbnb_execs.cc.o.d"
+  "fig6_airbnb_execs"
+  "fig6_airbnb_execs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_airbnb_execs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_store_execs.dir/bench/fig7_store_execs.cc.o"
+  "CMakeFiles/fig7_store_execs.dir/bench/fig7_store_execs.cc.o.d"
+  "fig7_store_execs"
+  "fig7_store_execs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_store_execs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_10_memory.dir/bench/fig8_10_memory.cc.o"
+  "CMakeFiles/fig8_10_memory.dir/bench/fig8_10_memory.cc.o.d"
+  "fig8_10_memory"
+  "fig8_10_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_10_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

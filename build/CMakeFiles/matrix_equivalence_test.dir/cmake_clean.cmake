@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_equivalence_test.dir/tests/matrix_equivalence_test.cc.o"
+  "CMakeFiles/matrix_equivalence_test.dir/tests/matrix_equivalence_test.cc.o.d"
+  "matrix_equivalence_test"
+  "matrix_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

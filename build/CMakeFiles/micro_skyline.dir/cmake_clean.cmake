@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_skyline.dir/bench/micro_skyline.cc.o"
+  "CMakeFiles/micro_skyline.dir/bench/micro_skyline.cc.o.d"
+  "micro_skyline"
+  "micro_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

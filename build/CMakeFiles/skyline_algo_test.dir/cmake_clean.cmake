@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_algo_test.dir/tests/skyline_algo_test.cc.o"
+  "CMakeFiles/skyline_algo_test.dir/tests/skyline_algo_test.cc.o.d"
+  "skyline_algo_test"
+  "skyline_algo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "CMakeFiles/sparkline.dir/src/analysis/analyzer.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/analysis/analyzer.cc.o.d"
+  "/root/repo/src/analysis/subquery_rewrite.cc" "CMakeFiles/sparkline.dir/src/analysis/subquery_rewrite.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/analysis/subquery_rewrite.cc.o.d"
+  "/root/repo/src/analysis/validation.cc" "CMakeFiles/sparkline.dir/src/analysis/validation.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/analysis/validation.cc.o.d"
+  "/root/repo/src/api/dataframe.cc" "CMakeFiles/sparkline.dir/src/api/dataframe.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/api/dataframe.cc.o.d"
+  "/root/repo/src/api/query_result.cc" "CMakeFiles/sparkline.dir/src/api/query_result.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/api/query_result.cc.o.d"
+  "/root/repo/src/api/session.cc" "CMakeFiles/sparkline.dir/src/api/session.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/api/session.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "CMakeFiles/sparkline.dir/src/catalog/catalog.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "CMakeFiles/sparkline.dir/src/catalog/table.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/catalog/table.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/sparkline.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/sparkline.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/sparkline.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/sparkline.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/datagen/airbnb.cc" "CMakeFiles/sparkline.dir/src/datagen/airbnb.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/datagen/airbnb.cc.o.d"
+  "/root/repo/src/datagen/csv.cc" "CMakeFiles/sparkline.dir/src/datagen/csv.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/datagen/csv.cc.o.d"
+  "/root/repo/src/datagen/musicbrainz.cc" "CMakeFiles/sparkline.dir/src/datagen/musicbrainz.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/datagen/musicbrainz.cc.o.d"
+  "/root/repo/src/datagen/store_sales.cc" "CMakeFiles/sparkline.dir/src/datagen/store_sales.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/datagen/store_sales.cc.o.d"
+  "/root/repo/src/exec/aggregate_op.cc" "CMakeFiles/sparkline.dir/src/exec/aggregate_op.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/exec/aggregate_op.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "CMakeFiles/sparkline.dir/src/exec/join_ops.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/physical_plan.cc" "CMakeFiles/sparkline.dir/src/exec/physical_plan.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/exec/physical_plan.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "CMakeFiles/sparkline.dir/src/exec/planner.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/exec/planner.cc.o.d"
+  "/root/repo/src/exec/skyline_ops.cc" "CMakeFiles/sparkline.dir/src/exec/skyline_ops.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/exec/skyline_ops.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "CMakeFiles/sparkline.dir/src/expr/evaluator.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "CMakeFiles/sparkline.dir/src/expr/expression.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/expr/expression.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "CMakeFiles/sparkline.dir/src/optimizer/optimizer.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "CMakeFiles/sparkline.dir/src/optimizer/rules.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/optimizer/rules.cc.o.d"
+  "/root/repo/src/optimizer/skyline_rules.cc" "CMakeFiles/sparkline.dir/src/optimizer/skyline_rules.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/optimizer/skyline_rules.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "CMakeFiles/sparkline.dir/src/plan/logical_plan.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/plan_clone.cc" "CMakeFiles/sparkline.dir/src/plan/plan_clone.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/plan/plan_clone.cc.o.d"
+  "/root/repo/src/skyline/algorithms.cc" "CMakeFiles/sparkline.dir/src/skyline/algorithms.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/skyline/algorithms.cc.o.d"
+  "/root/repo/src/skyline/columnar.cc" "CMakeFiles/sparkline.dir/src/skyline/columnar.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/skyline/columnar.cc.o.d"
+  "/root/repo/src/skyline/dominance.cc" "CMakeFiles/sparkline.dir/src/skyline/dominance.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/skyline/dominance.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "CMakeFiles/sparkline.dir/src/sql/lexer.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "CMakeFiles/sparkline.dir/src/sql/parser.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/sql/parser.cc.o.d"
+  "/root/repo/src/types/schema.cc" "CMakeFiles/sparkline.dir/src/types/schema.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "CMakeFiles/sparkline.dir/src/types/value.cc.o" "gcc" "CMakeFiles/sparkline.dir/src/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

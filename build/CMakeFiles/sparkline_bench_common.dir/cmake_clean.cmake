@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkline_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/sparkline_bench_common.dir/bench/bench_common.cc.o.d"
+  "libsparkline_bench_common.a"
+  "libsparkline_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkline_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

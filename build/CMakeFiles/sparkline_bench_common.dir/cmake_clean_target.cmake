@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparkline_bench_common.a"
+)

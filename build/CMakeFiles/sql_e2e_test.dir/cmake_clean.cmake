@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_e2e_test.dir/tests/sql_e2e_test.cc.o"
+  "CMakeFiles/sql_e2e_test.dir/tests/sql_e2e_test.cc.o.d"
+  "sql_e2e_test"
+  "sql_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
