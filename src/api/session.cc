@@ -83,6 +83,10 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(config_.skyline_columnar, ParseBool(value));
     return Status::OK();
   }
+  if (k == "sparkline.skyline.incomplete.parallel") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_incomplete_parallel, ParseBool(value));
+    return Status::OK();
+  }
   if (k == "sparkline.skyline.partitioning") {
     SL_ASSIGN_OR_RETURN(config_.skyline_partitioning,
                         ParseSkylinePartitioning(value));
@@ -153,6 +157,7 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   opts.skyline_strategy = config_.skyline_strategy;
   opts.skyline_kernel = config_.skyline_kernel;
   opts.skyline_columnar = config_.skyline_columnar;
+  opts.skyline_incomplete_parallel = config_.skyline_incomplete_parallel;
   opts.skyline_partitioning = config_.skyline_partitioning;
   opts.non_distributed_threshold = config_.non_distributed_threshold;
   PhysicalPlanner planner(opts);

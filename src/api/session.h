@@ -15,6 +15,8 @@
 //   sparkline.memory.executorOverheadMb     simulated per-executor footprint
 //   sparkline.skyline.kernel                bnl | sfs | grid
 //   sparkline.skyline.columnar              bool, columnar dominance fast path
+//   sparkline.skyline.incomplete.parallel   bool, round-based parallel
+//                                           incomplete global stage
 //   sparkline.skyline.partitioning          asis | roundrobin | angle
 //   sparkline.skyline.nonDistributedThreshold  rows; 0 disables (section 7)
 //   sparkline.optimizer.singleDimRewrite    bool
@@ -52,6 +54,11 @@ struct SessionConfig {
   /// index-based kernels; see skyline/columnar.h). Results are identical
   /// with the toggle on or off. Key: sparkline.skyline.columnar = bool.
   bool skyline_columnar = true;
+  /// Round-based parallel incomplete-data global stage (candidate scan per
+  /// chunk + rotating validation rounds; see GlobalSkylineIncompleteExec).
+  /// Off = the paper's single-task all-pairs. Results are identical with
+  /// the toggle on or off. Key: sparkline.skyline.incomplete.parallel.
+  bool skyline_incomplete_parallel = true;
   /// Local-stage partitioning for complete data. Key:
   /// sparkline.skyline.partitioning = asis | roundrobin | angle.
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;

@@ -337,13 +337,34 @@ class GlobalSkylineExec : public PhysicalPlan {
   bool columnar_;
 };
 
-/// \brief Global skyline for incomplete data: all-pairs with deferred
-/// deletion (paper section 5.7 / Appendix A).
+/// \brief Global skyline for incomplete data (paper section 5.7 /
+/// Appendix A).
+///
+/// Incomplete dominance is non-transitive, so the complete path's
+/// partial-merge scheme (prune chunk-dominated tuples, merge survivors) is
+/// unsound here: a tuple eliminated inside its chunk can still be the only
+/// witness against another chunk's survivor. With more than one executor
+/// (and `parallel` on) the gathered input is instead split into
+/// executor-count chunks and run through round-based all-pairs validation:
+///
+///   [candidates]  each chunk runs the all-pairs deferred-deletion scan
+///                 locally; survivors become its candidate set.
+///   [validate]    chunks-1 rounds; in round r task i checks its remaining
+///                 candidates against the *full* tuple set of chunk
+///                 (i + r) mod chunks, eliminating a candidate only when a
+///                 concrete dominating witness is found.
+///   [finalize]    surviving candidates are concatenated in input order.
+///
+/// After the rounds every candidate has been compared against every other
+/// input tuple, so the result equals the single-task all-pairs algorithm
+/// exactly. Stage times are recorded under "<label> [candidates]" /
+/// "[validate]" / "[finalize]"; the single-executor (or `parallel` = off)
+/// path keeps the bare label.
 class GlobalSkylineIncompleteExec : public PhysicalPlan {
  public:
   GlobalSkylineIncompleteExec(std::vector<skyline::BoundDimension> dims,
                               bool distinct, PhysicalPlanPtr child,
-                              bool columnar = true);
+                              bool columnar = true, bool parallel = true);
   std::string label() const override { return "GlobalSkyline [incomplete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -351,6 +372,7 @@ class GlobalSkylineIncompleteExec : public PhysicalPlan {
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
   bool columnar_;
+  bool parallel_;
 };
 
 }  // namespace sparkline

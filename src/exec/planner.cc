@@ -520,7 +520,7 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
           options_.skyline_columnar);
       result = std::make_shared<GlobalSkylineIncompleteExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
-          options_.skyline_columnar);
+          options_.skyline_columnar, options_.skyline_incomplete_parallel);
       break;
     }
     case SkylineStrategy::kAuto:

@@ -51,6 +51,11 @@ struct PlannerOptions {
   /// kernels. Falls back to the row kernels per partition when the shape is
   /// unsupported; results are identical either way.
   bool skyline_columnar = true;
+  /// Round-based parallel execution of the incomplete-data global stage
+  /// (GlobalSkylineIncompleteExec): candidate scan per chunk, then rotating
+  /// validation rounds against full peer chunks. Off = the paper's
+  /// single-task all-pairs. Results are identical either way.
+  bool skyline_incomplete_parallel = true;
   /// Lightweight cost-based selection (paper section 7): below this
   /// estimated input cardinality the planner skips the distributed local
   /// stage, because the global stage dominates anyway. 0 disables.

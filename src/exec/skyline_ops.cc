@@ -199,16 +199,22 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
 
 GlobalSkylineIncompleteExec::GlobalSkylineIncompleteExec(
     std::vector<skyline::BoundDimension> dims, bool distinct,
-    PhysicalPlanPtr child, bool columnar)
+    PhysicalPlanPtr child, bool columnar, bool parallel)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
-      columnar_(columnar) {}
+      columnar_(columnar),
+      parallel_(parallel) {}
 
 Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
     ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
   std::vector<Row> rows = std::move(in).Flatten();
+  const int64_t input_bytes =
+      rows.empty() ? 0
+                   : EstimateRowBytes(rows.front()) *
+                         static_cast<int64_t>(rows.size());
+  ctx->memory()->Grow(input_bytes);
 
   skyline::SkylineOptions options;
   options.distinct = distinct_;
@@ -219,16 +225,120 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.emplace_back();
-  SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
-    if (columnar_) {
-      SL_ASSIGN_OR_RETURN(out.partitions[0],
-                          skyline::ColumnarAllPairsSkyline(rows, dims_, options));
-    } else {
-      SL_ASSIGN_OR_RETURN(out.partitions[0],
-                          skyline::AllPairsIncomplete(rows, dims_, options));
+
+  const size_t num_executors =
+      static_cast<size_t>(std::max(1, ctx->config().num_executors));
+  if (!parallel_ || num_executors <= 1 || rows.size() < 2) {
+    // Single-task all-pairs (the paper's algorithm as written).
+    SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+      if (columnar_) {
+        SL_ASSIGN_OR_RETURN(
+            out.partitions[0],
+            skyline::ColumnarAllPairsSkyline(rows, dims_, options));
+      } else {
+        SL_ASSIGN_OR_RETURN(
+            out.partitions[0],
+            skyline::AllPairsIncomplete(rows, dims_, options));
+      }
+      return Status::OK();
+    }));
+    ctx->memory()->Shrink(input_bytes);
+    return out;
+  }
+
+  // Round-based parallel all-pairs (see the class comment): unlike the
+  // complete path's partial-merge, survivor-only merging is unsound under
+  // non-transitive dominance, so candidates are validated against each
+  // peer chunk's *full* tuple set, one rotating peer per round.
+  const size_t chunks = std::min(num_executors, rows.size());
+  // Contiguous balanced spans (sizes differ by at most one) over the
+  // gathered input; contiguity keeps chunk order == global input order,
+  // which the DISTINCT tie-break and the finalize concatenation rely on.
+  std::vector<size_t> bounds(chunks + 1, 0);
+  const size_t base = rows.size() / chunks;
+  const size_t extra = rows.size() % chunks;
+  for (size_t i = 0; i < chunks; ++i) {
+    bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
+  }
+
+  // One shared matrix for all stages (the candidate scans and every
+  // validation round reuse its packed keys and per-row null bitmaps); row
+  // kernels take over when the shape is unsupported. The projection runs
+  // inside a timed stage so its cost lands in the critical path exactly as
+  // it does on the single-task path (where ColumnarAllPairsSkyline builds
+  // the matrix inside the timed task).
+  std::optional<skyline::DominanceMatrix> matrix;
+  if (columnar_) {
+    SL_RETURN_NOT_OK(RunStage(
+        ctx, StrCat(label(), " [candidates]"), 1, [&](size_t) -> Status {
+          matrix = skyline::DominanceMatrix::TryBuild(rows, dims_);
+          return Status::OK();
+        }));
+  }
+  std::vector<std::vector<uint32_t>> chunk_indices;
+  if (matrix.has_value()) {
+    chunk_indices.resize(chunks);
+    for (size_t i = 0; i < chunks; ++i) {
+      chunk_indices[i].resize(bounds[i + 1] - bounds[i]);
+      for (size_t k = 0; k < chunk_indices[i].size(); ++k) {
+        chunk_indices[i][k] = static_cast<uint32_t>(bounds[i] + k);
+      }
     }
-    return Status::OK();
-  }));
+  }
+
+  std::vector<std::vector<uint32_t>> candidates(chunks);
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [candidates]"), chunks, [&](size_t i) -> Status {
+        if (matrix.has_value()) {
+          SL_ASSIGN_OR_RETURN(candidates[i],
+                              skyline::ColumnarIncompleteCandidateScan(
+                                  *matrix, chunk_indices[i], options));
+        } else {
+          SL_ASSIGN_OR_RETURN(
+              candidates[i],
+              skyline::IncompleteCandidateScan(rows, bounds[i], bounds[i + 1],
+                                               dims_, options));
+        }
+        return Status::OK();
+      }));
+
+  // chunks-1 rotation rounds; each task only shrinks its own candidate
+  // list and reads peer chunks, so rounds need no cross-task coordination
+  // beyond the stage barrier (which models the per-round exchange).
+  for (size_t round = 1; round < chunks; ++round) {
+    SL_RETURN_NOT_OK(RunStage(
+        ctx, StrCat(label(), " [validate]"), chunks, [&](size_t i) -> Status {
+          const size_t peer = (i + round) % chunks;
+          if (matrix.has_value()) {
+            SL_ASSIGN_OR_RETURN(candidates[i],
+                                skyline::ColumnarValidateAgainstChunk(
+                                    *matrix, candidates[i],
+                                    chunk_indices[peer], options));
+          } else {
+            SL_ASSIGN_OR_RETURN(
+                candidates[i],
+                skyline::ValidateAgainstChunk(rows, candidates[i],
+                                              bounds[peer], bounds[peer + 1],
+                                              dims_, options));
+          }
+          return Status::OK();
+        }));
+  }
+
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [finalize]"), 1, [&](size_t) -> Status {
+        // Chunks are ascending contiguous spans, so concatenating candidate
+        // lists in chunk order reproduces the single-task output order.
+        // Candidate indices are unique and `rows` is dead after this stage,
+        // so survivors are moved out rather than copied.
+        for (const auto& survivors : candidates) {
+          for (const uint32_t c : survivors) {
+            out.partitions[0].push_back(std::move(rows[c]));
+          }
+        }
+        return Status::OK();
+      }));
+  ctx->memory()->Shrink(input_bytes);
   return out;
 }
 

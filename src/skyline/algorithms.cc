@@ -91,6 +91,92 @@ Result<std::vector<Row>> AllPairsIncomplete(
   return result;
 }
 
+Result<std::vector<uint32_t>> IncompleteCandidateScan(
+    const std::vector<Row>& input, size_t begin, size_t end,
+    const std::vector<BoundDimension>& dims, const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
+  if (begin > end || end > input.size()) {
+    return Status::Invalid("candidate scan chunk out of range");
+  }
+  if (input.size() > UINT32_MAX) {
+    return Status::Invalid("candidate scan input exceeds uint32 indexing");
+  }
+  const size_t n = end - begin;
+  std::vector<char> dominated(n, 0);
+  std::vector<uint32_t> bitmaps(n);
+  for (size_t i = 0; i < n; ++i) bitmaps[i] = NullBitmap(input[begin + i], dims);
+
+  // Same pair scan as AllPairsIncomplete, restricted to the chunk: flagged
+  // tuples keep participating (they may still dominate), deletion is
+  // deferred to the end.
+  DeadlineChecker deadline(options.deadline_nanos);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dominated[i] && dominated[j]) continue;
+      SL_RETURN_NOT_OK(deadline.Check());
+      CountTest(options);
+      const Dominance dom =
+          CompareRows(input[begin + i], input[begin + j], dims, options.nulls);
+      switch (dom) {
+        case Dominance::kLeftDominates:
+          dominated[j] = 1;
+          break;
+        case Dominance::kRightDominates:
+          dominated[i] = 1;
+          break;
+        case Dominance::kEqual:
+          if (options.distinct && bitmaps[i] == bitmaps[j]) dominated[j] = 1;
+          break;
+        case Dominance::kIncomparable:
+          break;
+      }
+    }
+  }
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    if (!dominated[i]) candidates.push_back(static_cast<uint32_t>(begin + i));
+  }
+  return candidates;
+}
+
+Result<std::vector<uint32_t>> ValidateAgainstChunk(
+    const std::vector<Row>& input, const std::vector<uint32_t>& candidates,
+    size_t peer_begin, size_t peer_end,
+    const std::vector<BoundDimension>& dims, const SkylineOptions& options) {
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
+  if (peer_begin > peer_end || peer_end > input.size()) {
+    return Status::Invalid("validation peer chunk out of range");
+  }
+  DeadlineChecker deadline(options.deadline_nanos);
+  std::vector<uint32_t> survivors;
+  survivors.reserve(candidates.size());
+  for (const uint32_t c : candidates) {
+    const uint32_t bitmap =
+        options.distinct ? NullBitmap(input[c], dims) : 0;
+    bool eliminated = false;
+    // Early exit on the first witness is sound here (unlike the all-pairs
+    // scan): peer tuples are never eliminated by this pass, so no flag
+    // interplay exists — a witness is final.
+    for (size_t t = peer_begin; t < peer_end && !eliminated; ++t) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      CountTest(options);
+      const Dominance dom = CompareRows(input[t], input[c], dims, options.nulls);
+      if (dom == Dominance::kLeftDominates) {
+        eliminated = true;  // witness: input[t]
+      } else if (dom == Dominance::kEqual && options.distinct && t < c &&
+                 NullBitmap(input[t], dims) == bitmap) {
+        // DISTINCT keeps the globally first of a duplicate group; equal
+        // tuples with equal bitmaps are dominated by exactly the same
+        // witnesses, so this agrees with the sequential algorithm whether
+        // or not the earlier duplicate itself survives.
+        eliminated = true;
+      }
+    }
+    if (!eliminated) survivors.push_back(c);
+  }
+  return survivors;
+}
+
 Result<std::vector<Row>> SortFilterSkyline(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options) {

@@ -28,14 +28,35 @@ struct SkylineOptions {
   int64_t deadline_nanos = 0;
 };
 
+// Preconditions shared by every Result-returning entry point below:
+//
+//   * At most 32 dimensions — the null bitmaps are 32-bit. This limit is
+//     re-validated by every algorithm in all build types (Status::Invalid
+//     via CheckDimensionLimit), so release-mode callers cannot bypass it;
+//     chunk/index bounds of the parallel kernels are likewise checked.
+//   * `dims[i].ordinal` must be a valid column index of every input row and
+//     MIN/MAX dimensions must be comparable values; DIFF dimensions only
+//     need equality. This is a caller contract (the analyzer guarantees it
+//     for planned queries) and is NOT re-checked here. Values are compared
+//     as stored — no MIN/MAX normalization happens at this layer (unlike
+//     columnar.h, which negates MAX keys at projection time).
+//   * `options.nulls` selects the dominance semantics. kComplete implements
+//     paper Definition 3.1 and assumes the skyline dimensions are non-null;
+//     kIncomplete restricts every comparison to dimensions where both
+//     tuples are non-null (transitivity is lost — see the per-algorithm
+//     notes for which algorithms stay sound).
+//   * With `options.deadline_nanos` set, algorithms return Status::Timeout
+//     soon after the deadline passes; partial results are discarded.
+
 /// \brief Block-Nested-Loop skyline (Börzsönyi et al., adapted in paper
 /// section 5.6): maintains a window of incomparable tuples; correctness
 /// relies on the transitivity of dominance.
 ///
-/// With NullSemantics::kIncomplete the input must be *bitmap-uniform* (all
-/// rows null in the same dimensions, e.g. one partition produced by
+/// \pre With NullSemantics::kIncomplete the input must be *bitmap-uniform*
+/// (all rows null in the same dimensions, e.g. one partition produced by
 /// PartitionByNullBitmap) — within such a partition transitivity holds and
-/// BNL stays correct (paper section 5.7).
+/// BNL stays correct (paper section 5.7). For mixed-bitmap incomplete input
+/// use BitmapGroupedBnl or AllPairsIncomplete instead.
 Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
                                          const std::vector<BoundDimension>& dims,
                                          const SkylineOptions& options);
@@ -43,10 +64,53 @@ Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
 /// \brief Global skyline for (potentially) incomplete data: compares all
 /// pairs and only *flags* dominated tuples, deleting them after the last
 /// comparison. Deferred deletion is what makes cyclic dominance safe
-/// (paper section 5.7 / Appendix A).
+/// (paper section 5.7 / Appendix A). Sound for any mix of null bitmaps;
+/// the price is the quadratic pair scan.
 Result<std::vector<Row>> AllPairsIncomplete(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options);
+
+/// \brief Candidate stage of the round-based parallel incomplete global
+/// skyline: runs the all-pairs deferred-deletion scan restricted to the
+/// chunk `input[begin, end)` and returns the *global* indices (positions in
+/// `input`) of the chunk-local survivors, in ascending order.
+///
+/// Eliminations are sound because every flagged tuple has a concrete
+/// dominating witness inside the chunk — and a witness anywhere in the
+/// input excludes a tuple from the global skyline regardless of
+/// transitivity. Survivors are only *candidates*: they must still be
+/// validated against every other chunk's full tuple set (including tuples
+/// this scan eliminated — under non-transitive dominance an eliminated
+/// tuple may still dominate a foreign candidate), which is what
+/// ValidateAgainstChunk does.
+///
+/// \pre `begin <= end <= input.size()` and `input.size() < 2^32` (indices
+/// are returned as uint32_t, matching the columnar kernels).
+Result<std::vector<uint32_t>> IncompleteCandidateScan(
+    const std::vector<Row>& input, size_t begin, size_t end,
+    const std::vector<BoundDimension>& dims, const SkylineOptions& options);
+
+/// \brief One validation round of the parallel incomplete global skyline:
+/// returns the subset of `candidates` (global indices into `input`, as
+/// produced by IncompleteCandidateScan) for which the peer chunk
+/// `input[peer_begin, peer_end)` contains no dominating witness. Under
+/// DISTINCT a candidate is also eliminated by an *earlier* (smaller global
+/// index) peer tuple that is equal with the same null bitmap, reproducing
+/// the sequential algorithm's keep-the-first duplicate policy.
+///
+/// The peer span must be the chunk's *full* tuple set, not its candidate
+/// set: survivor-vs-survivor pruning is unsound under non-transitive
+/// dominance (a tuple eliminated in its own chunk can still be the only
+/// witness against a foreign candidate). Candidates are never used to
+/// eliminate peer tuples, so rounds over disjoint chunks commute and can
+/// run in any order or in parallel.
+///
+/// \pre `peer_begin <= peer_end <= input.size()`; every candidate index is
+/// a valid position in `input`.
+Result<std::vector<uint32_t>> ValidateAgainstChunk(
+    const std::vector<Row>& input, const std::vector<uint32_t>& candidates,
+    size_t peer_begin, size_t peer_end,
+    const std::vector<BoundDimension>& dims, const SkylineOptions& options);
 
 /// \brief Sort-Filter-Skyline (SFS), the presorting family the paper lists
 /// as future work (section 7). Requires complete data and numeric

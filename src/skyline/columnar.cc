@@ -332,6 +332,45 @@ Result<std::vector<uint32_t>> ColumnarAllPairsIncomplete(
   return result;
 }
 
+Result<std::vector<uint32_t>> ColumnarIncompleteCandidateScan(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& chunk,
+    const SkylineOptions& options) {
+  // The candidate stage *is* the all-pairs deferred-deletion scan run over
+  // one chunk's index slice: every elimination cites a witness inside the
+  // chunk, survivors are the chunk-local candidates. The shared matrix
+  // supplies the per-row null bitmaps, so no per-chunk re-projection
+  // happens.
+  return ColumnarAllPairsIncomplete(matrix, chunk, options);
+}
+
+Result<std::vector<uint32_t>> ColumnarValidateAgainstChunk(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& candidates,
+    const std::vector<uint32_t>& peer, const SkylineOptions& options) {
+  DeadlineChecker deadline(options.deadline_nanos);
+  BatchedCounter tests(options);
+  std::vector<uint32_t> survivors;
+  survivors.reserve(candidates.size());
+  for (const uint32_t c : candidates) {
+    const uint32_t bitmap = matrix.null_bitmap(c);
+    bool eliminated = false;
+    // Early exit on the first witness is sound (peer rows are never
+    // eliminated by this pass, so a witness is final).
+    for (const uint32_t t : peer) {
+      SL_RETURN_NOT_OK(deadline.Check());
+      tests.Tick();
+      const Dominance dom = matrix.Compare(t, c, options.nulls);
+      if (dom == Dominance::kLeftDominates ||
+          (dom == Dominance::kEqual && options.distinct && t < c &&
+           matrix.null_bitmap(t) == bitmap)) {
+        eliminated = true;
+        break;
+      }
+    }
+    if (!eliminated) survivors.push_back(c);
+  }
+  return survivors;
+}
+
 std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
     const DominanceMatrix& matrix) {
   std::map<uint32_t, std::vector<uint32_t>> groups;

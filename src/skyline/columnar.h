@@ -166,6 +166,23 @@ class DominanceMatrix {
 /// over the whole matrix).
 std::vector<uint32_t> AllIndices(const DominanceMatrix& matrix);
 
+// Preconditions shared by every Result-returning kernel below:
+//
+//   * The matrix must come from DominanceMatrix::TryBuild over the same
+//     logical input the index selections refer to; all indices must be
+//     < matrix.num_rows(). TryBuild enforces the kMaxDims (32) limit, so
+//     the kernels do not re-check it.
+//   * Keys are MIN/MAX-normalized at projection time: MAX dimensions are
+//     negated, so "smaller is better" holds for every key and the kernels
+//     never consult SkylineGoal again. DIFF dimensions are
+//     equality-only dictionary codes, flagged in diff_mask().
+//   * `options.nulls` selects the semantics exactly as in algorithms.h;
+//     under kIncomplete each comparison skips the union of the two rows'
+//     null bitmaps. The BNL kernel additionally requires bitmap-uniform
+//     input under kIncomplete (see BlockNestedLoop).
+//   * With `options.deadline_nanos` set, kernels return Status::Timeout
+//     soon after the deadline; partial results are discarded.
+
 /// \brief Index-based Block-Nested-Loop over `input` (indices into the
 /// matrix, processed in order). Same window policy as BlockNestedLoop.
 Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
@@ -193,6 +210,32 @@ Result<std::vector<uint32_t>> ColumnarGridFilterSkyline(
 Result<std::vector<uint32_t>> ColumnarAllPairsIncomplete(
     const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
     const SkylineOptions& options);
+
+/// \brief Columnar candidate stage of the round-based parallel incomplete
+/// global skyline (the counterpart of IncompleteCandidateScan): all-pairs
+/// with deferred deletion restricted to `chunk`, reusing the matrix's
+/// per-row null bitmaps for the restricted comparisons. Returns the
+/// surviving chunk indices in input order. Since a chunk is an ascending
+/// slice of the gathered input, index order doubles as the global DISTINCT
+/// tie-break order.
+///
+/// \pre `chunk` holds valid, ascending matrix row indices.
+Result<std::vector<uint32_t>> ColumnarIncompleteCandidateScan(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& chunk,
+    const SkylineOptions& options);
+
+/// \brief Columnar validation round (the counterpart of
+/// ValidateAgainstChunk): keeps the candidates for which `peer` — one
+/// rotating chunk's *full* index set, not its candidate set — contains no
+/// dominating witness; under DISTINCT an equal peer tuple with the same
+/// null bitmap and a smaller matrix index also eliminates. Peer rows are
+/// read-only, so rounds over disjoint candidate sets can run in parallel.
+///
+/// \pre `candidates` and `peer` hold valid matrix row indices; matrix row
+/// order must be the global input order (the DISTINCT tie-break).
+Result<std::vector<uint32_t>> ColumnarValidateAgainstChunk(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& candidates,
+    const std::vector<uint32_t>& peer, const SkylineOptions& options);
 
 /// \brief Groups all matrix rows by their null bitmap, in ascending bitmap
 /// order (the index analog of PartitionByNullBitmap). Input order is

@@ -97,6 +97,122 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixCase{"incomplete", 3, false},
                       MatrixCase{"incomplete", 3, true}));
 
+// The round-based parallel incomplete global stage: sweeping
+// sparkline.skyline.incomplete.parallel on/off (crossed with row/columnar
+// and several executor counts, including one chunk per tuple) on NULL-heavy
+// data must always reproduce the brute-force oracle — the rotation rounds
+// may not change results under non-transitive dominance.
+struct IncompleteParallelCase {
+  size_t rows;
+  size_t dims;
+  bool distinct;
+  double null_probability;
+};
+
+class IncompleteParallel
+    : public ::testing::TestWithParam<IncompleteParallelCase> {};
+
+TEST_P(IncompleteParallel, MatchesBruteForceOracle) {
+  const auto& param = GetParam();
+  Session session;
+  TablePtr table = datagen::GeneratePoints(
+      "pts", param.rows, param.dims, datagen::PointDistribution::kAntiCorrelated,
+      /*seed=*/99, param.null_probability);
+  ASSERT_OK(session.catalog()->RegisterTable(table));
+
+  std::vector<std::string> items;
+  std::vector<skyline::BoundDimension> oracle_dims;
+  for (size_t d = 0; d < param.dims; ++d) {
+    items.push_back(StrCat("d", d, d % 2 == 0 ? " MIN" : " MAX"));
+    oracle_dims.push_back(skyline::BoundDimension{
+        d + 1, d % 2 == 0 ? SkylineGoal::kMin : SkylineGoal::kMax});
+  }
+  const std::string query =
+      StrCat("SELECT * FROM pts SKYLINE OF ", param.distinct ? "DISTINCT " : "",
+             JoinStrings(items, ", "));
+
+  skyline::SkylineOptions oracle_options;
+  oracle_options.distinct = param.distinct;
+  oracle_options.nulls = skyline::NullSemantics::kIncomplete;
+  const std::vector<std::string> expected = RowStrings(
+      skyline::BruteForceSkyline(table->rows(), oracle_dims, oracle_options));
+  ASSERT_FALSE(expected.empty());
+
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "incomplete"));
+  // The executor sweep includes param.rows, which makes the global stage
+  // split into one chunk per tuple (every candidate scan is a singleton and
+  // all work happens in the validation rounds).
+  const std::vector<std::string> executor_counts = {
+      "1", "2", "3", "8", std::to_string(param.rows)};
+  for (const char* parallel : {"true", "false"}) {
+    for (const char* columnar : {"true", "false"}) {
+      for (const std::string& executors : executor_counts) {
+        ASSERT_OK(
+            session.SetConf("sparkline.skyline.incomplete.parallel", parallel));
+        ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
+        ASSERT_OK(session.SetConf("sparkline.executors", executors));
+        ASSERT_EQ(expected, RowStrings(Rows(&session, query)))
+            << "parallel=" << parallel << " columnar=" << columnar
+            << " executors=" << executors;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NullHeavy, IncompleteParallel,
+    ::testing::Values(IncompleteParallelCase{64, 3, false, 0.5},
+                      IncompleteParallelCase{64, 3, true, 0.5},
+                      IncompleteParallelCase{200, 4, false, 0.35},
+                      IncompleteParallelCase{200, 2, true, 0.6}));
+
+// The incomplete global stage must split into the round-based stages for
+// multi-executor configs (visible as [candidates]/[validate]/[finalize]
+// entries in operator_ms) and stay a single task with one executor or the
+// flag off.
+TEST(ParallelIncompleteGlobal, StageSplitsForMultipleExecutors) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 1500, 3, datagen::PointDistribution::kAntiCorrelated, 11,
+      /*null_probability=*/0.3)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "incomplete"));
+  const std::string query =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX, d2 MIN";
+
+  auto metrics_for = [&](const char* execs, const char* parallel) {
+    SL_CHECK_OK(session.SetConf("sparkline.executors", execs));
+    SL_CHECK_OK(
+        session.SetConf("sparkline.skyline.incomplete.parallel", parallel));
+    auto df = session.Sql(query);
+    SL_CHECK(df.ok());
+    auto r = df->Collect();
+    SL_CHECK(r.ok()) << r.status().ToString();
+    return r->metrics;
+  };
+
+  const QueryMetrics multi = metrics_for("4", "true");
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [incomplete]"), 0u)
+      << "incomplete global stage still runs as a single task with 4 executors";
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [incomplete] [candidates]"),
+            1u);
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [incomplete] [validate]"),
+            1u);
+  EXPECT_EQ(multi.operator_ms.count("GlobalSkyline [incomplete] [finalize]"),
+            1u);
+
+  const QueryMetrics single = metrics_for("1", "true");
+  EXPECT_EQ(single.operator_ms.count("GlobalSkyline [incomplete]"), 1u);
+  EXPECT_EQ(single.operator_ms.count("GlobalSkyline [incomplete] [candidates]"),
+            0u);
+
+  const QueryMetrics disabled = metrics_for("4", "false");
+  EXPECT_EQ(disabled.operator_ms.count("GlobalSkyline [incomplete]"), 1u)
+      << "flag off must restore the single-task fallback";
+  EXPECT_EQ(
+      disabled.operator_ms.count("GlobalSkyline [incomplete] [candidates]"),
+      0u);
+}
+
 // The parallel partial-merge global stage (the tentpole of the columnar
 // PR): with multiple executors the complete global skyline must run as a
 // parallel partial stage plus a single-task merge — not as one single task.
