@@ -7,14 +7,31 @@
 namespace sparkline {
 
 std::string QueryMetrics::ToString() const {
-  return StrCat("wall=", DoubleToString(wall_ms), "ms simulated=",
-                DoubleToString(simulated_ms),
-                "ms peak_mem=", peak_memory_bytes / (1 << 20),
-                "MB dominance_tests=", dominance_tests,
-                " rows_shuffled=", rows_shuffled);
+  std::string out =
+      StrCat("wall=", DoubleToString(wall_ms), "ms simulated=",
+             DoubleToString(simulated_ms),
+             "ms peak_mem=", peak_memory_bytes / (1 << 20),
+             "MB dominance_tests=", dominance_tests,
+             " rows_shuffled=", rows_shuffled);
+  if (cache_lookup_ms > 0 || cache_hit) {
+    out += StrCat(" cache=", cache_hit ? "hit" : "miss",
+                  " cache_lookup=", DoubleToString(cache_lookup_ms), "ms");
+  }
+  out += StrCat(" rows_served=", rows_served, " bytes_served=", bytes_served);
+  return out;
+}
+
+int64_t EstimatedRowsBytes(const std::vector<Row>& rows) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row)) *
+                  static_cast<int64_t>(rows.capacity());
+  for (const auto& row : rows) {
+    for (const auto& value : row) bytes += value.EstimatedBytes();
+  }
+  return bytes;
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {
+  const std::vector<Row>& rows = this->rows();
   std::vector<std::string> headers;
   headers.reserve(attrs.size());
   for (const auto& a : attrs) headers.push_back(a.name);

@@ -1,6 +1,7 @@
 // Query results: rows plus the metrics the paper's evaluation reports.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,10 +13,37 @@
 namespace sparkline {
 
 /// \brief A fully materialized query result.
+///
+/// Ownership: rows are held as a shared *immutable* snapshot. Executing a
+/// query produces a snapshot owned solely by its QueryResult; a result-cache
+/// hit aliases the snapshot stored in the cache — no deep copy is made on
+/// the hit path, and the same snapshot may back many concurrent results.
+/// Callers must therefore never mutate rows() in place; copy first if a
+/// mutable row set is needed.
 struct QueryResult {
   std::vector<Attribute> attrs;
-  std::vector<Row> rows;
   QueryMetrics metrics;
+
+  /// The result rows (empty before SetRows).
+  const std::vector<Row>& rows() const {
+    static const std::vector<Row> kEmpty;
+    return rows_ == nullptr ? kEmpty : *rows_;
+  }
+
+  /// The underlying shared snapshot (null before SetRows). The cache stores
+  /// this pointer directly, which is what makes hits zero-copy.
+  const std::shared_ptr<const std::vector<Row>>& shared_rows() const {
+    return rows_;
+  }
+
+  /// Takes sole ownership of freshly produced rows.
+  void SetRows(std::vector<Row> rows) {
+    rows_ = std::make_shared<const std::vector<Row>>(std::move(rows));
+  }
+  /// Aliases an existing (e.g. cached) snapshot.
+  void SetRows(std::shared_ptr<const std::vector<Row>> rows) {
+    rows_ = std::move(rows);
+  }
 
   Schema schema() const {
     Schema s;
@@ -23,10 +51,18 @@ struct QueryResult {
     return s;
   }
 
-  size_t num_rows() const { return rows.size(); }
+  size_t num_rows() const { return rows_ == nullptr ? 0 : rows_->size(); }
 
   /// ASCII table rendering (up to `max_rows` rows).
   std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::shared_ptr<const std::vector<Row>> rows_;
 };
+
+/// Approximate in-memory footprint of a row set (Value::EstimatedBytes of
+/// every cell + vector overhead); used for cache byte budgeting and the
+/// bytes_served metric.
+int64_t EstimatedRowsBytes(const std::vector<Row>& rows);
 
 }  // namespace sparkline

@@ -118,7 +118,83 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(config_.optimizer.column_pruning, ParseBool(value));
     return Status::OK();
   }
+  if (k == "sparkline.cache.enabled") {
+    SL_ASSIGN_OR_RETURN(config_.cache_enabled, ParseBool(value));
+    if (!config_.cache_enabled) {
+      std::lock_guard<std::mutex> lock(serve_mu_);
+      if (cache_ != nullptr) cache_->Clear();
+    }
+    return Status::OK();
+  }
+  if (k == "sparkline.cache.capacity_bytes") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) {
+      return Status::Invalid("sparkline.cache.capacity_bytes must be >= 0");
+    }
+    config_.cache_capacity_bytes = n;
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (cache_ != nullptr) cache_->set_capacity_bytes(n);
+    return Status::OK();
+  }
+  if (k == "sparkline.cache.ttl_ms") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) return Status::Invalid("sparkline.cache.ttl_ms must be >= 0");
+    config_.cache_ttl_ms = n;
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (cache_ != nullptr) cache_->set_ttl_ms(n);
+    return Status::OK();
+  }
+  if (k == "sparkline.serve.max_concurrent") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 1 || n > 1024) {
+      return Status::Invalid("sparkline.serve.max_concurrent must be in [1, 1024]");
+    }
+    {
+      std::lock_guard<std::mutex> lock(serve_mu_);
+      if (service_ != nullptr) {
+        return Status::Invalid(
+            "sparkline.serve.max_concurrent cannot change after the query "
+            "service has started");
+      }
+    }
+    config_.serve_max_concurrent = static_cast<int>(n);
+    return Status::OK();
+  }
   return Status::Invalid(StrCat("unknown configuration key '", key, "'"));
+}
+
+serve::ResultCache* Session::cache() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (cache_ == nullptr) {
+    serve::ResultCache::Options options;
+    options.capacity_bytes = config_.cache_capacity_bytes;
+    options.ttl_ms = config_.cache_ttl_ms;
+    cache_ = std::make_shared<serve::ResultCache>(options);
+    // Invalidate dependents on every catalog write. The listener holds the
+    // cache weakly so a dead session's cache (and its resident results)
+    // can be reclaimed even if the catalog outlives the session.
+    catalog_->AddWriteListener(
+        [weak = std::weak_ptr<serve::ResultCache>(cache_)](
+            const std::string& table) {
+          if (auto cache = weak.lock()) cache->InvalidateTable(table);
+        });
+  }
+  return cache_.get();
+}
+
+serve::QueryService* Session::service() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (service_ == nullptr) {
+    serve::QueryService::Options options;
+    options.max_concurrent = config_.serve_max_concurrent;
+    service_ = std::make_unique<serve::QueryService>(this, options);
+  }
+  return service_.get();
+}
+
+Result<std::future<Result<QueryResult>>> Session::SqlAsync(
+    const std::string& sql) {
+  return service()->Submit(sql);
 }
 
 Result<DataFrame> Session::Sql(const std::string& sql) {
@@ -166,6 +242,39 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
 
 Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
   SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+
+  // Consult the fingerprinted result cache (serve layer). The fingerprint
+  // is computed post-analysis so lexically different but semantically
+  // identical queries share an entry; table versions inside the hash keep
+  // stale hits impossible.
+  serve::PlanFingerprint fp;
+  double lookup_ms = 0;
+  bool use_cache = config_.cache_enabled;
+  if (use_cache) {
+    StopWatch lookup;
+    fp = serve::FingerprintPlan(analyzed);
+    use_cache = fp.cacheable;
+    if (use_cache) {
+      std::shared_ptr<const serve::CachedResult> hit = cache()->Lookup(fp);
+      lookup_ms = lookup.ElapsedMillis();
+      if (hit != nullptr) {
+        QueryResult result;
+        result.attrs = hit->attrs;
+        result.SetRows(hit->rows);  // shared snapshot, no copy
+        result.metrics.cache_hit = true;
+        result.metrics.cache_lookup_ms = lookup_ms;
+        result.metrics.wall_ms = lookup_ms;
+        result.metrics.simulated_ms = lookup_ms;
+        result.metrics.operator_ms["[cache-hit]"] = lookup_ms;
+        result.metrics.rows_served =
+            static_cast<int64_t>(hit->rows->size());
+        result.metrics.bytes_served = hit->bytes;
+        return result;
+      }
+    }
+    // Uncacheable plans report cache_lookup_ms = 0: no probe happened.
+  }
+
   SL_ASSIGN_OR_RETURN(LogicalPlanPtr optimized, Optimize(analyzed));
   SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
 
@@ -175,8 +284,22 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
 
   QueryResult result;
   result.attrs = rel.attrs;
-  result.rows = std::move(rel).Flatten();
+  result.SetRows(std::move(rel).Flatten());
   result.metrics = ctx.Finish(wall.ElapsedMillis());
+  result.metrics.cache_lookup_ms = lookup_ms;
+  result.metrics.rows_served = static_cast<int64_t>(result.num_rows());
+  // The byte estimate walks every result cell; only pay for it when the
+  // cache needs it for budget charging.
+  if (config_.cache_enabled) {
+    result.metrics.bytes_served = EstimatedRowsBytes(result.rows());
+  }
+  if (use_cache) {
+    auto entry = std::make_shared<serve::CachedResult>();
+    entry->attrs = result.attrs;
+    entry->rows = result.shared_rows();
+    entry->bytes = result.metrics.bytes_served;
+    cache()->Insert(fp, std::move(entry));
+  }
   return result;
 }
 

@@ -24,9 +24,16 @@
 //   sparkline.optimizer.filterPushdown      bool
 //   sparkline.optimizer.constantFolding     bool
 //   sparkline.optimizer.columnPruning       bool
+//   sparkline.cache.enabled                 bool, fingerprinted result cache
+//   sparkline.cache.capacity_bytes          cache byte budget
+//   sparkline.cache.ttl_ms                  entry TTL (0 = none)
+//   sparkline.serve.max_concurrent          query-service threads /
+//                                           admission base
 #pragma once
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "analysis/analyzer.h"
@@ -34,6 +41,8 @@
 #include "catalog/catalog.h"
 #include "exec/planner.h"
 #include "optimizer/optimizer.h"
+#include "serve/query_service.h"
+#include "serve/result_cache.h"
 
 namespace sparkline {
 
@@ -66,6 +75,22 @@ struct SessionConfig {
   /// sparkline.skyline.nonDistributedThreshold (rows; 0 = off).
   int64_t non_distributed_threshold = 0;
   OptimizerOptions optimizer;
+
+  // --- serve layer (src/serve) ---------------------------------------------
+  /// Fingerprinted result cache around Execute. Results served from the
+  /// cache are bit-identical to uncached execution; hits are marked in
+  /// QueryMetrics (cache_hit, "[cache-hit]" stage). Key:
+  /// sparkline.cache.enabled.
+  bool cache_enabled = false;
+  /// Cache byte budget, charged through a MemoryTracker. Key:
+  /// sparkline.cache.capacity_bytes.
+  int64_t cache_capacity_bytes = 256ll << 20;
+  /// Cache entry TTL in ms (0 = no expiry). Key: sparkline.cache.ttl_ms.
+  int64_t cache_ttl_ms = 0;
+  /// Query-service threads (= max concurrently executing queries; the
+  /// admission cap defaults to 4x this). Read when the service is first
+  /// used. Key: sparkline.serve.max_concurrent.
+  int serve_max_concurrent = 4;
 };
 
 /// \brief Per-query EXPLAIN output: the plan after each pipeline stage of
@@ -87,11 +112,28 @@ class Session {
   const SessionConfig& config() const { return config_; }
   SessionConfig* mutable_config() { return &config_; }
 
-  /// String-keyed configuration, Spark-style.
+  /// String-keyed configuration, Spark-style. Not synchronized with query
+  /// execution: configure before serving — calling SetConf while SqlAsync
+  /// queries are in flight races with their config reads. (The cache's
+  /// capacity/TTL knobs are safe to adjust at runtime through an already
+  /// created cache(), which is internally synchronized.)
   Status SetConf(const std::string& key, const std::string& value);
 
   /// Parses SQL into a DataFrame (lazily executed).
   Result<DataFrame> Sql(const std::string& sql);
+
+  /// Submits SQL to the session's QueryService: parse/analyze/execute run
+  /// on a service thread and the result arrives through the future.
+  /// Rejects immediately with Status::Unavailable past the admission cap.
+  Result<std::future<Result<QueryResult>>> SqlAsync(const std::string& sql);
+
+  /// The lazily created serving front-end (created with the
+  /// sparkline.serve.max_concurrent in effect at first use).
+  serve::QueryService* service();
+
+  /// The lazily created result cache (also created when a cache-enabled
+  /// Execute first runs). Never null.
+  serve::ResultCache* cache() const;
 
   /// A DataFrame over a registered table.
   Result<DataFrame> Table(const std::string& name);
@@ -111,6 +153,14 @@ class Session {
  private:
   std::shared_ptr<Catalog> catalog_;
   SessionConfig config_;
+
+  // Serve layer, created lazily (and guarded) because Execute is const and
+  // sessions without caching/async use should pay nothing. Destruction
+  // order matters: service_ runs queries against this session, so it is
+  // declared last and therefore destroyed first.
+  mutable std::mutex serve_mu_;
+  mutable std::shared_ptr<serve::ResultCache> cache_;
+  std::unique_ptr<serve::QueryService> service_;
 };
 
 }  // namespace sparkline

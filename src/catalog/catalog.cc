@@ -1,23 +1,59 @@
 #include "catalog/catalog.h"
 
+#include <atomic>
+
 #include "common/string_util.h"
 
 namespace sparkline {
 
+namespace {
+// Version values are drawn from one process-wide counter, not a per-catalog
+// one: a value is then never reused by any catalog, so a stamp on a Table
+// snapshot identifies that immutable snapshot globally — even when the same
+// TablePtr is registered into several catalogs (re-stamping can only turn
+// cache hits into misses, never fabricate a colliding key).
+std::atomic<uint64_t> g_version_counter{0};
+}  // namespace
+
+uint64_t Catalog::BumpVersionLocked(const std::string& key) {
+  return versions_[key] = g_version_counter.fetch_add(1) + 1;
+}
+
+void Catalog::NotifyWrite(const std::string& key) {
+  std::vector<WriteListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) listener(key);
+}
+
 Status Catalog::RegisterTable(TablePtr table) {
   std::string key = ToLower(table->name());
-  if (tables_.count(key) > 0) {
-    return Status::AlreadyExists(StrCat("table ", table->name()));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (tables_.count(key) > 0) {
+      return Status::AlreadyExists(StrCat("table ", table->name()));
+    }
+    table->set_version(BumpVersionLocked(key));
+    tables_[key] = std::move(table);
   }
-  tables_[key] = std::move(table);
+  NotifyWrite(key);
   return Status::OK();
 }
 
 void Catalog::RegisterOrReplaceTable(TablePtr table) {
-  tables_[ToLower(table->name())] = std::move(table);
+  std::string key = ToLower(table->name());
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    table->set_version(BumpVersionLocked(key));
+    tables_[key] = std::move(table);
+  }
+  NotifyWrite(key);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound(StrCat("table ", name, " not found in catalog"));
@@ -26,23 +62,80 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(ToLower(name)) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  auto it = tables_.find(ToLower(name));
-  if (it == tables_.end()) {
-    return Status::NotFound(StrCat("table ", name, " not found in catalog"));
+  std::string key = ToLower(name);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound(StrCat("table ", name, " not found in catalog"));
+    }
+    tables_.erase(it);
+    BumpVersionLocked(key);
   }
-  tables_.erase(it);
+  NotifyWrite(key);
   return Status::OK();
 }
 
+Status Catalog::InsertInto(const std::string& name,
+                           const std::vector<Row>& rows) {
+  std::string key = ToLower(name);
+  for (;;) {
+    // Snapshot under a shared lock, build the successor unlocked (the copy
+    // and validation are O(table), far too slow to hold readers out), then
+    // publish only if no other writer got there first.
+    TablePtr old;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = tables_.find(key);
+      if (it == tables_.end()) {
+        return Status::NotFound(
+            StrCat("table ", name, " not found in catalog"));
+      }
+      old = it->second;
+    }
+    auto next = std::make_shared<Table>(old->name(), old->schema());
+    next->constraints() = old->constraints();
+    next->Reserve(old->num_rows() + rows.size());
+    for (const Row& row : old->rows()) next->AppendRowUnchecked(row);
+    for (const Row& row : rows) SL_RETURN_NOT_OK(next->AppendRow(row));
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      auto it = tables_.find(key);
+      if (it == tables_.end()) {
+        return Status::NotFound(
+            StrCat("table ", name, " not found in catalog"));
+      }
+      if (it->second != old) continue;  // lost a race: rebuild on the winner
+      next->set_version(BumpVersionLocked(key));
+      it->second = std::move(next);
+    }
+    NotifyWrite(key);
+    return Status::OK();
+  }
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = versions_.find(ToLower(name));
+  return it == versions_.end() ? 0 : it->second;
+}
+
 std::vector<std::string> Catalog::ListTables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [k, v] : tables_) out.push_back(v->name());
   return out;
+}
+
+void Catalog::AddWriteListener(WriteListener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.push_back(std::move(listener));
 }
 
 }  // namespace sparkline

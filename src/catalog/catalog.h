@@ -1,8 +1,28 @@
 // The catalog maps table names to Table objects (paper Figure 2: the
 // Analyzer resolves identifiers against the Catalog).
+//
+// Thread safety: all methods may be called concurrently. Lookups take a
+// shared (reader) lock; DDL and inserts take an exclusive (writer) lock.
+// Tables themselves are treated as immutable once registered — InsertInto
+// replaces the registered Table with a copy-on-write successor, so plans
+// holding a TablePtr snapshot keep reading a consistent row set while
+// concurrent writers publish new versions.
+//
+// Versioning: every write that touches a name (register, replace, insert,
+// drop) draws a fresh value from a process-wide monotonic counter, records
+// it as that name's version, and stamps it on the registered Table
+// snapshot. Versions survive drops, so drop + recreate never reuses a
+// version, and the global counter means a stamp identifies one immutable
+// snapshot even across catalogs. The serve layer folds snapshot versions
+// into plan fingerprints and subscribes to write events to invalidate
+// cached results (docs/ARCHITECTURE.md: invalidation protocol).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,9 +31,13 @@
 
 namespace sparkline {
 
-/// \brief Case-insensitive table registry.
+/// \brief Case-insensitive, thread-safe table registry with versions.
 class Catalog {
  public:
+  /// Called (outside the catalog lock) after every write with the
+  /// lower-cased name of the table that changed.
+  using WriteListener = std::function<void(const std::string&)>;
+
   /// Registers a table; fails if the name is taken.
   Status RegisterTable(TablePtr table);
 
@@ -24,10 +48,35 @@ class Catalog {
   bool HasTable(const std::string& name) const;
   Status DropTable(const std::string& name);
 
+  /// Appends rows to a registered table via copy-on-write: validates and
+  /// builds a successor Table, then atomically replaces the registered
+  /// pointer and bumps the version. Readers holding the old TablePtr are
+  /// unaffected.
+  Status InsertInto(const std::string& name, const std::vector<Row>& rows);
+
+  /// Monotonic version of a table name; 0 if the name was never written.
+  /// Dropped names keep (and continue to advance) their version, so a
+  /// fingerprint taken before a drop can never match one taken after a
+  /// recreate.
+  uint64_t TableVersion(const std::string& name) const;
+
   std::vector<std::string> ListTables() const;
 
+  /// Registers a write listener (invalidation hook for the result cache).
+  /// Listeners must not call back into this catalog's write methods.
+  void AddWriteListener(WriteListener listener);
+
  private:
+  /// Bumps and returns the version of `key` (callers hold the write lock).
+  uint64_t BumpVersionLocked(const std::string& key);
+  void NotifyWrite(const std::string& key);
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, TablePtr> tables_;  // keyed by lower-cased name
+  std::map<std::string, uint64_t> versions_;
+
+  mutable std::mutex listeners_mu_;
+  std::vector<WriteListener> listeners_;
 };
 
 }  // namespace sparkline

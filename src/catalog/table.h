@@ -6,6 +6,8 @@
 // Carey & Kossmann for non-reductiveness).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +48,16 @@ class Table {
   TableConstraints& constraints() { return constraints_; }
   const TableConstraints& constraints() const { return constraints_; }
 
+  /// Catalog version stamped when this snapshot was (re)registered /
+  /// produced by a copy-on-write insert; 0 before registration. Plan
+  /// fingerprints read the version of the snapshot a Scan actually holds,
+  /// so cached results always describe the rows that were executed, even
+  /// if the catalog has moved on since analysis.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  void set_version(uint64_t v) {
+    version_.store(v, std::memory_order_release);
+  }
+
   /// Appends a row after checking arity and per-column type/nullability.
   Status AppendRow(Row row);
 
@@ -62,6 +74,7 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   TableConstraints constraints_;
+  std::atomic<uint64_t> version_{0};
 };
 
 using TablePtr = std::shared_ptr<Table>;

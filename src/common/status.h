@@ -22,6 +22,8 @@ enum class StatusCode : uint8_t {
   kAlreadyExists,
   kNotImplemented,
   kInternal,
+  /// Transient overload (e.g. the query service's admission cap); retry.
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a status code ("Parse error", ...).
@@ -67,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -118,6 +123,8 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -43,6 +43,22 @@ struct QueryMetrics {
   int64_t peak_memory_bytes = 0;
   int64_t dominance_tests = 0;
   int64_t rows_shuffled = 0;
+
+  // --- result-cache counters (serve layer) ---------------------------------
+  /// True when the rows were served from the fingerprinted result cache
+  /// instead of being executed; the lookup also appears as a "[cache-hit]"
+  /// stage in operator_ms.
+  bool cache_hit = false;
+  /// Time spent fingerprinting the plan + probing the cache (hit or miss);
+  /// 0 when the cache is disabled or the plan is uncacheable.
+  double cache_lookup_ms = 0;
+  /// Rows returned to the caller (executed or cached).
+  int64_t rows_served = 0;
+  /// Estimated bytes of the returned rows; computed only when the result
+  /// cache is enabled (the estimate is what the cache budget charges),
+  /// 0 otherwise.
+  int64_t bytes_served = 0;
+
   /// Critical-path milliseconds per operator label.
   std::map<std::string, double> operator_ms;
 

@@ -1,0 +1,324 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace sparkline {
+namespace serve {
+
+namespace {
+
+/// Builds the canonical rendering of a plan tree (see fingerprint.h for
+/// what is normalized away). Appends into a flat string; structure is kept
+/// unambiguous with explicit parentheses/brackets.
+class Canonicalizer {
+ public:
+  void WritePlan(const LogicalPlanPtr& plan) {
+    if (plan == nullptr) {
+      out_ += "<null>";
+      cacheable_ = false;
+      return;
+    }
+    switch (plan->kind()) {
+      case PlanKind::kUnresolvedRelation:
+        out_ += "unresolved";
+        cacheable_ = false;
+        return;
+      case PlanKind::kScan: {
+        const auto& scan = static_cast<const Scan&>(*plan);
+        const std::string name = ToLower(scan.table()->name());
+        tables_.push_back(name);
+        out_ += StrCat("scan(", name, "@", scan.table()->version());
+        out_ += ",cols[";
+        for (size_t i = 0; i < scan.column_indices().size(); ++i) {
+          if (i > 0) out_ += ",";
+          out_ += std::to_string(scan.column_indices()[i]);
+        }
+        out_ += "],out[";
+        const auto attrs = scan.output();
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          if (i > 0) out_ += ",";
+          WriteAttr(attrs[i]);
+        }
+        out_ += "])";
+        return;
+      }
+      case PlanKind::kLocalRelation:
+        // In-memory rows have no catalog identity/version to key on.
+        out_ += "local";
+        cacheable_ = false;
+        return;
+      case PlanKind::kSubqueryAlias:
+        // Pure renaming: contributes nothing to rows or output names.
+        WritePlan(static_cast<const SubqueryAlias&>(*plan).child());
+        return;
+      case PlanKind::kProject: {
+        const auto& node = static_cast<const Project&>(*plan);
+        out_ += "project[";
+        WriteExprList(node.list());
+        out_ += "](";
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kFilter: {
+        const auto& node = static_cast<const Filter&>(*plan);
+        out_ += "filter[";
+        WriteExpr(node.condition());
+        out_ += "](";
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kJoin: {
+        const auto& node = static_cast<const Join&>(*plan);
+        out_ += StrCat("join:", JoinTypeName(node.join_type()), "[");
+        WriteExpr(node.condition());
+        out_ += "][";
+        for (size_t i = 0; i < node.using_columns().size(); ++i) {
+          if (i > 0) out_ += ",";
+          out_ += ToLower(node.using_columns()[i]);
+        }
+        out_ += "](";
+        WritePlan(node.left());
+        out_ += ",";
+        WritePlan(node.right());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kAggregate: {
+        const auto& node = static_cast<const Aggregate&>(*plan);
+        out_ += "aggregate[";
+        WriteExprList(node.group_list());
+        out_ += "][";
+        WriteExprList(node.agg_list());
+        out_ += "](";
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kSort: {
+        const auto& node = static_cast<const Sort&>(*plan);
+        out_ += "sort[";
+        for (size_t i = 0; i < node.orders().size(); ++i) {
+          const SortOrder& o = node.orders()[i];
+          if (i > 0) out_ += ",";
+          WriteExpr(o.expr);
+          out_ += StrCat(":", o.ascending ? "asc" : "desc",
+                         o.nulls_first ? ":nf" : ":nl");
+        }
+        out_ += "](";
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kLimit: {
+        const auto& node = static_cast<const Limit&>(*plan);
+        out_ += StrCat("limit:", node.n(), "(");
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kDistinct: {
+        out_ += "distinct(";
+        WritePlan(static_cast<const Distinct&>(*plan).child());
+        out_ += ")";
+        return;
+      }
+      case PlanKind::kSkyline: {
+        const auto& node = static_cast<const SkylineNode&>(*plan);
+        out_ += StrCat("skyline:", node.distinct() ? "d" : "-",
+                       node.complete() ? "c" : "-", "[");
+        WriteExprList(node.dimensions());
+        out_ += "](";
+        WritePlan(node.child());
+        out_ += ")";
+        return;
+      }
+    }
+    out_ += "unknown-plan";
+    cacheable_ = false;
+  }
+
+  PlanFingerprint Finish() && {
+    PlanFingerprint fp;
+    fp.cacheable = cacheable_;
+    std::sort(tables_.begin(), tables_.end());
+    tables_.erase(std::unique(tables_.begin(), tables_.end()), tables_.end());
+    fp.tables = std::move(tables_);
+    // Two independently seeded FNV-1a runs give a 128-bit key; the seeds
+    // make the halves differ even though the polynomial is shared.
+    fp.hash_hi = Fnv1a(out_, 0xcbf29ce484222325ull);
+    fp.hash_lo = Fnv1a(out_, 0x9e3779b97f4a7c15ull);
+    fp.canonical = std::move(out_);
+    return fp;
+  }
+
+ private:
+  static uint64_t Fnv1a(const std::string& s, uint64_t seed) {
+    uint64_t h = seed;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
+  /// ExprIds are minted fresh per analysis; map them to first-seen ordinals
+  /// so identical queries canonicalize identically.
+  int64_t NormalizeId(ExprId id) {
+    auto [it, inserted] = ids_.emplace(id, static_cast<int64_t>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+  /// Attribute identity is the normalized id plus the type; the qualifier
+  /// (table alias) is deliberately dropped, the name is kept — case-exact,
+  /// since it reaches the output header — where the node produces it
+  /// (Scan outputs, Aliases).
+  void WriteAttr(const Attribute& attr) {
+    out_ += StrCat(attr.name, "#", NormalizeId(attr.id), ":",
+                   attr.type.ToString());
+  }
+
+  void WriteExprList(const std::vector<ExprPtr>& exprs) {
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (i > 0) out_ += ",";
+      WriteExpr(exprs[i]);
+    }
+  }
+
+  void WriteExpr(const ExprPtr& e) {
+    if (e == nullptr) {
+      out_ += "<null>";
+      return;
+    }
+    switch (e->kind()) {
+      case ExprKind::kLiteral: {
+        const Value& v = static_cast<const Literal&>(*e).value();
+        out_ += StrCat("lit:", v.type().ToString(), ":",
+                       v.is_null() ? "NULL" : v.ToString());
+        return;
+      }
+      case ExprKind::kAttributeRef: {
+        const Attribute& attr = static_cast<const AttributeRef&>(*e).attr();
+        out_ += StrCat("#", NormalizeId(attr.id));
+        return;
+      }
+      case ExprKind::kBoundReference: {
+        const auto& ref = static_cast<const BoundReference&>(*e);
+        out_ += StrCat("bound:", ref.ordinal());
+        return;
+      }
+      case ExprKind::kAlias: {
+        const auto& alias = static_cast<const Alias&>(*e);
+        out_ += StrCat("alias:", alias.name(), "#",
+                       NormalizeId(alias.id()), "(");
+        WriteExpr(alias.child());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& bin = static_cast<const BinaryExpr&>(*e);
+        out_ += StrCat("(", BinaryOpSymbol(bin.op()), " ");
+        WriteExpr(bin.left());
+        out_ += " ";
+        WriteExpr(bin.right());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& un = static_cast<const UnaryExpr&>(*e);
+        out_ += StrCat("(u", static_cast<int>(un.op()), " ");
+        WriteExpr(un.child());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kCast: {
+        const auto& cast = static_cast<const Cast&>(*e);
+        out_ += StrCat("cast:", cast.type().ToString(), "(");
+        WriteExpr(cast.child());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kFunctionCall: {
+        const auto& fn = static_cast<const FunctionCall&>(*e);
+        out_ += StrCat("fn:", ToLower(fn.name()), "(");
+        WriteExprList(fn.args());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kAggregate: {
+        const auto& agg = static_cast<const AggregateExpr&>(*e);
+        out_ += StrCat("agg:", AggFnName(agg.fn()),
+                       agg.distinct() ? ":distinct" : "", "(");
+        WriteExpr(agg.child());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kSkylineDimension: {
+        const auto& dim = static_cast<const SkylineDimension&>(*e);
+        out_ += StrCat("dim:", SkylineGoalName(dim.goal()), "(");
+        WriteExpr(dim.child());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kExistsSubquery: {
+        const auto& sub = static_cast<const ExistsSubquery&>(*e);
+        out_ += StrCat("exists:", sub.negated() ? "not" : "is", "(");
+        WritePlan(sub.plan());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kScalarSubquery: {
+        const auto& sub = static_cast<const ScalarSubquery&>(*e);
+        out_ += "scalar-subquery(";
+        WritePlan(sub.plan());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kOuterRef: {
+        out_ += "outer(";
+        WriteExpr(static_cast<const OuterRef&>(*e).inner());
+        out_ += ")";
+        return;
+      }
+      case ExprKind::kPhysicalSubquery:
+      case ExprKind::kUnresolvedAttribute:
+      case ExprKind::kStar:
+        // Unresolved or exec-time-only nodes: refuse to cache.
+        out_ += "uncacheable-expr";
+        cacheable_ = false;
+        return;
+    }
+    out_ += "unknown-expr";
+    cacheable_ = false;
+  }
+
+  std::string out_;
+  std::map<ExprId, int64_t> ids_;
+  std::vector<std::string> tables_;
+  bool cacheable_ = true;
+};
+
+}  // namespace
+
+std::string PlanFingerprint::Key() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx",
+                static_cast<unsigned long long>(hash_hi),
+                static_cast<unsigned long long>(hash_lo));
+  return std::string(buf);
+}
+
+PlanFingerprint FingerprintPlan(const LogicalPlanPtr& analyzed) {
+  Canonicalizer canon;
+  canon.WritePlan(analyzed);
+  return std::move(canon).Finish();
+}
+
+}  // namespace serve
+}  // namespace sparkline

@@ -1,0 +1,70 @@
+// Plan fingerprinting: a canonical 128-bit hash over *analyzed* logical
+// plans, used as the key of the serve-layer result cache.
+//
+// Two plans receive the same fingerprint exactly when they are guaranteed
+// to produce the same result rows against the same table versions:
+//
+//   - The canonical form is computed from the analyzed plan, so lexical
+//     differences (whitespace, case of keywords, redundant parentheses)
+//     never matter.
+//   - Catalyst-style expression ids (ExprId), which are minted fresh on
+//     every parse, are replaced by first-seen ordinals; two analyses of the
+//     same query therefore canonicalize identically.
+//   - Table aliases and attribute qualifiers are ignored (SubqueryAlias
+//     nodes are skipped), because they affect neither rows nor the output
+//     column names.
+//   - Output column *names* (Project aliases) ARE part of the form — they
+//     change the result header.
+//   - Every Scan contributes its lower-cased table name plus the catalog
+//     version stamped on the *table snapshot the Scan holds* (captured at
+//     analysis time). Fingerprint and execution therefore always describe
+//     the same rows — a write landing between analysis and execution keys
+//     the cached result under the snapshot's (old) version, which no
+//     post-write fingerprint can match. Any write to a referenced table
+//     (insert / replace / drop + recreate) shifts the version, so stale
+//     entries can never be returned, even if active invalidation were to
+//     miss.
+//   - Literal values (with their type tags), skyline dimensions with their
+//     MIN/MAX/DIFF goals and DISTINCT/COMPLETE flags, join types, sort
+//     directions, limits etc. are all folded in.
+//
+// Plans with LocalRelation leaves (in-memory DataFrames) have no catalog
+// identity to version, so they are reported as not cacheable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace sparkline {
+namespace serve {
+
+/// \brief The canonical identity of an analyzed plan.
+struct PlanFingerprint {
+  /// False when the plan must not be cached (LocalRelation leaves or
+  /// unresolved nodes); hash/tables are still filled in for diagnostics.
+  bool cacheable = false;
+  /// 128-bit canonical hash (two independently seeded 64-bit FNV-1a runs).
+  uint64_t hash_hi = 0;
+  uint64_t hash_lo = 0;
+  /// Lower-cased, sorted, deduplicated names of every referenced table
+  /// (including tables referenced from scalar subqueries) — the cache's
+  /// invalidation index.
+  std::vector<std::string> tables;
+  /// The canonical rendering the hash was computed from (kept for tests
+  /// and EXPLAIN-style debugging; not used for equality).
+  std::string canonical;
+
+  /// Hex cache key ("hi:lo").
+  std::string Key() const;
+};
+
+/// Computes the fingerprint of an analyzed plan. Table versions are read
+/// from the Table snapshots the plan's Scans hold (stamped by the catalog
+/// on every write), not from the live catalog.
+PlanFingerprint FingerprintPlan(const LogicalPlanPtr& analyzed);
+
+}  // namespace serve
+}  // namespace sparkline

@@ -1,0 +1,73 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+
+#include "api/dataframe.h"
+#include "api/session.h"
+#include "common/string_util.h"
+
+namespace sparkline {
+namespace serve {
+
+QueryService::QueryService(Session* session, const Options& options)
+    : session_(session),
+      max_pending_(options.max_pending > 0
+                       ? options.max_pending
+                       : 4 * std::max(1, options.max_concurrent)),
+      pool_(std::make_unique<ThreadPool>(
+          static_cast<size_t>(std::max(1, options.max_concurrent)))) {}
+
+QueryService::~QueryService() {
+  // ThreadPool's destructor drains the queue, so every admitted promise is
+  // fulfilled before the service goes away.
+  pool_.reset();
+}
+
+namespace {
+Result<QueryResult> RunOne(Session* session, const std::string& sql) {
+  SL_ASSIGN_OR_RETURN(DataFrame df, session->Sql(sql));
+  return df.Collect();
+}
+}  // namespace
+
+Result<std::future<Result<QueryResult>>> QueryService::Submit(
+    std::string sql) {
+  const int64_t in_flight = in_flight_.fetch_add(1) + 1;
+  if (in_flight > max_pending_) {
+    in_flight_.fetch_sub(1);
+    rejected_.fetch_add(1);
+    return Status::Unavailable(
+        StrCat("query service admission cap reached (", max_pending_,
+               " queries in flight); retry later"));
+  }
+  submitted_.fetch_add(1);
+
+  auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
+  std::future<Result<QueryResult>> future = promise->get_future();
+  pool_->Submit([this, promise, sql = std::move(sql)]() {
+    Result<QueryResult> result = RunOne(session_, sql);
+    // Counters flip before the future unblocks so that a caller observing
+    // future.get() sees them settled.
+    completed_.fetch_add(1);
+    in_flight_.fetch_sub(1);
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+Result<QueryResult> QueryService::Execute(const std::string& sql) {
+  SL_ASSIGN_OR_RETURN(auto future, Submit(sql));
+  return future.get();
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load();
+  s.completed = completed_.load();
+  s.rejected = rejected_.load();
+  s.in_flight = in_flight_.load();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace sparkline

@@ -1,0 +1,92 @@
+// QueryService: the concurrent serving front-end.
+//
+// Accepts SQL strings, runs them asynchronously on a shared ThreadPool of
+// `max_concurrent` service threads, and returns futures. The session's
+// fingerprinted result cache (consulted inside Session::Execute) makes
+// repeated queries short-circuit; the service adds concurrency and
+// admission control on top:
+//
+//   - max_concurrent service threads execute queries in parallel (each
+//     query still gets its own simulated-cluster ExecContext/pool).
+//   - Admission cap: at most `max_pending` queries may be in flight
+//     (queued + running). Beyond that Submit fails fast with
+//     Status::Unavailable instead of queueing unboundedly — callers are
+//     expected to retry with backoff, which keeps tail latency bounded
+//     under overload.
+//
+// Thread safety: Submit/Execute may be called from any thread. The service
+// relies on the Catalog being internally synchronized and on the Session
+// configuration not being mutated concurrently with serving (configure
+// first, then serve).
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "api/query_result.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+
+namespace sparkline {
+
+class Session;
+
+namespace serve {
+
+/// \brief Asynchronous SQL execution with admission control.
+class QueryService {
+ public:
+  struct Options {
+    /// Service threads == maximum concurrently *executing* queries.
+    int max_concurrent = 4;
+    /// Maximum in-flight (queued + running) queries before Submit rejects
+    /// with Unavailable; 0 derives 4 * max_concurrent.
+    int max_pending = 0;
+  };
+
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t rejected = 0;  ///< admission-cap rejections
+    int64_t in_flight = 0;
+  };
+
+  /// `session` must outlive the service.
+  QueryService(Session* session, const Options& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Parses, analyzes and executes `sql` on a service thread. Fails fast
+  /// with Status::Unavailable when the admission cap is reached; all other
+  /// errors (parse/analysis/execution) are delivered through the future.
+  Result<std::future<Result<QueryResult>>> Submit(std::string sql);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Blocks until every admitted query has finished.
+  void Drain() { pool_->WaitIdle(); }
+
+  Stats stats() const;
+  int max_concurrent() const {
+    return static_cast<int>(pool_->num_threads());
+  }
+  int max_pending() const { return max_pending_; }
+
+ private:
+  Session* session_;
+  int max_pending_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> in_flight_{0};
+};
+
+}  // namespace serve
+}  // namespace sparkline

@@ -1,0 +1,140 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace sparkline {
+namespace serve {
+
+ResultCache::ResultCache(const Options& options)
+    : shards_(static_cast<size_t>(std::max(1, options.num_shards))),
+      capacity_bytes_(std::max<int64_t>(0, options.capacity_bytes)),
+      ttl_ms_(std::max<int64_t>(0, options.ttl_ms)) {}
+
+bool ResultCache::Expired(const Entry& entry, int64_t now_nanos) const {
+  const int64_t ttl = ttl_ms_.load();
+  return ttl > 0 && now_nanos - entry.inserted_nanos > ttl * 1000000;
+}
+
+void ResultCache::RemoveLocked(
+    Shard* shard, std::unordered_map<std::string, Entry>::iterator it) {
+  const Entry& entry = it->second;
+  shard->bytes -= entry.result->bytes;
+  memory_.Shrink(entry.result->bytes);
+  for (const std::string& table : entry.tables) {
+    auto t = shard->by_table.find(table);
+    if (t == shard->by_table.end()) continue;
+    auto& keys = t->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), it->first), keys.end());
+    if (keys.empty()) shard->by_table.erase(t);
+  }
+  shard->lru.erase(entry.lru_it);
+  shard->entries.erase(it);
+}
+
+void ResultCache::EvictToBudgetLocked(Shard* shard) {
+  const int64_t budget = PerShardBudget();
+  while (shard->bytes > budget && !shard->lru.empty()) {
+    auto it = shard->entries.find(shard->lru.back());
+    RemoveLocked(shard, it);
+    evictions_.fetch_add(1);
+  }
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const PlanFingerprint& fp) {
+  Shard& shard = ShardFor(fp);
+  const std::string key = fp.Key();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  if (Expired(it->second, StopWatch::NowNanos())) {
+    RemoveLocked(&shard, it);
+    evictions_.fetch_add(1);
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  hits_.fetch_add(1);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const PlanFingerprint& fp,
+                         std::shared_ptr<const CachedResult> entry) {
+  if (entry == nullptr || entry->bytes > PerShardBudget()) return;
+  Shard& shard = ShardFor(fp);
+  std::string key = fp.Key();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) RemoveLocked(&shard, it);
+
+  shard.lru.push_front(key);
+  Entry e;
+  e.result = std::move(entry);
+  e.tables = fp.tables;
+  e.inserted_nanos = StopWatch::NowNanos();
+  e.lru_it = shard.lru.begin();
+  shard.bytes += e.result->bytes;
+  memory_.Grow(e.result->bytes);
+  for (const std::string& table : e.tables) {
+    shard.by_table[table].push_back(key);
+  }
+  shard.entries.emplace(std::move(key), std::move(e));
+  EvictToBudgetLocked(&shard);
+}
+
+void ResultCache::InvalidateTable(const std::string& table_name) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto t = shard.by_table.find(table_name);
+    if (t == shard.by_table.end()) continue;
+    // RemoveLocked edits by_table; detach the key list first.
+    std::vector<std::string> keys = std::move(t->second);
+    shard.by_table.erase(t);
+    for (const std::string& key : keys) {
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) continue;
+      RemoveLocked(&shard, it);
+      invalidations_.fetch_add(1);
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (!shard.entries.empty()) {
+      RemoveLocked(&shard, shard.entries.begin());
+      evictions_.fetch_add(1);
+    }
+  }
+}
+
+void ResultCache::set_capacity_bytes(int64_t bytes) {
+  capacity_bytes_.store(std::max<int64_t>(0, bytes));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictToBudgetLocked(&shard);
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load();
+  s.misses = misses_.load();
+  s.evictions = evictions_.load();
+  s.invalidations = invalidations_.load();
+  s.resident_bytes = memory_.current_bytes();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += static_cast<int64_t>(shard.entries.size());
+  }
+  return s;
+}
+
+}  // namespace serve
+}  // namespace sparkline

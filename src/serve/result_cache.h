@@ -1,0 +1,149 @@
+// Sharded LRU cache of materialized skyline/query results, keyed by plan
+// fingerprint (serve/fingerprint.h).
+//
+// Design:
+//   - N shards (fingerprint hash_lo selects the shard), each with its own
+//     mutex, LRU list and hash map, so concurrent service threads rarely
+//     contend.
+//   - Entries hold *shared immutable* row snapshots
+//     (std::shared_ptr<const std::vector<Row>>); a hit aliases the snapshot
+//     into the caller's QueryResult — no deep copy, and eviction while a
+//     reader still holds the snapshot is safe.
+//   - The byte budget is charged through the existing MemoryTracker: every
+//     insert Grows it by the entry's estimated footprint and every
+//     eviction/invalidation Shrinks it, so cache residency shows up in the
+//     same accounting the executor uses.
+//   - TTL: entries older than ttl_ms are treated as misses and dropped
+//     lazily on lookup (0 = no expiry).
+//   - Invalidation: each shard keeps a reverse index table-name -> keys;
+//     InvalidateTable drops exactly the entries whose fingerprint
+//     referenced that table. Because table versions are *also* folded into
+//     the fingerprint hash, a missed invalidation can only ever cost a
+//     cache miss, never a stale hit.
+//   - Counters (hits / misses / evictions / invalidations) feed the
+//     cache_* fields of QueryMetrics.
+//
+// All public methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "expr/expression.h"
+#include "serve/fingerprint.h"
+#include "types/value.h"
+
+namespace sparkline {
+namespace serve {
+
+/// \brief One cached result: the output header plus a shared immutable row
+/// snapshot.
+struct CachedResult {
+  std::vector<Attribute> attrs;
+  std::shared_ptr<const std::vector<Row>> rows;
+  /// Estimated footprint charged against the byte budget.
+  int64_t bytes = 0;
+};
+
+/// \brief Sharded, TTL-aware, byte-budgeted LRU result cache.
+class ResultCache {
+ public:
+  struct Options {
+    int64_t capacity_bytes = 256ll << 20;
+    /// Entry time-to-live in milliseconds (0 = never expires).
+    int64_t ttl_ms = 0;
+    /// Number of independent LRU shards (>=1). Tests pin 1 shard to make
+    /// eviction order deterministic.
+    int num_shards = 8;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;      ///< budget- or TTL-driven drops
+    int64_t invalidations = 0;  ///< catalog-write-driven drops
+    int64_t resident_bytes = 0;
+    int64_t entries = 0;
+  };
+
+  explicit ResultCache(const Options& options);
+
+  /// Returns the entry for `fp`, refreshing its LRU position, or nullptr
+  /// on miss/expiry. Counts a hit or a miss.
+  std::shared_ptr<const CachedResult> Lookup(const PlanFingerprint& fp);
+
+  /// Inserts (or replaces) the entry for `fp`, evicting least-recently-used
+  /// entries of the same shard until the shard's budget share is met.
+  /// Entries larger than the shard budget are not admitted.
+  void Insert(const PlanFingerprint& fp,
+              std::shared_ptr<const CachedResult> entry);
+
+  /// Drops exactly the entries whose fingerprint referenced `table_name`
+  /// (lower-cased catalog key).
+  void InvalidateTable(const std::string& table_name);
+
+  /// Drops everything.
+  void Clear();
+
+  Stats stats() const;
+
+  /// Budget/TTL are adjustable at runtime (SetConf); shrinking the budget
+  /// evicts immediately.
+  void set_capacity_bytes(int64_t bytes);
+  void set_ttl_ms(int64_t ttl_ms) { ttl_ms_.store(ttl_ms); }
+  int64_t capacity_bytes() const { return capacity_bytes_.load(); }
+  int64_t ttl_ms() const { return ttl_ms_.load(); }
+
+  /// The tracker the budget is charged through (resident bytes).
+  const MemoryTracker& memory() const { return memory_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedResult> result;
+    std::vector<std::string> tables;
+    int64_t inserted_nanos = 0;
+    std::list<std::string>::iterator lru_it;  // position in Shard::lru
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<std::string> lru;
+    std::unordered_map<std::string, Entry> entries;
+    /// table name -> keys of resident entries referencing it.
+    std::unordered_map<std::string, std::vector<std::string>> by_table;
+    int64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const PlanFingerprint& fp) {
+    return shards_[fp.hash_lo % shards_.size()];
+  }
+  int64_t PerShardBudget() const {
+    return capacity_bytes_.load() / static_cast<int64_t>(shards_.size());
+  }
+  /// Removes `it` from all shard structures; caller holds shard.mu.
+  void RemoveLocked(Shard* shard,
+                    std::unordered_map<std::string, Entry>::iterator it);
+  /// Evicts LRU entries until the shard fits its budget; caller holds mu.
+  void EvictToBudgetLocked(Shard* shard);
+  bool Expired(const Entry& entry, int64_t now_nanos) const;
+
+  std::vector<Shard> shards_;
+  std::atomic<int64_t> capacity_bytes_;
+  std::atomic<int64_t> ttl_ms_;
+  MemoryTracker memory_;
+
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace serve
+}  // namespace sparkline

@@ -38,7 +38,7 @@ TEST_F(DataFrameTest, SelectWhereParity) {
                        filtered.Select({col("id"), col("d1")}));
   ASSERT_OK_AND_ASSIGN(QueryResult api, selected.Collect());
   auto sql = Rows(session_.get(), "SELECT id, d1 FROM pts WHERE d0 < 0.5");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, WhereFromString) {
@@ -57,7 +57,7 @@ TEST_F(DataFrameTest, SkylineWithSminSmax) {
   ASSERT_OK_AND_ASSIGN(QueryResult api, sky.Collect());
   auto sql =
       Rows(session_.get(), "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, SkylineFromNameGoalPairs) {
@@ -68,7 +68,7 @@ TEST_F(DataFrameTest, SkylineFromNameGoalPairs) {
   ASSERT_OK_AND_ASSIGN(QueryResult api, sky.Collect());
   auto sql =
       Rows(session_.get(), "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MIN");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, SkylineRejectsPlainColumns) {
@@ -103,7 +103,7 @@ TEST_F(DataFrameTest, AggParity) {
   ASSERT_OK_AND_ASSIGN(QueryResult api, agg.Collect());
   auto sql =
       Rows(session_.get(), "SELECT count(id) AS n, min(d0) AS lo FROM pts");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, GroupedAggParity) {
@@ -120,7 +120,7 @@ TEST_F(DataFrameTest, GroupedAggParity) {
   ASSERT_OK_AND_ASSIGN(QueryResult api, agg.Collect());
   auto sql = Rows(session_.get(),
                   "SELECT g, sum(v) AS total FROM gv GROUP BY g");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, JoinParity) {
@@ -137,7 +137,7 @@ TEST_F(DataFrameTest, JoinParity) {
                        pts.Join(tags, {"id"}, "inner"));
   ASSERT_OK_AND_ASSIGN(QueryResult api, joined.Collect());
   auto sql = Rows(session_.get(), "SELECT * FROM pts JOIN tags USING (id)");
-  EXPECT_SAME_ROWS(api.rows, sql);
+  EXPECT_SAME_ROWS(api.rows(), sql);
 }
 
 TEST_F(DataFrameTest, OrderByLimitDistinct) {
@@ -147,9 +147,9 @@ TEST_F(DataFrameTest, OrderByLimitDistinct) {
   ASSERT_OK_AND_ASSIGN(DataFrame limited, sorted.Limit(5));
   ASSERT_OK_AND_ASSIGN(QueryResult api, limited.Collect());
   EXPECT_EQ(api.num_rows(), 5u);
-  for (size_t i = 1; i < api.rows.size(); ++i) {
-    EXPECT_GE(api.rows[i - 1][1].double_value(),
-              api.rows[i][1].double_value());
+  for (size_t i = 1; i < api.rows().size(); ++i) {
+    EXPECT_GE(api.rows()[i - 1][1].double_value(),
+              api.rows()[i][1].double_value());
   }
   ASSERT_OK_AND_ASSIGN(DataFrame sel, df.Select({col("id")}));
   ASSERT_OK_AND_ASSIGN(DataFrame distinct, sel.Distinct());
@@ -182,7 +182,7 @@ TEST_F(DataFrameTest, ColumnOperatorsCompose) {
       DataFrame f,
       df.Where((col("d0") + col("d1") < lit(0.4)) && col("d0").IsNotNull()));
   ASSERT_OK_AND_ASSIGN(QueryResult r, f.Collect());
-  for (const auto& row : r.rows) {
+  for (const auto& row : r.rows()) {
     EXPECT_LT(row[1].double_value() + row[2].double_value(), 0.4);
   }
 }

@@ -77,7 +77,7 @@ inline std::vector<Row> Rows(Session* session, const std::string& sql) {
   SL_CHECK(df.ok()) << sql << " -> " << df.status().ToString();
   auto result = df->Collect();
   SL_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
-  return result->rows;
+  return result->rows();
 }
 
 }  // namespace testing
