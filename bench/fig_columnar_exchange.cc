@@ -1,0 +1,134 @@
+// Columnar-exchange ablation (PR 4): build-once vs build-per-stage.
+//
+// With sparkline.skyline.exchange.columnar on, the skyline pipeline ships
+// DominanceMatrix batch views between stages: each partition is projected
+// exactly once at the local stage, the gather exchange concatenates the
+// matrix blocks, and the global stages ([partial]/[merge] for complete
+// data, [candidates]/[validate]/[finalize] for incomplete) run over index
+// views of the shared matrix. With it off, every stage re-projects its row
+// input (the pre-exchange behaviour).
+//
+// This bench quantifies the delta at 1 / 8 / 16 executors on the paper's
+// two main workloads (airbnb complete, store_sales complete + incomplete),
+// reporting per configuration:
+//   total     simulated critical-path ms for the whole query
+//   global    summed critical-path ms of all GlobalSkyline* stages (where
+//             the row path pays its TryBuild per stage)
+//   project   aggregate projection ms (exchange path only)
+//   decode    aggregate batch->row decode ms (exchange path only)
+//   builds    DominanceMatrix projections across all stages
+//
+// Shapes to look for: `builds` drops to one per partition with the
+// exchange on (vs one per partition + one per global stage off), and the
+// global-stage time drops accordingly — most visibly at 8-16 executors
+// where the row path re-projects the gathered input twice more.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace sparkline;        // NOLINT
+using namespace sparkline::bench; // NOLINT
+
+namespace {
+
+const int kExecutorSteps[] = {1, 8, 16};
+
+struct ExchangeCell {
+  double total_ms = 0;
+  double global_ms = 0;
+  double projection_ms = 0;
+  double decode_ms = 0;
+  int64_t builds = 0;
+};
+
+ExchangeCell RunOnce(Session* session, const std::string& sql,
+                     const std::string& strategy, int executors,
+                     bool exchange) {
+  SL_CHECK_OK(session->SetConf("sparkline.skyline.strategy", strategy));
+  SL_CHECK_OK(session->SetConf("sparkline.executors",
+                               std::to_string(executors)));
+  SL_CHECK_OK(session->SetConf("sparkline.skyline.exchange.columnar",
+                               exchange ? "true" : "false"));
+  auto df = session->Sql(sql);
+  SL_CHECK(df.ok()) << df.status().ToString();
+  // Warm-up, then the measured run.
+  SL_CHECK(df->Collect().ok());
+  auto result = df->Collect();
+  SL_CHECK(result.ok()) << result.status().ToString();
+
+  ExchangeCell cell;
+  const QueryMetrics& m = result->metrics;
+  cell.total_ms = m.simulated_ms;
+  for (const auto& [label, ms] : m.operator_ms) {
+    if (label.find("GlobalSkyline") != std::string::npos) cell.global_ms += ms;
+  }
+  cell.projection_ms = m.projection_ms;
+  cell.decode_ms = m.decode_ms;
+  for (const auto& [label, n] : m.matrix_builds) cell.builds += n;
+  return cell;
+}
+
+void Sweep(Session* session, const char* title, const std::string& sql,
+           const std::string& strategy) {
+  std::printf("\n%s | strategy: %s\n", title, strategy.c_str());
+  std::printf("%-10s %-22s %10s %10s %10s %10s %8s\n", "executors", "exchange",
+              "total_ms", "global_ms", "proj_ms", "decode_ms", "builds");
+  for (int executors : kExecutorSteps) {
+    ExchangeCell on = RunOnce(session, sql, strategy, executors, true);
+    ExchangeCell off = RunOnce(session, sql, strategy, executors, false);
+    std::printf("%-10d %-22s %10.2f %10.2f %10.2f %10.2f %8lld\n", executors,
+                "on (build-once)", on.total_ms, on.global_ms, on.projection_ms,
+                on.decode_ms, static_cast<long long>(on.builds));
+    std::printf("%-10s %-22s %10.2f %10.2f %10.2f %10.2f %8lld\n", "",
+                "off (build-per-stage)", off.total_ms, off.global_ms,
+                off.projection_ms, off.decode_ms,
+                static_cast<long long>(off.builds));
+    std::printf("%-10s %-22s %9.1f%% %9.1f%%\n", "", "global-stage delta",
+                off.total_ms > 0
+                    ? 100.0 * (off.total_ms - on.total_ms) / off.total_ms
+                    : 0.0,
+                off.global_ms > 0
+                    ? 100.0 * (off.global_ms - on.global_ms) / off.global_ms
+                    : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseArgs(argc, argv);
+  Session session;
+  SL_CHECK_OK(session.SetConf("sparkline.timeout_ms",
+                              std::to_string(config.timeout_ms)));
+
+  datagen::AirbnbOptions aopts;
+  aopts.num_rows = static_cast<size_t>(9000 * config.scale);
+  aopts.incomplete = true;
+  aopts.table_name = "airbnb_incomplete";
+  auto incomplete = datagen::GenerateAirbnb(aopts);
+  auto complete = datagen::CompleteSubset(*incomplete, "airbnb");
+  SL_CHECK_OK(session.catalog()->RegisterTable(incomplete));
+  SL_CHECK_OK(session.catalog()->RegisterTable(complete));
+
+  datagen::StoreSalesOptions sopts;
+  sopts.num_rows = static_cast<size_t>(20000 * config.scale);
+  SL_CHECK_OK(
+      session.catalog()->RegisterTable(datagen::GenerateStoreSales(sopts)));
+  sopts.incomplete = true;
+  sopts.table_name = "store_sales_incomplete";
+  SL_CHECK_OK(
+      session.catalog()->RegisterTable(datagen::GenerateStoreSales(sopts)));
+
+  Sweep(&session, "airbnb (complete, 6 dims)",
+        SkylineSql("airbnb", AirbnbDimensions(), 6, true), "distributed");
+  Sweep(&session, "store_sales (complete, 6 dims)",
+        SkylineSql("store_sales", StoreSalesDimensions(), 6, true),
+        "distributed");
+  Sweep(&session, "store_sales (incomplete, 6 dims)",
+        SkylineSql("store_sales_incomplete", StoreSalesDimensions(), 6, false),
+        "incomplete");
+  return 0;
+}

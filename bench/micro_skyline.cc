@@ -69,6 +69,77 @@ void BM_DominanceTestIncomplete(benchmark::State& state) {
 }
 BENCHMARK(BM_DominanceTestIncomplete)->Arg(2)->Arg(6);
 
+// --- scalar vs. explicit-AVX2 compare ablation (ROADMAP: SIMD-accelerate
+// CompareKeySpansComplete). A rotating buffer of key pairs defeats the
+// branch predictor memorizing one outcome.
+std::vector<double> MakeKeyBuffer(size_t pairs, size_t dims) {
+  auto rows = MakeRows(2 * pairs, dims, PointDistribution::kAntiCorrelated);
+  auto bound = MinDims(dims);
+  auto matrix = skyline::DominanceMatrix::TryBuild(rows, bound);
+  std::vector<double> keys;
+  keys.reserve(2 * pairs * dims);
+  for (uint32_t r = 0; r < 2 * pairs; ++r) {
+    const double* k = matrix->row_keys(r);
+    keys.insert(keys.end(), k, k + dims);
+  }
+  return keys;
+}
+
+void BM_CompareKeySpansScalar(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  constexpr size_t kPairs = 256;
+  const std::vector<double> keys = MakeKeyBuffer(kPairs, dims);
+  size_t p = 0;
+  for (auto _ : state) {
+    const double* left = keys.data() + (2 * p) * dims;
+    const double* right = keys.data() + (2 * p + 1) * dims;
+    benchmark::DoNotOptimize(
+        skyline::CompareKeySpansCompleteScalar(left, right, dims));
+    p = (p + 1) % kPairs;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompareKeySpansScalar)->Arg(4)->Arg(6)->Arg(8)->Arg(16);
+
+#if SPARKLINE_HAVE_AVX2_COMPARE
+void BM_CompareKeySpansAvx2(benchmark::State& state) {
+  if (!skyline::simd::Avx2Available()) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const size_t dims = static_cast<size_t>(state.range(0));
+  constexpr size_t kPairs = 256;
+  const std::vector<double> keys = MakeKeyBuffer(kPairs, dims);
+  size_t p = 0;
+  for (auto _ : state) {
+    const double* left = keys.data() + (2 * p) * dims;
+    const double* right = keys.data() + (2 * p + 1) * dims;
+    benchmark::DoNotOptimize(
+        skyline::simd::CompareKeySpansCompleteAvx2(left, right, dims));
+    p = (p + 1) % kPairs;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompareKeySpansAvx2)->Arg(4)->Arg(6)->Arg(8)->Arg(16);
+#endif
+
+void BM_CompareKeySpansDispatch(benchmark::State& state) {
+  // The production entry point: runtime dispatch included.
+  const size_t dims = static_cast<size_t>(state.range(0));
+  constexpr size_t kPairs = 256;
+  const std::vector<double> keys = MakeKeyBuffer(kPairs, dims);
+  size_t p = 0;
+  for (auto _ : state) {
+    const double* left = keys.data() + (2 * p) * dims;
+    const double* right = keys.data() + (2 * p + 1) * dims;
+    benchmark::DoNotOptimize(
+        skyline::CompareKeySpansComplete(left, right, dims));
+    p = (p + 1) % kPairs;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompareKeySpansDispatch)->Arg(4)->Arg(6)->Arg(8)->Arg(16);
+
 void BM_ColumnarDominanceTest(benchmark::State& state) {
   const size_t dims = static_cast<size_t>(state.range(0));
   auto rows = MakeRows(2, dims, PointDistribution::kIndependent);

@@ -17,6 +17,16 @@ std::string QueryMetrics::ToString() const {
     out += StrCat(" cache=", cache_hit ? "hit" : "miss",
                   " cache_lookup=", DoubleToString(cache_lookup_ms), "ms");
   }
+  if (projection_ms > 0 || decode_ms > 0 || !matrix_builds.empty() ||
+      !matrix_reuses.empty()) {
+    int64_t builds = 0;
+    int64_t reuses = 0;
+    for (const auto& [label, n] : matrix_builds) builds += n;
+    for (const auto& [label, n] : matrix_reuses) reuses += n;
+    out += StrCat(" projection=", DoubleToString(projection_ms),
+                  "ms decode=", DoubleToString(decode_ms),
+                  "ms matrix_builds=", builds, " matrix_reuses=", reuses);
+  }
   out += StrCat(" rows_served=", rows_served, " bytes_served=", bytes_served);
   return out;
 }

@@ -83,6 +83,10 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(config_.skyline_columnar, ParseBool(value));
     return Status::OK();
   }
+  if (k == "sparkline.skyline.exchange.columnar") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_columnar_exchange, ParseBool(value));
+    return Status::OK();
+  }
   if (k == "sparkline.skyline.incomplete.parallel") {
     SL_ASSIGN_OR_RETURN(config_.skyline_incomplete_parallel, ParseBool(value));
     return Status::OK();
@@ -233,6 +237,7 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   opts.skyline_strategy = config_.skyline_strategy;
   opts.skyline_kernel = config_.skyline_kernel;
   opts.skyline_columnar = config_.skyline_columnar;
+  opts.skyline_columnar_exchange = config_.skyline_columnar_exchange;
   opts.skyline_incomplete_parallel = config_.skyline_incomplete_parallel;
   opts.skyline_partitioning = config_.skyline_partitioning;
   opts.non_distributed_threshold = config_.non_distributed_threshold;
@@ -284,7 +289,12 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
 
   QueryResult result;
   result.attrs = rel.attrs;
+  // The plan-root decode: a relation still in columnar-exchange form
+  // materializes its rows exactly here (timed into decode_ms).
+  const bool root_decode = rel.has_batches();
+  StopWatch decode;
   result.SetRows(std::move(rel).Flatten());
+  if (root_decode) ctx.AddDecodeMs(decode.ElapsedMillis());
   result.metrics = ctx.Finish(wall.ElapsedMillis());
   result.metrics.cache_lookup_ms = lookup_ms;
   result.metrics.rows_served = static_cast<int64_t>(result.num_rows());

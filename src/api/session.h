@@ -15,6 +15,8 @@
 //   sparkline.memory.executorOverheadMb     simulated per-executor footprint
 //   sparkline.skyline.kernel                bnl | sfs | grid
 //   sparkline.skyline.columnar              bool, columnar dominance fast path
+//   sparkline.skyline.exchange.columnar     bool, ship DominanceMatrix batches
+//                                           between skyline stages
 //   sparkline.skyline.incomplete.parallel   bool, round-based parallel
 //                                           incomplete global stage
 //   sparkline.skyline.partitioning          asis | roundrobin | angle
@@ -63,6 +65,15 @@ struct SessionConfig {
   /// index-based kernels; see skyline/columnar.h). Results are identical
   /// with the toggle on or off. Key: sparkline.skyline.columnar = bool.
   bool skyline_columnar = true;
+  /// Columnar exchange: skyline stages ship DominanceMatrix batch views
+  /// instead of materialized rows — each partition is projected exactly
+  /// once, the gather exchange concatenates matrix blocks, global stages
+  /// slice index views, and rows decode only at the plan root. Off = every
+  /// stage re-projects (the pre-exchange behaviour, kept for ablation).
+  /// Result *sets* are identical either way; SKYLINE row order is
+  /// unspecified and may differ. Requires skyline_columnar. Key:
+  /// sparkline.skyline.exchange.columnar = bool.
+  bool skyline_columnar_exchange = true;
   /// Round-based parallel incomplete-data global stage (candidate scan per
   /// chunk + rotating validation rounds; see GlobalSkylineIncompleteExec).
   /// Off = the paper's single-task all-pairs. Results are identical with

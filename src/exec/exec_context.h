@@ -59,6 +59,25 @@ struct QueryMetrics {
   /// 0 otherwise.
   int64_t bytes_served = 0;
 
+  // --- columnar exchange counters ------------------------------------------
+  /// Milliseconds spent projecting rows into DominanceMatrix form on the
+  /// columnar-exchange path (summed across parallel tasks, so it can exceed
+  /// the stage's critical-path time; the per-stage critical path already
+  /// includes it). 0 when the exchange is off.
+  double projection_ms = 0;
+  /// Milliseconds spent materializing rows from batches — mid-plan row
+  /// fallbacks plus the plan-root decode.
+  double decode_ms = 0;
+  /// DominanceMatrix projections (TryBuild) per stage label. With the
+  /// columnar exchange on, skyline plans build each partition's matrix
+  /// exactly once — at the local stage (or once at the global stage for
+  /// non-distributed plans) — so no "[partial]"/"[merge]"/"[candidates]"
+  /// label appears here; with it off, every stage that re-projects shows up.
+  std::map<std::string, int64_t> matrix_builds;
+  /// Stages that consumed an already-built matrix (a batch or a view)
+  /// instead of re-projecting, per stage label.
+  std::map<std::string, int64_t> matrix_reuses;
+
   /// Critical-path milliseconds per operator label.
   std::map<std::string, double> operator_ms;
 
@@ -102,6 +121,25 @@ class ExecContext {
     rows_shuffled_ += rows;
   }
 
+  // --- columnar exchange accounting (thread-safe; stage tasks call these
+  // concurrently) -----------------------------------------------------------
+  void AddProjectionMs(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    projection_ms_ += ms;
+  }
+  void AddDecodeMs(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    decode_ms_ += ms;
+  }
+  void AddMatrixBuilds(const std::string& stage_label, int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    matrix_builds_[stage_label] += n;
+  }
+  void AddMatrixReuse(const std::string& stage_label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    matrix_reuses_[stage_label] += 1;
+  }
+
   /// Finalizes the metrics (called once by the session).
   QueryMetrics Finish(double wall_ms) const {
     QueryMetrics m;
@@ -113,6 +151,10 @@ class ExecContext {
             config_.executor_overhead_bytes;
     m.dominance_tests = dominance_.tests.load();
     m.rows_shuffled = rows_shuffled_;
+    m.projection_ms = projection_ms_;
+    m.decode_ms = decode_ms_;
+    m.matrix_builds = matrix_builds_;
+    m.matrix_reuses = matrix_reuses_;
     m.operator_ms = operator_ms_;
     return m;
   }
@@ -128,6 +170,10 @@ class ExecContext {
   double simulated_ms_ = 0;
   std::map<std::string, double> operator_ms_;
   int64_t rows_shuffled_ = 0;
+  double projection_ms_ = 0;
+  double decode_ms_ = 0;
+  std::map<std::string, int64_t> matrix_builds_;
+  std::map<std::string, int64_t> matrix_reuses_;
 };
 
 }  // namespace sparkline

@@ -46,6 +46,8 @@ std::string HashJoinExec::label() const {
 Result<PartitionedRelation> HashJoinExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation left, children_[0]->Execute(ctx));
   SL_ASSIGN_OR_RETURN(PartitionedRelation right, children_[1]->Execute(ctx));
+  DecodeInput(ctx, &left);
+  DecodeInput(ctx, &right);
   const std::vector<Row> build = std::move(right).Flatten();
   ctx->memory()->Grow(static_cast<int64_t>(build.size()) * 64);  // hash table
 
@@ -135,6 +137,8 @@ std::string NestedLoopJoinExec::label() const {
 Result<PartitionedRelation> NestedLoopJoinExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation left, children_[0]->Execute(ctx));
   SL_ASSIGN_OR_RETURN(PartitionedRelation right, children_[1]->Execute(ctx));
+  DecodeInput(ctx, &left);
+  DecodeInput(ctx, &right);
   const std::vector<Row> broadcast = std::move(right).Flatten();
 
   ExprPtr condition = condition_;

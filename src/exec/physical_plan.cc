@@ -11,7 +11,15 @@ namespace sparkline {
 
 int64_t EstimateRelationBytes(const PartitionedRelation& rel) {
   int64_t total = 0;
-  for (const auto& p : rel.partitions) {
+  for (size_t i = 0; i < rel.partitions.size(); ++i) {
+    if (i < rel.batches.size() && rel.batches[i].has_value()) {
+      const skyline::ColumnarBatch& batch = *rel.batches[i];
+      if (batch.num_rows() == 0 || batch.backing_rows().empty()) continue;
+      total += EstimateRowBytes(batch.backing_rows().front()) *
+               static_cast<int64_t>(batch.num_rows());
+      continue;
+    }
+    const auto& p = rel.partitions[i];
     if (p.empty()) continue;
     total += EstimateRowBytes(p.front()) * static_cast<int64_t>(p.size());
   }
@@ -55,6 +63,13 @@ void PhysicalPlan::AccountMemory(ExecContext* ctx,
                                  const PartitionedRelation& out) const {
   ctx->memory()->Grow(EstimateRelationBytes(out));
   ctx->memory()->Shrink(EstimateRelationBytes(in));
+}
+
+void PhysicalPlan::DecodeInput(ExecContext* ctx, PartitionedRelation* in) const {
+  if (!in->has_batches()) return;
+  StopWatch decode;
+  in->EnsureRows();
+  ctx->AddDecodeMs(decode.ElapsedMillis());
 }
 
 Result<ExprPtr> EvaluateSubqueries(const ExprPtr& e, ExecContext* ctx) {
@@ -147,6 +162,7 @@ ProjectExec::ProjectExec(std::vector<ExprPtr> bound_list,
 
 Result<PartitionedRelation> ProjectExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  DecodeInput(ctx, &in);
   std::vector<ExprPtr> list = list_;
   for (auto& e : list) {
     SL_ASSIGN_OR_RETURN(e, EvaluateSubqueries(e, ctx));
@@ -180,6 +196,7 @@ FilterExec::FilterExec(ExprPtr bound_condition, PhysicalPlanPtr child)
 
 Result<PartitionedRelation> FilterExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  DecodeInput(ctx, &in);
   SL_ASSIGN_OR_RETURN(ExprPtr cond, EvaluateSubqueries(condition_, ctx));
   PartitionedRelation out;
   out.attrs = output_;
@@ -270,6 +287,42 @@ Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
   out.attrs = output_;
   const size_t n = std::max(1, ctx->config().num_executors);
 
+  // Columnar shuffle: when every gathered partition arrives as a batch,
+  // ship the matrix blocks — concatenate them into one compact batch
+  // instead of decoding to rows and letting the global stage re-project.
+  if (mode_ == ExchangeMode::kGather && in.has_batches()) {
+    bool all_batches = true;
+    for (size_t i = 0; i < in.partitions.size(); ++i) {
+      all_batches &= (i < in.batches.size() && in.batches[i].has_value()) ||
+                     in.partitions[i].empty();
+    }
+    if (all_batches) {
+      // `parts` outlives the timed stage: dropping the old backings (the
+      // upstream stage's non-survivor rows) happens where the row pipeline
+      // destroys its consumed inputs — outside the critical path.
+      std::vector<skyline::ColumnarBatch> parts;
+      for (auto& batch : in.batches) {
+        if (batch.has_value()) parts.push_back(std::move(*batch));
+      }
+      SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+        out.partitions.emplace_back();
+        out.batches.emplace_back(
+            skyline::ColumnarBatch::Concat(&parts, ctx->memory()));
+        return Status::OK();
+      }));
+      ctx->AddMatrixReuse(label());
+      // Both copies exist transiently, as on the row path below.
+      ctx->memory()->Grow(EstimateRelationBytes(out));
+      ctx->memory()->Shrink(EstimateRelationBytes(out));
+      return out;
+    }
+    // Mixed row/batch input: decode everything and gather rows.
+    DecodeInput(ctx, &in);
+  } else if (in.has_batches()) {
+    // Re-partitioning exchanges consume rows.
+    DecodeInput(ctx, &in);
+  }
+
   SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
     switch (mode_) {
       case ExchangeMode::kGather: {
@@ -324,6 +377,7 @@ SortExec::SortExec(std::vector<BoundSortOrder> orders, PhysicalPlanPtr child)
 
 Result<PartitionedRelation> SortExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  DecodeInput(ctx, &in);
   std::vector<Row> rows = std::move(in).Flatten();
 
   // Precompute sort keys so the comparator cannot fail mid-sort.
@@ -370,6 +424,7 @@ LimitExec::LimitExec(int64_t n, PhysicalPlanPtr child)
 
 Result<PartitionedRelation> LimitExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  DecodeInput(ctx, &in);
   std::vector<Row> rows = std::move(in).Flatten();
   if (static_cast<int64_t>(rows.size()) > n_) {
     rows.resize(static_cast<size_t>(n_));

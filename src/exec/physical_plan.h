@@ -74,6 +74,13 @@ class PhysicalPlan {
   void AccountMemory(ExecContext* ctx, const PartitionedRelation& in,
                      const PartitionedRelation& out) const;
 
+  /// The row fallback for batch-carrying input: decodes every ColumnarBatch
+  /// partition into rows (timed into QueryMetrics::decode_ms). Every
+  /// operator that consumes rows calls this right after executing its
+  /// child; batch-aware operators (the skyline stages and the gather
+  /// exchange) skip it on their columnar paths.
+  void DecodeInput(ExecContext* ctx, PartitionedRelation* in) const;
+
   std::vector<Attribute> output_;
   std::vector<PhysicalPlanPtr> children_;
 };
@@ -161,6 +168,12 @@ enum class SkylineKernel : uint8_t {
 
 /// \brief Re-distributes data; the only operator that moves rows between
 /// executors (a stage boundary, like a Spark shuffle).
+///
+/// A kGather exchange whose input partitions all arrive as ColumnarBatches
+/// ships the matrix blocks instead of rows: the batches are concatenated
+/// into one compact batch (key/bitmap copy + dictionary remap, no
+/// re-projection from Values) and the single output partition stays
+/// columnar. Mixed or row-mode input takes the classic row path.
 class ExchangeExec : public PhysicalPlan {
  public:
   ExchangeExec(ExchangeMode mode, std::vector<skyline::BoundDimension> dims,
@@ -294,12 +307,19 @@ class NestedLoopJoinExec : public PhysicalPlan {
 /// per partition, preserving the child's partitioning. Used for both the
 /// complete and the incomplete algorithm (the latter after a null-bitmap
 /// exchange, which makes every partition bitmap-uniform).
+///
+/// With `columnar_exchange` on, each partition is projected into a
+/// DominanceMatrix exactly once and the output is a ColumnarBatch survivor
+/// view over that matrix — the projection every downstream skyline stage
+/// reuses. Partitions whose shape TryBuild refuses fall back to rows
+/// individually. SFS runs tag their output views score-sorted so the global
+/// stage can inherit the sort order.
 class LocalSkylineExec : public PhysicalPlan {
  public:
   LocalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                    skyline::NullSemantics nulls, PhysicalPlanPtr child,
                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
-                   bool columnar = true);
+                   bool columnar = true, bool columnar_exchange = true);
   std::string label() const override;
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -309,6 +329,7 @@ class LocalSkylineExec : public PhysicalPlan {
   skyline::NullSemantics nulls_;
   SkylineKernel kernel_;
   bool columnar_;
+  bool columnar_exchange_;
 };
 
 /// \brief Global skyline for complete data over the single gathered
@@ -321,20 +342,35 @@ class LocalSkylineExec : public PhysicalPlan {
 /// windows — removing the paper's single-task global bottleneck while
 /// keeping the critical-path time model intact. The two stages are
 /// recorded under "<label> [partial]" / "<label> [merge]".
+///
+/// With `columnar_exchange` on, a batch arriving from the gather exchange
+/// is consumed directly: the partial stage runs over contiguous slices of
+/// the batch's index view and the merge over the concatenated survivor
+/// views — no stage re-projects (the "[partial]"/"[merge]" TryBuild the
+/// row path pays is gone, visible in QueryMetrics::matrix_builds). When the
+/// input arrives as rows (non-distributed plans), the matrix is built once
+/// in a "<label> [project]" stage and shared the same way. Score-sorted
+/// batches from upstream SFS stages skip the merge re-sort entirely
+/// (inherited order + ColumnarSortFilterSkylinePresorted).
 class GlobalSkylineExec : public PhysicalPlan {
  public:
   GlobalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                     PhysicalPlanPtr child,
                     SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
-                    bool columnar = true);
+                    bool columnar = true, bool columnar_exchange = true);
   std::string label() const override { return "GlobalSkyline [complete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
+  Result<PartitionedRelation> ExecuteColumnar(ExecContext* ctx,
+                                              skyline::ColumnarBatch batch,
+                                              int64_t input_bytes) const;
+
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
   SkylineKernel kernel_;
   bool columnar_;
+  bool columnar_exchange_;
 };
 
 /// \brief Global skyline for incomplete data (paper section 5.7 /
@@ -360,19 +396,32 @@ class GlobalSkylineExec : public PhysicalPlan {
 /// exactly. Stage times are recorded under "<label> [candidates]" /
 /// "[validate]" / "[finalize]"; the single-executor (or `parallel` = off)
 /// path keeps the bare label.
+///
+/// With `columnar_exchange` on, a batch from the gather exchange supplies
+/// the shared matrix (and its per-row null bitmaps) for every stage — the
+/// "[candidates]" projection pass of the row path disappears — and the
+/// output stays a batch view. Matrix row order equals gathered input order
+/// (ColumnarBatch::Concat guarantees it), which is the DISTINCT tie-break
+/// the validation rounds need.
 class GlobalSkylineIncompleteExec : public PhysicalPlan {
  public:
   GlobalSkylineIncompleteExec(std::vector<skyline::BoundDimension> dims,
                               bool distinct, PhysicalPlanPtr child,
-                              bool columnar = true, bool parallel = true);
+                              bool columnar = true, bool parallel = true,
+                              bool columnar_exchange = true);
   std::string label() const override { return "GlobalSkyline [incomplete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
+  Result<PartitionedRelation> ExecuteColumnar(ExecContext* ctx,
+                                              skyline::ColumnarBatch batch,
+                                              int64_t input_bytes) const;
+
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
   bool columnar_;
   bool parallel_;
+  bool columnar_exchange_;
 };
 
 }  // namespace sparkline

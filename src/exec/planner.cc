@@ -494,33 +494,38 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
         local_input = std::make_shared<ExchangeExec>(ExchangeMode::kAngle,
                                                      dims, local_input);
       }
+      const bool exchange_columnar = options_.skyline_columnar_exchange;
       PhysicalPlanPtr local = std::make_shared<LocalSkylineExec>(
           dims, sky.distinct(), skyline::NullSemantics::kComplete,
           std::move(local_input), options_.skyline_kernel,
-          options_.skyline_columnar);
+          options_.skyline_columnar, exchange_columnar);
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
-          options_.skyline_kernel, options_.skyline_columnar);
+          options_.skyline_kernel, options_.skyline_columnar,
+          exchange_columnar);
       break;
     }
     case SkylineStrategy::kNonDistributedComplete: {
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(input)),
-          options_.skyline_kernel, options_.skyline_columnar);
+          options_.skyline_kernel, options_.skyline_columnar,
+          options_.skyline_columnar_exchange);
       break;
     }
     case SkylineStrategy::kDistributedIncomplete: {
       // Null-bitmap partitioning makes each partition bitmap-uniform, so the
       // BNL local pass stays correct despite missing values (section 5.7).
+      const bool exchange_columnar = options_.skyline_columnar_exchange;
       PhysicalPlanPtr exchange = std::make_shared<ExchangeExec>(
           ExchangeMode::kNullBitmapHash, dims, std::move(input));
       PhysicalPlanPtr local = std::make_shared<LocalSkylineExec>(
           dims, sky.distinct(), skyline::NullSemantics::kIncomplete,
           std::move(exchange), SkylineKernel::kBlockNestedLoop,
-          options_.skyline_columnar);
+          options_.skyline_columnar, exchange_columnar);
       result = std::make_shared<GlobalSkylineIncompleteExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
-          options_.skyline_columnar, options_.skyline_incomplete_parallel);
+          options_.skyline_columnar, options_.skyline_incomplete_parallel,
+          exchange_columnar);
       break;
     }
     case SkylineStrategy::kAuto:

@@ -15,8 +15,17 @@
 // and the index-based kernels run over it, materializing rows only for the
 // survivors. Unsupported shapes (and sparkline.skyline.columnar = false)
 // take the original row-oriented kernels.
+//
+// Columnar exchange (sparkline.skyline.exchange.columnar, default on): the
+// stages exchange ColumnarBatch views instead of materialized rows. The
+// local stage projects each partition exactly once; the gather exchange
+// concatenates the matrix blocks; the global stages slice and merge index
+// views over the shared matrix; rows are decoded only at the plan root (or
+// by the first non-skyline consumer). QueryMetrics::matrix_builds /
+// matrix_reuses record which stages projected vs. reused.
 #include <algorithm>
 #include <iterator>
+#include <memory>
 
 #include "common/string_util.h"
 #include "exec/physical_plan.h"
@@ -66,18 +75,50 @@ Result<std::vector<Row>> RunKernel(SkylineKernel kernel,
   return skyline::BlockNestedLoop(rows, dims, options);
 }
 
+/// RunKernel with per-stage projection accounting: matrix builds inside
+/// ColumnarSkyline are counted under `stage_label` and the matrix bytes are
+/// charged to the query's MemoryTracker for the duration of the call. This
+/// is what makes the build-per-stage cost of the non-exchange path visible
+/// in QueryMetrics::matrix_builds.
+Result<std::vector<Row>> RunKernelCounted(
+    ExecContext* ctx, const std::string& stage_label, SkylineKernel kernel,
+    const std::vector<Row>& rows,
+    const std::vector<skyline::BoundDimension>& dims,
+    skyline::SkylineOptions options, bool columnar) {
+  std::atomic<int64_t> builds{0};
+  options.memory = ctx->memory();
+  options.matrix_builds = &builds;
+  auto result = RunKernel(kernel, rows, dims, options, columnar);
+  if (builds.load() > 0) ctx->AddMatrixBuilds(stage_label, builds.load());
+  return result;
+}
+
+/// Balanced contiguous chunk bounds: sizes differ by at most one, so no
+/// executor idles and the parallel stage's critical path is as short as the
+/// split allows.
+std::vector<size_t> ChunkBounds(size_t n, size_t chunks) {
+  std::vector<size_t> bounds(chunks + 1, 0);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  for (size_t i = 0; i < chunks; ++i) {
+    bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
 }  // namespace
 
 LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                    bool distinct, skyline::NullSemantics nulls,
                                    PhysicalPlanPtr child, SkylineKernel kernel,
-                                   bool columnar)
+                                   bool columnar, bool columnar_exchange)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       nulls_(nulls),
       kernel_(kernel),
-      columnar_(columnar) {}
+      columnar_(columnar),
+      columnar_exchange_(columnar_exchange) {}
 
 std::string LocalSkylineExec::label() const {
   return StrCat("LocalSkyline [",
@@ -92,43 +133,211 @@ std::string LocalSkylineExec::label() const {
 
 Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  // A skyline stage feeding another skyline operator (nested queries)
+  // decodes between them: the two matrices project different dimensions.
+  DecodeInput(ctx, &in);
+
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = nulls_;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
 
+  const int64_t input_bytes = EstimateRelationBytes(in);
+  const size_t n = in.partitions.size();
+  const bool emit_batches = columnar_ && columnar_exchange_;
+
   PartitionedRelation out;
   out.attrs = output_;
-  out.partitions.assign(in.partitions.size(), {});
-  SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
-    SL_ASSIGN_OR_RETURN(
-        out.partitions[i],
-        RunKernel(kernel_, in.partitions[i], dims_, options, columnar_));
+  out.partitions.assign(n, {});
+  if (emit_batches) out.batches.assign(n, std::nullopt);
+
+  SL_RETURN_NOT_OK(RunStage(ctx, n, [&](size_t i) -> Status {
+    if (emit_batches) {
+      // Project this partition exactly once; every downstream skyline stage
+      // reuses the matrix through the batch.
+      auto rows =
+          std::make_shared<std::vector<Row>>(std::move(in.partitions[i]));
+      StopWatch project;
+      std::optional<skyline::ColumnarBatch> batch =
+          skyline::ColumnarBatch::Project(rows, dims_, ctx->memory());
+      if (batch.has_value()) {
+        ctx->AddProjectionMs(project.ElapsedMillis());
+        ctx->AddMatrixBuilds(label(), 1);
+        skyline::SkylineOptions opts = options;
+        opts.memory = ctx->memory();
+        SL_ASSIGN_OR_RETURN(
+            std::vector<uint32_t> survivors,
+            skyline::RunColumnarKernel(ToColumnarKernel(kernel_),
+                                       batch->matrix(), batch->indices(),
+                                       opts));
+        // SFS leaves its window in score order; tag the view so the global
+        // stage can inherit the sort instead of re-sorting.
+        const bool sorted =
+            kernel_ == SkylineKernel::kSortFilterSkyline &&
+            skyline::SfsFastPathApplicable(batch->matrix(), opts);
+        out.batches[i] = batch->WithSelection(std::move(survivors), sorted);
+        return Status::OK();
+      }
+      // Shape refused by TryBuild: this partition stays on the row path
+      // (columnar=false — a second TryBuild would just fail again).
+      SL_ASSIGN_OR_RETURN(out.partitions[i],
+                          RunKernelCounted(ctx, label(), kernel_, *rows, dims_,
+                                           options, /*columnar=*/false));
+      return Status::OK();
+    }
+    SL_ASSIGN_OR_RETURN(out.partitions[i],
+                        RunKernelCounted(ctx, label(), kernel_,
+                                         in.partitions[i], dims_, options,
+                                         columnar_));
     return Status::OK();
   }));
-  AccountMemory(ctx, in, out);
+  ctx->memory()->Grow(EstimateRelationBytes(out));
+  ctx->memory()->Shrink(input_bytes);
   return out;
 }
 
+// --- GlobalSkylineExec ------------------------------------------------------
+
 GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                      bool distinct, PhysicalPlanPtr child,
-                                     SkylineKernel kernel, bool columnar)
+                                     SkylineKernel kernel, bool columnar,
+                                     bool columnar_exchange)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       kernel_(kernel),
-      columnar_(columnar) {}
+      columnar_(columnar),
+      columnar_exchange_(columnar_exchange) {}
+
+Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
+    ExecContext* ctx, skyline::ColumnarBatch batch, int64_t input_bytes) const {
+  skyline::SkylineOptions options;
+  options.distinct = distinct_;
+  options.nulls = skyline::NullSemantics::kComplete;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+  options.memory = ctx->memory();
+
+  const skyline::DominanceMatrix& matrix = batch.matrix();
+  const std::vector<uint32_t>& view = batch.indices();
+  // Inherited SFS order: the view arrives score-ascending (local SFS stages
+  // + the exchange's k-way merge), so every SFS pass here skips its sort.
+  const bool sfs_inherited = kernel_ == SkylineKernel::kSortFilterSkyline &&
+                             batch.score_sorted() &&
+                             skyline::SfsFastPathApplicable(matrix, options);
+  auto run_over =
+      [&](const std::vector<uint32_t>& input) -> Result<std::vector<uint32_t>> {
+    if (sfs_inherited) {
+      return skyline::ColumnarSortFilterSkylinePresorted(matrix, input,
+                                                         options);
+    }
+    return skyline::RunColumnarKernel(ToColumnarKernel(kernel_), matrix, input,
+                                      options);
+  };
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.emplace_back();
+  out.batches.emplace_back();
+
+  const size_t num_executors =
+      static_cast<size_t>(std::max(1, ctx->config().num_executors));
+  if (num_executors <= 1 || view.size() < 2) {
+    // Single executor: the classic single-task global pass, minus the
+    // projection it used to pay.
+    std::vector<uint32_t> survivors;
+    SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+      SL_ASSIGN_OR_RETURN(survivors, run_over(view));
+      return Status::OK();
+    }));
+    out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited);
+    ctx->memory()->Shrink(input_bytes);
+    return out;
+  }
+
+  // Parallel partial-merge over index slices of the shared matrix: no chunk
+  // materializes rows, no stage re-projects.
+  const size_t chunks = std::min(num_executors, view.size());
+  const std::vector<size_t> bounds = ChunkBounds(view.size(), chunks);
+  std::vector<std::vector<uint32_t>> partials(chunks);
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [partial]"), chunks, [&](size_t i) -> Status {
+        // A contiguous slice of a score-ascending view is score-ascending,
+        // so the inherited order survives the chunking.
+        SL_ASSIGN_OR_RETURN(
+            partials[i], run_over(batch.Slice(bounds[i], bounds[i + 1]).indices()));
+        return Status::OK();
+      }));
+
+  std::vector<uint32_t> survivors;
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [merge]"), 1, [&](size_t) -> Status {
+        if (sfs_inherited) {
+          // Partial outputs are score-ascending runs: merge them and run
+          // the grow-only window — the merge stage never re-sorts.
+          SL_ASSIGN_OR_RETURN(
+              survivors,
+              skyline::ColumnarSortFilterSkylinePresorted(
+                  matrix, skyline::MergeByScore(matrix, partials), options));
+          return Status::OK();
+        }
+        std::vector<uint32_t> merge_input;
+        for (const auto& p : partials) {
+          merge_input.insert(merge_input.end(), p.begin(), p.end());
+        }
+        SL_ASSIGN_OR_RETURN(survivors, skyline::ColumnarBlockNestedLoop(
+                                           matrix, merge_input, options));
+        return Status::OK();
+      }));
+  out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited);
+  ctx->memory()->Shrink(input_bytes);
+  return out;
+}
 
 Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  const int64_t input_bytes = EstimateRelationBytes(in);
+
+  // Columnar exchange: consume the gathered batch straight off the shuffle;
+  // the matrix was built upstream and is reused as-is. A batch projected
+  // for different dimensions (a nested skyline's output feeding this one
+  // directly) encodes the wrong columns and must decode instead.
+  if (columnar_ && columnar_exchange_ && in.batches.size() == 1 &&
+      in.batches[0].has_value() && in.batches[0]->ProjectedFor(dims_)) {
+    ctx->memory()->Grow(input_bytes);
+    ctx->AddMatrixReuse(label());
+    skyline::ColumnarBatch batch = std::move(*in.batches[0]);
+    return ExecuteColumnar(ctx, std::move(batch), input_bytes);
+  }
+
+  DecodeInput(ctx, &in);
   // AllTuples distribution: everything on one executor.
   std::vector<Row> rows = std::move(in).Flatten();
-  const int64_t input_bytes =
-      rows.empty() ? 0
-                   : EstimateRowBytes(rows.front()) *
-                         static_cast<int64_t>(rows.size());
   ctx->memory()->Grow(input_bytes);
+
+  // Row input with the exchange on (non-distributed plans): project once in
+  // a dedicated stage and share the matrix across partial/merge exactly as
+  // if the batch had arrived from upstream.
+  if (columnar_ && columnar_exchange_ && !rows.empty()) {
+    auto shared_rows = std::make_shared<std::vector<Row>>(std::move(rows));
+    const std::string project_label = StrCat(label(), " [project]");
+    std::optional<skyline::ColumnarBatch> batch;
+    SL_RETURN_NOT_OK(RunStage(ctx, project_label, 1, [&](size_t) -> Status {
+      StopWatch project;
+      batch = skyline::ColumnarBatch::Project(shared_rows, dims_,
+                                              ctx->memory());
+      if (batch.has_value()) {
+        ctx->AddProjectionMs(project.ElapsedMillis());
+        ctx->AddMatrixBuilds(project_label, 1);
+      }
+      return Status::OK();
+    }));
+    if (batch.has_value()) {
+      return ExecuteColumnar(ctx, std::move(*batch), input_bytes);
+    }
+    rows = std::move(*shared_rows);  // shape refused: back to the row path
+  }
 
   skyline::SkylineOptions options;
   options.distinct = distinct_;
@@ -146,7 +355,8 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
     // Single executor: the classic single-task global pass.
     SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
       SL_ASSIGN_OR_RETURN(out.partitions[0],
-                          RunKernel(kernel_, rows, dims_, options, columnar_));
+                          RunKernelCounted(ctx, label(), kernel_, rows, dims_,
+                                           options, columnar_));
       return Status::OK();
     }));
     ctx->memory()->Shrink(input_bytes);
@@ -159,17 +369,11 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   // is transitive: a tuple dominated in its chunk is also dominated in the
   // full input, so chunk pruning never removes a global skyline point.
   const size_t chunks = std::min(num_executors, rows.size());
-  // Balanced split: sizes differ by at most one, so no executor idles and
-  // the partial stage's critical path is as short as the split allows.
-  const size_t base = rows.size() / chunks;
-  const size_t extra = rows.size() % chunks;
+  const std::vector<size_t> bounds = ChunkBounds(rows.size(), chunks);
   std::vector<std::vector<Row>> chunk_rows(chunks);
-  size_t begin = 0;
   for (size_t i = 0; i < chunks; ++i) {
-    const size_t end = begin + base + (i < extra ? 1 : 0);
-    chunk_rows[i].assign(std::make_move_iterator(rows.begin() + begin),
-                         std::make_move_iterator(rows.begin() + end));
-    begin = end;
+    chunk_rows[i].assign(std::make_move_iterator(rows.begin() + bounds[i]),
+                         std::make_move_iterator(rows.begin() + bounds[i + 1]));
   }
   rows.clear();
 
@@ -178,7 +382,8 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
       ctx, StrCat(label(), " [partial]"), chunks, [&](size_t i) -> Status {
         SL_ASSIGN_OR_RETURN(
             partials[i],
-            RunKernel(kernel_, chunk_rows[i], dims_, options, columnar_));
+            RunKernelCounted(ctx, StrCat(label(), " [partial]"), kernel_,
+                             chunk_rows[i], dims_, options, columnar_));
         return Status::OK();
       }));
 
@@ -188,32 +393,136 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   }
   SL_RETURN_NOT_OK(RunStage(
       ctx, StrCat(label(), " [merge]"), 1, [&](size_t) -> Status {
-        SL_ASSIGN_OR_RETURN(out.partitions[0],
-                            RunKernel(SkylineKernel::kBlockNestedLoop,
-                                      merge_input, dims_, options, columnar_));
+        SL_ASSIGN_OR_RETURN(
+            out.partitions[0],
+            RunKernelCounted(ctx, StrCat(label(), " [merge]"),
+                             SkylineKernel::kBlockNestedLoop, merge_input,
+                             dims_, options, columnar_));
         return Status::OK();
       }));
   ctx->memory()->Shrink(input_bytes);
   return out;
 }
 
+// --- GlobalSkylineIncompleteExec --------------------------------------------
+
 GlobalSkylineIncompleteExec::GlobalSkylineIncompleteExec(
     std::vector<skyline::BoundDimension> dims, bool distinct,
-    PhysicalPlanPtr child, bool columnar, bool parallel)
+    PhysicalPlanPtr child, bool columnar, bool parallel, bool columnar_exchange)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       columnar_(columnar),
-      parallel_(parallel) {}
+      parallel_(parallel),
+      columnar_exchange_(columnar_exchange) {}
+
+Result<PartitionedRelation> GlobalSkylineIncompleteExec::ExecuteColumnar(
+    ExecContext* ctx, skyline::ColumnarBatch batch, int64_t input_bytes) const {
+  skyline::SkylineOptions options;
+  options.distinct = distinct_;
+  options.nulls = skyline::NullSemantics::kIncomplete;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+  options.memory = ctx->memory();
+
+  const skyline::DominanceMatrix& matrix = batch.matrix();
+  // ColumnarBatch::Concat guarantees matrix row order == gathered input
+  // order and an ascending identity view — exactly the DISTINCT tie-break
+  // and ascending-chunk preconditions of the round-based kernels.
+  const std::vector<uint32_t>& view = batch.indices();
+
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.emplace_back();
+  out.batches.emplace_back();
+
+  const size_t num_executors =
+      static_cast<size_t>(std::max(1, ctx->config().num_executors));
+  if (!parallel_ || num_executors <= 1 || view.size() < 2) {
+    // Single-task all-pairs (the paper's algorithm as written), minus the
+    // projection it used to pay.
+    std::vector<uint32_t> survivors;
+    SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
+      SL_ASSIGN_OR_RETURN(
+          survivors, skyline::ColumnarAllPairsIncomplete(matrix, view, options));
+      return Status::OK();
+    }));
+    out.batches[0] = batch.WithSelection(std::move(survivors), false);
+    ctx->memory()->Shrink(input_bytes);
+    return out;
+  }
+
+  // Round-based parallel all-pairs over index slices of the shared matrix
+  // (see the class comment): candidates per chunk, then rotating validation
+  // against full peer chunks.
+  const size_t chunks = std::min(num_executors, view.size());
+  const std::vector<size_t> bounds = ChunkBounds(view.size(), chunks);
+  std::vector<std::vector<uint32_t>> chunk_indices(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    chunk_indices[i].assign(view.begin() + bounds[i],
+                            view.begin() + bounds[i + 1]);
+  }
+
+  std::vector<std::vector<uint32_t>> candidates(chunks);
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [candidates]"), chunks, [&](size_t i) -> Status {
+        SL_ASSIGN_OR_RETURN(candidates[i],
+                            skyline::ColumnarIncompleteCandidateScan(
+                                matrix, chunk_indices[i], options));
+        return Status::OK();
+      }));
+
+  for (size_t round = 1; round < chunks; ++round) {
+    SL_RETURN_NOT_OK(RunStage(
+        ctx, StrCat(label(), " [validate]"), chunks, [&](size_t i) -> Status {
+          const size_t peer = (i + round) % chunks;
+          SL_ASSIGN_OR_RETURN(candidates[i],
+                              skyline::ColumnarValidateAgainstChunk(
+                                  matrix, candidates[i], chunk_indices[peer],
+                                  options));
+          return Status::OK();
+        }));
+  }
+
+  SL_RETURN_NOT_OK(RunStage(
+      ctx, StrCat(label(), " [finalize]"), 1, [&](size_t) -> Status {
+        // Chunks are ascending contiguous spans, so concatenating candidate
+        // lists in chunk order reproduces the single-task output order.
+        std::vector<uint32_t> survivors;
+        for (const auto& c : candidates) {
+          survivors.insert(survivors.end(), c.begin(), c.end());
+        }
+        out.batches[0] = batch.WithSelection(std::move(survivors), false);
+        return Status::OK();
+      }));
+  ctx->memory()->Shrink(input_bytes);
+  return out;
+}
 
 Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
     ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+  const int64_t input_bytes = EstimateRelationBytes(in);
+
+  // Accept the shuffled batch only when it was projected for these
+  // dimensions AND its view is ascending in matrix index: the validation
+  // rounds' DISTINCT tie-break (t < c on matrix indices) and the finalize
+  // concatenation are sound only over ascending views. The gather's Concat
+  // always produces an identity view today, so the is_sorted scan is an
+  // O(n) insurance premium against a future plan shape that bypasses it
+  // (n² kernel work follows, so the scan is noise).
+  if (columnar_ && columnar_exchange_ && in.batches.size() == 1 &&
+      in.batches[0].has_value() && in.batches[0]->ProjectedFor(dims_) &&
+      std::is_sorted(in.batches[0]->indices().begin(),
+                     in.batches[0]->indices().end())) {
+    ctx->memory()->Grow(input_bytes);
+    ctx->AddMatrixReuse(label());
+    skyline::ColumnarBatch batch = std::move(*in.batches[0]);
+    return ExecuteColumnar(ctx, std::move(batch), input_bytes);
+  }
+
+  DecodeInput(ctx, &in);
   std::vector<Row> rows = std::move(in).Flatten();
-  const int64_t input_bytes =
-      rows.empty() ? 0
-                   : EstimateRowBytes(rows.front()) *
-                         static_cast<int64_t>(rows.size());
   ctx->memory()->Grow(input_bytes);
 
   skyline::SkylineOptions options;
@@ -232,9 +541,13 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
     // Single-task all-pairs (the paper's algorithm as written).
     SL_RETURN_NOT_OK(RunStage(ctx, 1, [&](size_t) -> Status {
       if (columnar_) {
-        SL_ASSIGN_OR_RETURN(
-            out.partitions[0],
-            skyline::ColumnarAllPairsSkyline(rows, dims_, options));
+        std::atomic<int64_t> builds{0};
+        skyline::SkylineOptions opts = options;
+        opts.memory = ctx->memory();
+        opts.matrix_builds = &builds;
+        SL_ASSIGN_OR_RETURN(out.partitions[0],
+                            skyline::ColumnarAllPairsSkyline(rows, dims_, opts));
+        if (builds.load() > 0) ctx->AddMatrixBuilds(label(), builds.load());
       } else {
         SL_ASSIGN_OR_RETURN(
             out.partitions[0],
@@ -254,12 +567,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
   // Contiguous balanced spans (sizes differ by at most one) over the
   // gathered input; contiguity keeps chunk order == global input order,
   // which the DISTINCT tie-break and the finalize concatenation rely on.
-  std::vector<size_t> bounds(chunks + 1, 0);
-  const size_t base = rows.size() / chunks;
-  const size_t extra = rows.size() % chunks;
-  for (size_t i = 0; i < chunks; ++i) {
-    bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
-  }
+  const std::vector<size_t> bounds = ChunkBounds(rows.size(), chunks);
 
   // One shared matrix for all stages (the candidate scans and every
   // validation round reuse its packed keys and per-row null bitmaps); row
@@ -268,12 +576,21 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
   // it does on the single-task path (where ColumnarAllPairsSkyline builds
   // the matrix inside the timed task).
   std::optional<skyline::DominanceMatrix> matrix;
+  std::optional<ScopedReservation> matrix_reservation;
   if (columnar_) {
-    SL_RETURN_NOT_OK(RunStage(
-        ctx, StrCat(label(), " [candidates]"), 1, [&](size_t) -> Status {
-          matrix = skyline::DominanceMatrix::TryBuild(rows, dims_);
-          return Status::OK();
-        }));
+    const std::string candidates_label = StrCat(label(), " [candidates]");
+    SL_RETURN_NOT_OK(RunStage(ctx, candidates_label, 1, [&](size_t) -> Status {
+      StopWatch project;
+      matrix = skyline::DominanceMatrix::TryBuild(rows, dims_);
+      if (matrix.has_value()) {
+        ctx->AddProjectionMs(project.ElapsedMillis());
+        ctx->AddMatrixBuilds(candidates_label, 1);
+      }
+      return Status::OK();
+    }));
+    if (matrix.has_value()) {
+      matrix_reservation.emplace(ctx->memory(), matrix->MemoryBytes());
+    }
   }
   std::vector<std::vector<uint32_t>> chunk_indices;
   if (matrix.has_value()) {

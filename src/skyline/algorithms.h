@@ -12,6 +12,9 @@
 #include "skyline/dominance.h"
 
 namespace sparkline {
+
+class MemoryTracker;
+
 namespace skyline {
 
 /// \brief Options shared by all skyline algorithms.
@@ -26,6 +29,16 @@ struct SkylineOptions {
   /// Monotonic-clock deadline in nanoseconds (0 = none); algorithms return
   /// Status::Timeout soon after passing it.
   int64_t deadline_nanos = 0;
+  /// If non-null, DominanceMatrix storage (packed keys, null bitmaps,
+  /// dictionaries) built inside the columnar entry points is charged here
+  /// for as long as the matrix lives. Row kernels ignore it.
+  MemoryTracker* memory = nullptr;
+  /// If non-null, incremented once per successful DominanceMatrix
+  /// projection (TryBuild) executed inside the columnar entry points. The
+  /// exec layer aggregates it into QueryMetrics::matrix_builds per stage,
+  /// which is how tests prove the columnar exchange removed per-stage
+  /// re-projection.
+  std::atomic<int64_t>* matrix_builds = nullptr;
 };
 
 // Preconditions shared by every Result-returning entry point below:

@@ -5,10 +5,43 @@
 #include <map>
 #include <unordered_map>
 
+#if SPARKLINE_HAVE_AVX2_COMPARE
+#include <immintrin.h>
+#endif
+
 #include "skyline/kernel_common.h"
 
 namespace sparkline {
 namespace skyline {
+
+#if SPARKLINE_HAVE_AVX2_COMPARE
+namespace simd {
+
+__attribute__((target("avx2"))) Dominance CompareKeySpansCompleteAvx2(
+    const double* left, const double* right, size_t d) {
+  __m256d acc_l = _mm256_setzero_pd();
+  __m256d acc_r = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const __m256d l = _mm256_loadu_pd(left + i);
+    const __m256d r = _mm256_loadu_pd(right + i);
+    acc_l = _mm256_or_pd(acc_l, _mm256_cmp_pd(l, r, _CMP_LT_OQ));
+    acc_r = _mm256_or_pd(acc_r, _mm256_cmp_pd(r, l, _CMP_LT_OQ));
+  }
+  bool left_better = _mm256_movemask_pd(acc_l) != 0;
+  bool right_better = _mm256_movemask_pd(acc_r) != 0;
+  for (; i < d; ++i) {
+    left_better |= left[i] < right[i];
+    right_better |= right[i] < left[i];
+  }
+  if (left_better) {
+    return right_better ? Dominance::kIncomparable : Dominance::kLeftDominates;
+  }
+  return right_better ? Dominance::kRightDominates : Dominance::kEqual;
+}
+
+}  // namespace simd
+#endif  // SPARKLINE_HAVE_AVX2_COMPARE
 
 namespace {
 
@@ -30,6 +63,7 @@ std::optional<DominanceMatrix> DominanceMatrix::TryBuild(
   m.d_ = dims.size();
   m.keys_.assign(m.n_ * m.d_, 0.0);
   m.numeric_minmax_ = true;
+  m.dicts_.assign(m.d_, {});
 
   bool any_null = false;
   std::vector<uint32_t> nulls(m.n_, 0);
@@ -72,6 +106,8 @@ std::optional<DominanceMatrix> DominanceMatrix::TryBuild(
           if (!is_diff) return std::nullopt;  // MIN/MAX over VARCHAR
           auto [it, inserted] = dictionary.emplace(
               v.string_value(), static_cast<double>(dictionary.size()));
+          // Keep the decode table so ConcatSelected can remap codes later.
+          if (inserted) m.dicts_[d].push_back(v.string_value());
           slot = it->second;
           continue;
         }
@@ -86,10 +122,182 @@ std::optional<DominanceMatrix> DominanceMatrix::TryBuild(
   return m;
 }
 
+int64_t DominanceMatrix::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(DominanceMatrix));
+  bytes += static_cast<int64_t>(keys_.capacity() * sizeof(double));
+  bytes += static_cast<int64_t>(nulls_.capacity() * sizeof(uint32_t));
+  for (const auto& dict : dicts_) {
+    for (const auto& s : dict) {
+      bytes += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+    }
+  }
+  return bytes;
+}
+
+DominanceMatrix DominanceMatrix::ConcatSelected(
+    const std::vector<const DominanceMatrix*>& parts,
+    const std::vector<const std::vector<uint32_t>*>& selections) {
+  SL_DCHECK(!parts.empty() && parts.size() == selections.size());
+  DominanceMatrix out;
+  out.d_ = parts[0]->d_;
+  out.diff_mask_ = parts[0]->diff_mask_;
+  out.numeric_minmax_ = true;
+  out.dicts_.assign(out.d_, {});
+
+  size_t total = 0;
+  bool any_null = false;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    SL_DCHECK(parts[p]->d_ == out.d_ && parts[p]->diff_mask_ == out.diff_mask_);
+    total += selections[p]->size();
+    any_null |= parts[p]->has_nulls();
+    out.numeric_minmax_ &= parts[p]->numeric_minmax_;
+  }
+  out.n_ = total;
+  out.keys_.assign(total * out.d_, 0.0);
+  if (any_null) out.nulls_.assign(total, 0);
+
+  // A dimension is dictionary-encoded iff any part saw a string there (a
+  // part can have an empty dict only when its rows are all NULL in that
+  // dimension, in which case there are no codes to remap).
+  std::vector<char> dict_dim(out.d_, 0);
+  std::vector<std::unordered_map<std::string, double>> unified(out.d_);
+  for (size_t d = 0; d < out.d_; ++d) {
+    for (const auto* part : parts) {
+      if (!part->dicts_[d].empty()) dict_dim[d] = 1;
+    }
+  }
+
+  size_t cursor = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const DominanceMatrix& part = *parts[p];
+    for (const uint32_t r : *selections[p]) {
+      std::copy_n(part.row_keys(r), out.d_,
+                  out.keys_.begin() + cursor * out.d_);
+      const uint32_t nulls = part.null_bitmap(r);
+      if (any_null) out.nulls_[cursor] = nulls;
+      for (size_t d = 0; d < out.d_; ++d) {
+        if (!dict_dim[d] || ((nulls >> d) & 1u)) continue;
+        const size_t code =
+            static_cast<size_t>(part.keys_[r * part.d_ + d]);
+        const std::string& value = part.dicts_[d][code];
+        auto [it, inserted] = unified[d].emplace(
+            value, static_cast<double>(unified[d].size()));
+        if (inserted) out.dicts_[d].push_back(value);
+        out.keys_[cursor * out.d_ + d] = it->second;
+      }
+      ++cursor;
+    }
+  }
+  return out;
+}
+
 std::vector<uint32_t> AllIndices(const DominanceMatrix& matrix) {
   std::vector<uint32_t> idx(matrix.num_rows());
   for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
   return idx;
+}
+
+// --- ColumnarBatch ----------------------------------------------------------
+
+std::optional<ColumnarBatch> ColumnarBatch::Project(
+    std::shared_ptr<std::vector<Row>> rows,
+    const std::vector<BoundDimension>& dims, MemoryTracker* memory) {
+  std::optional<DominanceMatrix> matrix = DominanceMatrix::TryBuild(*rows, dims);
+  if (!matrix.has_value()) return std::nullopt;
+  ColumnarBatch batch;
+  batch.reservation_ =
+      std::make_shared<const ScopedReservation>(memory, matrix->MemoryBytes());
+  batch.matrix_ = std::make_shared<const DominanceMatrix>(std::move(*matrix));
+  batch.rows_ = std::move(rows);
+  batch.dims_ = dims;
+  batch.indices_ = AllIndices(*batch.matrix_);
+  return batch;
+}
+
+std::vector<Row> ColumnarBatch::DecodeConsuming() && {
+  if (rows_.use_count() != 1) return Decode();
+  std::vector<Row> out;
+  out.reserve(indices_.size());
+  for (const uint32_t i : indices_) out.push_back(std::move((*rows_)[i]));
+  rows_.reset();
+  return out;
+}
+
+ColumnarBatch ColumnarBatch::Concat(std::vector<ColumnarBatch>* parts,
+                                    MemoryTracker* memory) {
+  SL_DCHECK(!parts->empty());
+  // A single part is still compacted (not passed through): its backing may
+  // hold the stage's full input while the view kept only survivors, and the
+  // gather is where non-survivors should stop occupying memory — exactly
+  // like the row pipeline, whose local stage materializes survivors only.
+  std::vector<const DominanceMatrix*> matrices;
+  std::vector<const std::vector<uint32_t>*> selections;
+  size_t total = 0;
+  bool all_sorted = true;
+  for (const ColumnarBatch& part : *parts) {
+    matrices.push_back(part.matrix_.get());
+    selections.push_back(&part.indices_);
+    total += part.num_rows();
+    all_sorted &= part.score_sorted_;
+  }
+  DominanceMatrix merged = DominanceMatrix::ConcatSelected(matrices, selections);
+
+  // Backing rows of the result = the selected rows in view order, i.e.
+  // exactly what a row-mode gather would ship — matrix row order is the
+  // gathered input order. Exclusively owned part backings are moved, like
+  // the row gather moves (survivor views have distinct indices, so each row
+  // moves at most once).
+  auto rows = std::make_shared<std::vector<Row>>();
+  rows->reserve(total);
+  for (ColumnarBatch& part : *parts) {
+    const bool exclusive = part.rows_.use_count() == 1;
+    for (const uint32_t r : part.indices_) {
+      if (exclusive) {
+        rows->push_back(std::move((*part.rows_)[r]));
+      } else {
+        rows->push_back((*part.rows_)[r]);
+      }
+    }
+  }
+
+  ColumnarBatch batch;
+  batch.reservation_ =
+      std::make_shared<const ScopedReservation>(memory, merged.MemoryBytes());
+  batch.matrix_ = std::make_shared<const DominanceMatrix>(std::move(merged));
+  batch.rows_ = std::move(rows);
+  batch.dims_ = parts->front().dims_;
+  if (all_sorted) {
+    // SFS-order inheritance: each part's view became one contiguous run of
+    // the new matrix; merge the runs instead of re-sorting downstream.
+    std::vector<std::vector<uint32_t>> runs;
+    uint32_t offset = 0;
+    for (const ColumnarBatch& part : *parts) {
+      std::vector<uint32_t> run(part.num_rows());
+      for (uint32_t i = 0; i < run.size(); ++i) run[i] = offset + i;
+      offset += static_cast<uint32_t>(part.num_rows());
+      runs.push_back(std::move(run));
+    }
+    batch.indices_ = MergeByScore(*batch.matrix_, runs);
+    batch.score_sorted_ = true;
+  } else {
+    batch.indices_ = AllIndices(*batch.matrix_);
+  }
+  return batch;
+}
+
+ColumnarBatch ColumnarBatch::WithSelection(std::vector<uint32_t> indices,
+                                           bool score_sorted) const {
+  ColumnarBatch batch = *this;
+  batch.indices_ = std::move(indices);
+  batch.score_sorted_ = score_sorted;
+  return batch;
+}
+
+ColumnarBatch ColumnarBatch::Slice(size_t begin, size_t end) const {
+  SL_DCHECK(begin <= end && end <= indices_.size());
+  ColumnarBatch batch = *this;
+  batch.indices_.assign(indices_.begin() + begin, indices_.begin() + end);
+  return batch;
 }
 
 Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
@@ -152,32 +360,21 @@ Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
   return window;
 }
 
-Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
-    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
-    const SkylineOptions& options) {
-  if (options.nulls != NullSemantics::kComplete ||
-      !matrix.all_numeric_minmax()) {
-    return ColumnarBlockNestedLoop(matrix, input, options);
-  }
-  // Monotone score over the negated-for-MAX keys: if a dominates b then
-  // score(a) < score(b) strictly, so after sorting the window only grows.
-  std::vector<double> scores(input.size());
-  for (size_t i = 0; i < input.size(); ++i) scores[i] = matrix.Score(input[i]);
-  std::vector<uint32_t> order(input.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](uint32_t a, uint32_t b) { return scores[a] < scores[b]; });
+namespace {
 
-  // Presorting guarantees no later tuple dominates an earlier one, so the
-  // window only grows — an append-only dense key buffer scanned
-  // sequentially per incoming tuple.
+/// The SFS filter pass over score-ascending input: no later tuple can
+/// dominate an earlier one, so the window only grows — an append-only dense
+/// key buffer scanned sequentially per incoming tuple. Shared by the
+/// sorting entry point and the inherited-order (presorted) one.
+Result<std::vector<uint32_t>> SfsFilterPass(const DominanceMatrix& matrix,
+                                            const std::vector<uint32_t>& ordered,
+                                            const SkylineOptions& options) {
   const size_t d = matrix.num_dims();
   std::vector<uint32_t> window;
   std::vector<double> window_keys;
   DeadlineChecker deadline(options.deadline_nanos);
   BatchedCounter tests(options);
-  for (const uint32_t pos : order) {
-    const uint32_t tuple = input[pos];
+  for (const uint32_t tuple : ordered) {
     const double* keys = matrix.row_keys(tuple);
     bool eliminated = false;
     for (size_t i = 0; i < window.size(); ++i) {
@@ -199,6 +396,58 @@ Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
     }
   }
   return window;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  if (!SfsFastPathApplicable(matrix, options)) {
+    return ColumnarBlockNestedLoop(matrix, input, options);
+  }
+  // Monotone score over the negated-for-MAX keys: if a dominates b then
+  // score(a) < score(b) strictly, so after sorting the window only grows.
+  std::vector<double> scores(input.size());
+  for (size_t i = 0; i < input.size(); ++i) scores[i] = matrix.Score(input[i]);
+  std::vector<uint32_t> order(input.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return scores[a] < scores[b]; });
+  std::vector<uint32_t> ordered(input.size());
+  for (size_t i = 0; i < order.size(); ++i) ordered[i] = input[order[i]];
+  return SfsFilterPass(matrix, ordered, options);
+}
+
+Result<std::vector<uint32_t>> ColumnarSortFilterSkylinePresorted(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options) {
+  SL_DCHECK(SfsFastPathApplicable(matrix, options));
+  return SfsFilterPass(matrix, input, options);
+}
+
+std::vector<uint32_t> MergeByScore(
+    const DominanceMatrix& matrix,
+    const std::vector<std::vector<uint32_t>>& runs) {
+  // Iterative stable two-way merges: std::merge takes from the first range
+  // on ties, and earlier runs accumulate on the left, so equal scores keep
+  // run order — the same tie-break a global stable sort would produce.
+  std::vector<uint32_t> merged;
+  auto score_less = [&](uint32_t a, uint32_t b) {
+    return matrix.Score(a) < matrix.Score(b);
+  };
+  for (const auto& run : runs) {
+    if (merged.empty()) {
+      merged = run;
+      continue;
+    }
+    std::vector<uint32_t> next;
+    next.reserve(merged.size() + run.size());
+    std::merge(merged.begin(), merged.end(), run.begin(), run.end(),
+               std::back_inserter(next), score_less);
+    merged = std::move(next);
+  }
+  return merged;
 }
 
 Result<std::vector<uint32_t>> ColumnarGridFilterSkyline(
@@ -373,8 +622,13 @@ Result<std::vector<uint32_t>> ColumnarValidateAgainstChunk(
 
 std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
     const DominanceMatrix& matrix) {
+  return PartitionIndicesByNullBitmap(matrix, AllIndices(matrix));
+}
+
+std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input) {
   std::map<uint32_t, std::vector<uint32_t>> groups;
-  for (uint32_t r = 0; r < matrix.num_rows(); ++r) {
+  for (const uint32_t r : input) {
     groups[matrix.null_bitmap(r)].push_back(r);
   }
   std::vector<std::vector<uint32_t>> out;
@@ -423,7 +677,31 @@ Result<std::vector<Row>> RowFallback(ColumnarKernel kernel,
   return BlockNestedLoop(input, dims, options);
 }
 
+/// Counts one successful projection against options.matrix_builds.
+void CountMatrixBuild(const SkylineOptions& options) {
+  if (options.matrix_builds != nullptr) {
+    options.matrix_builds->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace
+
+Result<std::vector<uint32_t>> RunColumnarKernel(
+    ColumnarKernel kernel, const DominanceMatrix& matrix,
+    const std::vector<uint32_t>& input, const SkylineOptions& options) {
+  if (options.nulls == NullSemantics::kComplete) {
+    return DispatchKernel(kernel, matrix, input, options);
+  }
+  // Incomplete semantics: one BNL per bitmap-uniform group over the shared
+  // matrix (no per-group re-projection).
+  std::vector<uint32_t> survivors;
+  for (const auto& group : PartitionIndicesByNullBitmap(matrix, input)) {
+    SL_ASSIGN_OR_RETURN(std::vector<uint32_t> local,
+                        ColumnarBlockNestedLoop(matrix, group, options));
+    survivors.insert(survivors.end(), local.begin(), local.end());
+  }
+  return survivors;
+}
 
 Result<std::vector<Row>> ColumnarSkyline(ColumnarKernel kernel,
                                          const std::vector<Row>& input,
@@ -436,21 +714,11 @@ Result<std::vector<Row>> ColumnarSkyline(ColumnarKernel kernel,
     }
     return BitmapGroupedBnl(input, dims, options);
   }
-
-  if (options.nulls == NullSemantics::kComplete) {
-    SL_ASSIGN_OR_RETURN(
-        std::vector<uint32_t> survivors,
-        DispatchKernel(kernel, *matrix, AllIndices(*matrix), options));
-    return MaterializeRows(input, survivors);
-  }
-  // Incomplete semantics: one BNL per bitmap-uniform group over a single
-  // shared matrix (no per-group re-projection).
-  std::vector<uint32_t> survivors;
-  for (const auto& group : PartitionIndicesByNullBitmap(*matrix)) {
-    SL_ASSIGN_OR_RETURN(std::vector<uint32_t> local,
-                        ColumnarBlockNestedLoop(*matrix, group, options));
-    survivors.insert(survivors.end(), local.begin(), local.end());
-  }
+  CountMatrixBuild(options);
+  ScopedReservation reservation(options.memory, matrix->MemoryBytes());
+  SL_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> survivors,
+      RunColumnarKernel(kernel, *matrix, AllIndices(*matrix), options));
   return MaterializeRows(input, survivors);
 }
 
@@ -459,6 +727,8 @@ Result<std::vector<Row>> ColumnarAllPairsSkyline(
     const SkylineOptions& options) {
   std::optional<DominanceMatrix> matrix = DominanceMatrix::TryBuild(input, dims);
   if (!matrix.has_value()) return AllPairsIncomplete(input, dims, options);
+  CountMatrixBuild(options);
+  ScopedReservation reservation(options.memory, matrix->MemoryBytes());
   SL_ASSIGN_OR_RETURN(
       std::vector<uint32_t> survivors,
       ColumnarAllPairsIncomplete(*matrix, AllIndices(*matrix), options));

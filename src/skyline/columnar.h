@@ -26,12 +26,25 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/result.h"
 #include "skyline/algorithms.h"
 #include "skyline/dominance.h"
+
+// The explicit AVX2 dominance-test path needs x86 intrinsics plus a
+// compiler that supports per-function target attributes (GCC/Clang). Other
+// platforms compile the scalar loop only.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SPARKLINE_HAVE_AVX2_COMPARE 1
+#else
+#define SPARKLINE_HAVE_AVX2_COMPARE 0
+#endif
 
 namespace sparkline {
 namespace skyline {
@@ -76,12 +89,13 @@ inline Dominance CompareKeySpans(const double* left, const double* right,
 
 /// \brief Branchless dominance test for the common case: complete
 /// semantics, no DIFF dimensions. Accumulating the better-on-some-dimension
-/// flags without per-dimension early exits lets the compiler unroll and
-/// vectorize the loop, and leaves a single well-predicted branch per test —
-/// measurably faster than the early-exit form on real workloads even though
-/// it always scans all d dimensions.
-inline Dominance CompareKeySpansComplete(const double* left,
-                                         const double* right, size_t d) {
+/// flags without per-dimension early exits leaves a single well-predicted
+/// branch per test — measurably faster than the early-exit form on real
+/// workloads even though it always scans all d dimensions. This is the
+/// scalar reference; CompareKeySpansComplete dispatches to the explicit
+/// AVX2 version when the CPU supports it.
+inline Dominance CompareKeySpansCompleteScalar(const double* left,
+                                               const double* right, size_t d) {
   bool left_better = false;
   bool right_better = false;
   for (size_t i = 0; i < d; ++i) {
@@ -92,6 +106,44 @@ inline Dominance CompareKeySpansComplete(const double* left,
     return right_better ? Dominance::kIncomparable : Dominance::kLeftDominates;
   }
   return right_better ? Dominance::kRightDominates : Dominance::kEqual;
+}
+
+namespace simd {
+#if SPARKLINE_HAVE_AVX2_COMPARE
+/// \brief Explicit AVX2 compare: both comparison directions run over four
+/// dimensions per instruction with OR-accumulated masks, then one movemask
+/// per direction. Keys are never NaN (TryBuild refuses them), so the
+/// ordered predicate is exact. Only call when Avx2Available() is true.
+/// Defined out-of-line with a per-function target attribute so the rest of
+/// the binary keeps the baseline ISA.
+Dominance CompareKeySpansCompleteAvx2(const double* left, const double* right,
+                                      size_t d);
+
+/// \brief Compile-time answer when built with -mavx2, one cached CPUID
+/// probe otherwise.
+inline bool Avx2Available() {
+#if defined(__AVX2__)
+  return true;
+#else
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+#endif
+}
+#endif  // SPARKLINE_HAVE_AVX2_COMPARE
+}  // namespace simd
+
+/// \brief Complete-case dominance test with SIMD dispatch: the AVX2 path
+/// when compiled in and supported by this CPU (below 4 dimensions the
+/// vector body would be all tail, so the scalar loop wins), the scalar
+/// branchless loop otherwise. Results are identical on every path.
+inline Dominance CompareKeySpansComplete(const double* left,
+                                         const double* right, size_t d) {
+#if SPARKLINE_HAVE_AVX2_COMPARE
+  if (d >= 4 && simd::Avx2Available()) {
+    return simd::CompareKeySpansCompleteAvx2(left, right, d);
+  }
+#endif
+  return CompareKeySpansCompleteScalar(left, right, d);
 }
 
 /// \brief Projection of the skyline dimensions of an input relation into
@@ -142,6 +194,26 @@ class DominanceMatrix {
   /// Bitmask of DIFF dimensions (for CompareKeySpans callers).
   uint32_t diff_mask() const { return diff_mask_; }
 
+  /// \brief Byte footprint of the projection: packed keys, null bitmaps and
+  /// VARCHAR dictionary decode tables. This is what the exec layer charges
+  /// to the query's MemoryTracker while a matrix lives.
+  int64_t MemoryBytes() const;
+
+  /// \brief Concatenates the *selected* rows of several independently built
+  /// matrices into one compact matrix — the columnar shuffle primitive.
+  /// Row r of the result is the selections[p][k]-th row of parts[p], in
+  /// (part, selection) order. Packed keys and null bitmaps are copied;
+  /// VARCHAR DIFF dictionary codes are remapped through the parts' decode
+  /// tables into one unified dictionary (codes are only comparable within
+  /// one matrix). No re-projection from row Values happens.
+  ///
+  /// \pre parts is non-empty, all parts share num_dims() and diff_mask()
+  /// (they were projected with the same BoundDimension list), and every
+  /// selection index is valid for its part.
+  static DominanceMatrix ConcatSelected(
+      const std::vector<const DominanceMatrix*>& parts,
+      const std::vector<const std::vector<uint32_t>*>& selections);
+
   /// \brief Dominance between rows `i` and `j`, equivalent to CompareRows
   /// over the original rows. One call == one dominance test.
   Dominance Compare(uint32_t i, uint32_t j, NullSemantics nulls) const {
@@ -160,6 +232,11 @@ class DominanceMatrix {
   std::vector<uint32_t> nulls_; ///< per-row bitmaps; empty when fully complete
   uint32_t diff_mask_ = 0;      ///< bit per DIFF dimension
   bool numeric_minmax_ = false;
+  /// Decode tables for dictionary-encoded VARCHAR DIFF dimensions:
+  /// dicts_[dim][code] is the original string (empty vector for every other
+  /// dimension). Retained so ConcatSelected can remap codes across
+  /// independently built matrices.
+  std::vector<std::vector<std::string>> dicts_;
 };
 
 /// \brief All row indices 0..n-1 (the identity selection for a kernel run
@@ -195,6 +272,36 @@ Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
 Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
     const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
     const SkylineOptions& options);
+
+/// \brief True when ColumnarSortFilterSkyline runs its presort fast path on
+/// this matrix (rather than falling back to BNL) — which also means its
+/// result view is ascending in DominanceMatrix::Score. The exec layer uses
+/// this to tag batches as score-sorted for SFS-order inheritance.
+inline bool SfsFastPathApplicable(const DominanceMatrix& matrix,
+                                  const SkylineOptions& options) {
+  return options.nulls == NullSemantics::kComplete &&
+         matrix.all_numeric_minmax();
+}
+
+/// \brief Sort-Filter-Skyline over input that is *already* ascending in
+/// DominanceMatrix::Score — the inherited-order variant the merge stage
+/// runs when its input views come from upstream SFS stages, skipping the
+/// re-sort entirely.
+///
+/// \pre SfsFastPathApplicable(matrix, options) holds and `input` is
+/// score-ascending (equal scores in the caller's intended tie-break order;
+/// the window-only-grows argument needs nothing stronger than ascending
+/// scores).
+Result<std::vector<uint32_t>> ColumnarSortFilterSkylinePresorted(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
+    const SkylineOptions& options);
+
+/// \brief Merges score-ascending index runs into one score-ascending vector
+/// (O(n · k) cascade of stable merges; ties keep earlier runs first, so
+/// merging per-partition SFS outputs reproduces the tie-break order of one
+/// global stable sort over the concatenated input).
+std::vector<uint32_t> MergeByScore(const DominanceMatrix& matrix,
+                                   const std::vector<std::vector<uint32_t>>& runs);
 
 /// \brief Index-based grid-filter skyline: cell-level pruning over the
 /// normalized keys (all dimensions MIN after negation, so no bucket
@@ -243,10 +350,127 @@ Result<std::vector<uint32_t>> ColumnarValidateAgainstChunk(
 std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
     const DominanceMatrix& matrix);
 
+/// \brief Same, restricted to the given view (used by batch-aware stages
+/// that operate on a survivor view rather than the whole matrix).
+std::vector<std::vector<uint32_t>> PartitionIndicesByNullBitmap(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& input);
+
 /// \brief Materializes the selected rows (in index order) from the original
 /// input.
 std::vector<Row> MaterializeRows(const std::vector<Row>& input,
                                  const std::vector<uint32_t>& indices);
+
+/// \brief Runs the chosen index kernel over an existing matrix view — the
+/// batch-aware counterpart of ColumnarSkyline. Complete semantics dispatch
+/// the kernel directly; incomplete semantics run one BNL per bitmap-uniform
+/// group of the view (the local-stage contract of paper section 5.7).
+/// Returns the surviving sub-view.
+Result<std::vector<uint32_t>> RunColumnarKernel(
+    ColumnarKernel kernel, const DominanceMatrix& matrix,
+    const std::vector<uint32_t>& input, const SkylineOptions& options);
+
+/// \brief The unit the columnar exchange ships between skyline stages: one
+/// immutable, shared DominanceMatrix over a set of backing rows (matrix row
+/// i is the projection of backing row i) plus a row-index *view* selecting
+/// the live subset, and an optional inherited SFS sort order.
+///
+/// Ownership rules: matrix, backing rows and the memory reservation are
+/// shared (shared_ptr) and never mutated after construction; copying a
+/// batch copies only the view vector. A batch therefore stays valid no
+/// matter which operator created it or how many views alias it, and the
+/// matrix bytes stay charged to the query's MemoryTracker until the last
+/// view dies.
+class ColumnarBatch {
+ public:
+  /// \brief Projects `rows` once — the only projection this partition pays
+  /// on the columnar-exchange path. Returns nullopt when TryBuild refuses
+  /// the shape (the caller then stays on the row path; it may keep using
+  /// *rows). Matrix storage is charged to `memory` (if non-null) for the
+  /// matrix's lifetime. The backing rows are semantically immutable while
+  /// any view aliases them; the non-const element type only exists so an
+  /// exclusively owned backing can be *moved* out by Concat /
+  /// DecodeConsuming instead of copied.
+  static std::optional<ColumnarBatch> Project(
+      std::shared_ptr<std::vector<Row>> rows,
+      const std::vector<BoundDimension>& dims, MemoryTracker* memory = nullptr);
+
+  /// \brief The columnar shuffle: concatenates the parts' *selected* rows
+  /// into one compact batch via DominanceMatrix::ConcatSelected (key/bitmap
+  /// copy + dictionary remap — no re-projection). The backing rows of the
+  /// result are the selected rows materialized in view order — exactly the
+  /// rows a row-mode gather would have shipped, so matrix row order equals
+  /// gathered input order (the DISTINCT tie-break order downstream stages
+  /// rely on). If every part is score-sorted, the merged view is produced
+  /// by MergeByScore and stays score-sorted (SFS-order inheritance across
+  /// the exchange). A single part is compacted the same way, so the
+  /// upstream stage's non-survivor rows never travel past the exchange.
+  ///
+  /// The parts are consumed (backings moved out where exclusively owned)
+  /// but deliberately left alive in the caller's vector: destroying the old
+  /// backings — every non-survivor row of the upstream stage — is real
+  /// work, and the caller decides where it lands (the exec layer drops them
+  /// outside the timed stage, exactly where the row pipeline destroys its
+  /// consumed inputs).
+  ///
+  /// \pre parts non-empty, all projected with the same dimension list.
+  static ColumnarBatch Concat(std::vector<ColumnarBatch>* parts,
+                              MemoryTracker* memory = nullptr);
+
+  /// A derived view over the same matrix/rows (e.g. the survivors of a
+  /// kernel run). `score_sorted` asserts the new view is score-ascending.
+  ColumnarBatch WithSelection(std::vector<uint32_t> indices,
+                              bool score_sorted) const;
+
+  /// Contiguous sub-view [begin, end) of the current view, inheriting the
+  /// sort flag (a slice of an ascending view is ascending).
+  ColumnarBatch Slice(size_t begin, size_t end) const;
+
+  const DominanceMatrix& matrix() const { return *matrix_; }
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  size_t num_rows() const { return indices_.size(); }
+  bool score_sorted() const { return score_sorted_; }
+  const std::vector<Row>& backing_rows() const { return *rows_; }
+
+  /// \brief True when this batch was projected for exactly these skyline
+  /// dimensions (ordinals and goals). A consumer whose dimensions differ —
+  /// e.g. the outer operator of a nested skyline receiving the inner
+  /// skyline's batch — must decode and re-project instead of reusing a
+  /// matrix that encodes the wrong columns.
+  bool ProjectedFor(const std::vector<BoundDimension>& dims) const {
+    if (dims.size() != dims_.size()) return false;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      if (dims[i].ordinal != dims_[i].ordinal || dims[i].goal != dims_[i].goal) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Materializes the view's rows — the plan-root decode (or the row
+  /// fallback when a non-skyline operator consumes the relation).
+  std::vector<Row> Decode() const { return MaterializeRows(*rows_, indices_); }
+
+  /// \brief Decode that destroys the batch: when this view is the backing's
+  /// sole owner the selected rows are *moved* out (matching the row
+  /// pipeline, whose stages move rather than copy); aliased backings fall
+  /// back to Decode's copy.
+  ///
+  /// \pre the view's indices are pairwise distinct (every survivor view the
+  /// skyline pipeline produces is).
+  std::vector<Row> DecodeConsuming() &&;
+
+ private:
+  ColumnarBatch() = default;
+
+  std::shared_ptr<const DominanceMatrix> matrix_;
+  /// Backing rows; matrix row i == (*rows_)[i]. Semantically immutable —
+  /// non-const only so exclusive owners can move rows out (see Project).
+  std::shared_ptr<std::vector<Row>> rows_;
+  std::shared_ptr<const ScopedReservation> reservation_;  ///< matrix bytes
+  std::vector<BoundDimension> dims_;  ///< what the matrix was projected for
+  std::vector<uint32_t> indices_;  ///< the view, in processing order
+  bool score_sorted_ = false;
+};
 
 /// \brief Convenience end-to-end entry: builds the matrix, runs the chosen
 /// kernel under complete semantics (or bitmap-grouped BNL + the local stage

@@ -286,6 +286,188 @@ TEST(DimensionLimitTest, Exactly32DimsStillWorks) {
   EXPECT_EQ(result->size(), 1u);
 }
 
+// --- SIMD dispatch ----------------------------------------------------------
+
+// The dispatching compare must agree with the scalar reference on every
+// dimensionality (covering the AVX2 main loop, its scalar tail, and the
+// below-4-dims scalar shortcut) for every dominance outcome.
+TEST(SimdCompareTest, DispatchMatchesScalar) {
+  Rng rng(41);
+  for (size_t d = 1; d <= 9; ++d) {
+    for (int trial = 0; trial < 500; ++trial) {
+      std::vector<double> left(d), right(d);
+      for (size_t i = 0; i < d; ++i) {
+        // Small cardinality forces frequent equals/dominates outcomes.
+        left[i] = static_cast<double>(rng.UniformInt(0, 3));
+        right[i] = static_cast<double>(rng.UniformInt(0, 3));
+      }
+      EXPECT_EQ(CompareKeySpansComplete(left.data(), right.data(), d),
+                CompareKeySpansCompleteScalar(left.data(), right.data(), d))
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+#if SPARKLINE_HAVE_AVX2_COMPARE
+TEST(SimdCompareTest, Avx2MatchesScalarWhenAvailable) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "CPU lacks AVX2";
+  }
+  Rng rng(43);
+  for (size_t d = 4; d <= 12; ++d) {
+    for (int trial = 0; trial < 500; ++trial) {
+      std::vector<double> left(d), right(d);
+      for (size_t i = 0; i < d; ++i) {
+        left[i] = rng.Bernoulli(0.3) ? 1.0 : rng.Uniform(0, 1);
+        right[i] = rng.Bernoulli(0.3) ? 1.0 : rng.Uniform(0, 1);
+      }
+      EXPECT_EQ(simd::CompareKeySpansCompleteAvx2(left.data(), right.data(), d),
+                CompareKeySpansCompleteScalar(left.data(), right.data(), d))
+          << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+#endif
+
+// --- ColumnarBatch: slice / concat / append round-trips ---------------------
+
+std::shared_ptr<std::vector<Row>> SharedRows(std::vector<Row> rows) {
+  return std::make_shared<std::vector<Row>>(std::move(rows));
+}
+
+TEST(ColumnarBatchTest, ProjectSelectSliceDecodeRoundTrip) {
+  auto rows = SharedRows(RandomRows(100, 3, /*null_rate=*/0.0, 8, 7));
+  auto batch = ColumnarBatch::Project(rows, MinDims(3));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->num_rows(), 100u);
+
+  // A survivor view decodes to exactly the selected backing rows, in order.
+  std::vector<uint32_t> selection = {5, 17, 3, 99, 17};
+  ColumnarBatch view = batch->WithSelection(selection, /*score_sorted=*/false);
+  std::vector<Row> decoded = view.Decode();
+  ASSERT_EQ(decoded.size(), selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) {
+    EXPECT_EQ(RowToString(decoded[i]), RowToString((*rows)[selection[i]]));
+  }
+
+  // A contiguous slice of the view is the corresponding sub-range.
+  ColumnarBatch slice = view.Slice(1, 4);
+  std::vector<Row> sliced = slice.Decode();
+  ASSERT_EQ(sliced.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(RowToString(sliced[i]), RowToString(decoded[i + 1]));
+  }
+}
+
+TEST(ColumnarBatchTest, ConcatMatchesRowGatherAndReprojection) {
+  // Three independently projected partitions (with nulls) concatenated must
+  // behave exactly like one matrix projected from the gathered rows: same
+  // pairwise dominance everywhere, same decode.
+  std::vector<BoundDimension> dims{{0, SkylineGoal::kMin},
+                                   {1, SkylineGoal::kMax},
+                                   {2, SkylineGoal::kMin}};
+  std::vector<ColumnarBatch> parts;
+  std::vector<Row> gathered;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto rows = SharedRows(RandomRows(40, 3, /*null_rate=*/0.2, 5, seed));
+    for (const auto& r : *rows) gathered.push_back(r);
+    auto batch = ColumnarBatch::Project(rows, dims);
+    ASSERT_TRUE(batch.has_value());
+    parts.push_back(std::move(*batch));
+  }
+  ColumnarBatch merged = ColumnarBatch::Concat(&parts);
+  ASSERT_EQ(merged.num_rows(), gathered.size());
+
+  auto reference = DominanceMatrix::TryBuild(gathered, dims);
+  ASSERT_TRUE(reference.has_value());
+  for (uint32_t i = 0; i < gathered.size(); ++i) {
+    for (uint32_t j = 0; j < gathered.size(); ++j) {
+      EXPECT_EQ(merged.matrix().Compare(i, j, NullSemantics::kIncomplete),
+                reference->Compare(i, j, NullSemantics::kIncomplete))
+          << i << " vs " << j;
+      EXPECT_EQ(merged.matrix().Compare(i, j, NullSemantics::kComplete),
+                reference->Compare(i, j, NullSemantics::kComplete));
+    }
+  }
+  const std::vector<Row> decoded = merged.Decode();
+  for (size_t i = 0; i < gathered.size(); ++i) {
+    EXPECT_EQ(RowToString(decoded[i]), RowToString(gathered[i]));
+  }
+}
+
+TEST(ColumnarBatchTest, ConcatRemapsVarcharDictionaries) {
+  // The same string gets different codes in independently built matrices;
+  // concat must unify them so cross-partition DIFF equality still holds.
+  std::vector<BoundDimension> dims{{0, SkylineGoal::kMin},
+                                   {1, SkylineGoal::kDiff}};
+  auto part1 = SharedRows({{Value::Double(1), Value::String("red")},
+                           {Value::Double(2), Value::String("blue")}});
+  auto part2 = SharedRows({{Value::Double(3), Value::String("blue")},
+                           {Value::Double(0.5), Value::String("red")}});
+  auto b1 = ColumnarBatch::Project(part1, dims);
+  auto b2 = ColumnarBatch::Project(part2, dims);
+  ASSERT_TRUE(b1.has_value() && b2.has_value());
+  std::vector<ColumnarBatch> parts;
+  parts.push_back(std::move(*b1));
+  parts.push_back(std::move(*b2));
+  ColumnarBatch merged = ColumnarBatch::Concat(&parts);
+
+  // Rows 0 ("red",1) vs 3 ("red",0.5): same color across partitions.
+  EXPECT_EQ(merged.matrix().Compare(3, 0, NullSemantics::kComplete),
+            Dominance::kLeftDominates);
+  // Rows 0 ("red") vs 2 ("blue"): different colors stay incomparable.
+  EXPECT_EQ(merged.matrix().Compare(0, 2, NullSemantics::kComplete),
+            Dominance::kIncomparable);
+}
+
+TEST(ColumnarBatchTest, ConcatInheritsSfsOrderAcrossParts) {
+  // Score-sorted parts merge into one score-sorted view, and the presorted
+  // SFS pass over it matches the sorting SFS run over the gathered rows.
+  auto dims = MinDims(3);
+  SkylineOptions options;
+  std::vector<ColumnarBatch> parts;
+  std::vector<Row> gathered;
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    auto rows = SharedRows(RandomRows(60, 3, /*null_rate=*/0.0, 9, seed));
+    for (const auto& r : *rows) gathered.push_back(r);
+    auto batch = ColumnarBatch::Project(rows, dims);
+    ASSERT_TRUE(batch.has_value());
+    auto sorted =
+        ColumnarSortFilterSkyline(batch->matrix(), batch->indices(), options);
+    ASSERT_TRUE(sorted.ok());
+    parts.push_back(batch->WithSelection(*sorted, /*score_sorted=*/true));
+  }
+  ColumnarBatch merged = ColumnarBatch::Concat(&parts);
+  ASSERT_TRUE(merged.score_sorted());
+  const auto& view = merged.indices();
+  for (size_t i = 1; i < view.size(); ++i) {
+    EXPECT_LE(merged.matrix().Score(view[i - 1]),
+              merged.matrix().Score(view[i]))
+        << "merged view must be score-ascending";
+  }
+
+  auto presorted =
+      ColumnarSortFilterSkylinePresorted(merged.matrix(), view, options);
+  ASSERT_TRUE(presorted.ok());
+  EXPECT_EQ(Sorted(merged.WithSelection(*presorted, true).Decode()),
+            Sorted(*SortFilterSkyline(gathered, dims, options)));
+}
+
+TEST(ColumnarBatchTest, MatrixMemoryChargedForBatchLifetime) {
+  MemoryTracker tracker;
+  auto rows = SharedRows(RandomRows(200, 4, /*null_rate=*/0.1, 6, 17));
+  {
+    auto batch = ColumnarBatch::Project(rows, MinDims(4), &tracker);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_GT(batch->matrix().MemoryBytes(), 0);
+    EXPECT_GE(tracker.current_bytes(), batch->matrix().MemoryBytes());
+    // Views share the reservation: copying them must not double-charge.
+    ColumnarBatch view = batch->WithSelection({1, 2, 3}, false);
+    EXPECT_EQ(tracker.current_bytes(), batch->matrix().MemoryBytes());
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0) << "reservation must die with the batch";
+}
+
 }  // namespace
 }  // namespace skyline
 }  // namespace sparkline

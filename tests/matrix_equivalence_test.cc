@@ -66,27 +66,31 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
   for (const char* strategy : strategies) {
     for (const char* kernel : {"bnl", "sfs", "grid"}) {
       for (const char* columnar : {"true", "false"}) {
-        for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
-          for (const char* executors : {"1", "3", "8"}) {
-            ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
-            ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
-            ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
-            ASSERT_OK(session.SetConf("sparkline.skyline.partitioning",
-                                      partitioning));
-            ASSERT_OK(session.SetConf("sparkline.executors", executors));
-            auto rows = RowStrings(Rows(&session, query));
-            ASSERT_EQ(expected, rows)
-                << "strategy=" << strategy << " kernel=" << kernel
-                << " columnar=" << columnar
-                << " partitioning=" << partitioning
-                << " executors=" << executors;
-            ++combinations;
+        for (const char* exchange : {"true", "false"}) {
+          for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
+            for (const char* executors : {"1", "3", "8"}) {
+              ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+              ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
+              ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
+              ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
+                                        exchange));
+              ASSERT_OK(session.SetConf("sparkline.skyline.partitioning",
+                                        partitioning));
+              ASSERT_OK(session.SetConf("sparkline.executors", executors));
+              auto rows = RowStrings(Rows(&session, query));
+              ASSERT_EQ(expected, rows)
+                  << "strategy=" << strategy << " kernel=" << kernel
+                  << " columnar=" << columnar << " exchange=" << exchange
+                  << " partitioning=" << partitioning
+                  << " executors=" << executors;
+              ++combinations;
+            }
           }
         }
       }
     }
   }
-  EXPECT_GE(combinations, 2 * 3 * 2 * 3 * 3);
+  EXPECT_GE(combinations, 2 * 3 * 2 * 2 * 3 * 3);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -146,14 +150,18 @@ TEST_P(IncompleteParallel, MatchesBruteForceOracle) {
       "1", "2", "3", "8", std::to_string(param.rows)};
   for (const char* parallel : {"true", "false"}) {
     for (const char* columnar : {"true", "false"}) {
-      for (const std::string& executors : executor_counts) {
-        ASSERT_OK(
-            session.SetConf("sparkline.skyline.incomplete.parallel", parallel));
-        ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
-        ASSERT_OK(session.SetConf("sparkline.executors", executors));
-        ASSERT_EQ(expected, RowStrings(Rows(&session, query)))
-            << "parallel=" << parallel << " columnar=" << columnar
-            << " executors=" << executors;
+      for (const char* exchange : {"true", "false"}) {
+        for (const std::string& executors : executor_counts) {
+          ASSERT_OK(session.SetConf("sparkline.skyline.incomplete.parallel",
+                                    parallel));
+          ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
+          ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
+                                    exchange));
+          ASSERT_OK(session.SetConf("sparkline.executors", executors));
+          ASSERT_EQ(expected, RowStrings(Rows(&session, query)))
+              << "parallel=" << parallel << " columnar=" << columnar
+              << " exchange=" << exchange << " executors=" << executors;
+        }
       }
     }
   }
@@ -242,6 +250,137 @@ TEST(ParallelGlobalMerge, GlobalStageSplitsForMultipleExecutors) {
   const QueryMetrics single = metrics_for("1");
   EXPECT_EQ(single.operator_ms.count("GlobalSkyline [complete]"), 1u);
   EXPECT_EQ(single.operator_ms.count("GlobalSkyline [complete] [partial]"), 0u);
+}
+
+// --- columnar exchange: build-once accounting -------------------------------
+
+int64_t BuildsMatching(const QueryMetrics& m, const std::string& needle) {
+  int64_t total = 0;
+  for (const auto& [label, n] : m.matrix_builds) {
+    if (label.find(needle) != std::string::npos) total += n;
+  }
+  return total;
+}
+
+QueryMetrics RunWithExchange(Session* session, const std::string& query,
+                             const char* executors, const char* exchange) {
+  SL_CHECK_OK(session->SetConf("sparkline.executors", executors));
+  SL_CHECK_OK(
+      session->SetConf("sparkline.skyline.exchange.columnar", exchange));
+  auto df = session->Sql(query);
+  SL_CHECK(df.ok());
+  auto r = df->Collect();
+  SL_CHECK(r.ok()) << r.status().ToString();
+  return r->metrics;
+}
+
+// The tentpole invariant: with the columnar exchange on, a multi-executor
+// complete plan projects each partition's DominanceMatrix exactly once (at
+// the local stage) and no global stage — in particular "[merge]" — ever
+// rebuilds; with it off, "[partial]" and "[merge]" each pay projections.
+TEST(ColumnarExchange, CompletePlanBuildsEachPartitionOnce) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 2000, 3, datagen::PointDistribution::kAntiCorrelated, 21)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+  const std::string query =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX, d2 MIN";
+
+  const QueryMetrics on = RunWithExchange(&session, query, "4", "true");
+  EXPECT_EQ(BuildsMatching(on, "LocalSkyline"), 4)
+      << "each of the 4 scan partitions must be projected exactly once";
+  EXPECT_EQ(BuildsMatching(on, "GlobalSkyline"), 0)
+      << "no global stage may re-project with the exchange on";
+  EXPECT_EQ(on.matrix_builds.count("GlobalSkyline [complete] [merge]"), 0u)
+      << "[merge] must report zero matrix rebuilds";
+  EXPECT_GE(on.matrix_reuses.count("GlobalSkyline [complete]"), 1u)
+      << "the global stage must record that it reused the shuffled matrix";
+  EXPECT_GE(on.matrix_reuses.count("Exchange [AllTuples]"), 1u)
+      << "the gather must record a block concat instead of a re-projection";
+  EXPECT_GT(on.projection_ms, 0.0);
+
+  const QueryMetrics off = RunWithExchange(&session, query, "4", "false");
+  EXPECT_EQ(BuildsMatching(off, "LocalSkyline"), 4);
+  EXPECT_EQ(off.matrix_builds.count("GlobalSkyline [complete] [partial]"), 1u)
+      << "without the exchange every partial chunk re-projects";
+  EXPECT_EQ(
+      off.matrix_builds.at("GlobalSkyline [complete] [merge]"), 1)
+      << "without the exchange the merge re-projects its whole input";
+}
+
+// Same invariant for the incomplete pipeline: the round-based global stage
+// (candidates/validate/finalize) runs entirely on the matrix shipped by the
+// exchange — the "[candidates]" projection pass of the row path disappears.
+TEST(ColumnarExchange, IncompletePlanReusesShuffledMatrix) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 1200, 3, datagen::PointDistribution::kAntiCorrelated, 31,
+      /*null_probability=*/0.3)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "incomplete"));
+  const std::string query =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX, d2 MIN";
+
+  const QueryMetrics on = RunWithExchange(&session, query, "4", "true");
+  EXPECT_GT(BuildsMatching(on, "LocalSkyline"), 0);
+  EXPECT_EQ(BuildsMatching(on, "GlobalSkyline"), 0)
+      << "the incomplete global stages must reuse the shuffled matrix";
+  EXPECT_GE(on.matrix_reuses.count("GlobalSkyline [incomplete]"), 1u);
+
+  const QueryMetrics off = RunWithExchange(&session, query, "4", "false");
+  EXPECT_EQ(
+      off.matrix_builds.count("GlobalSkyline [incomplete] [candidates]"), 1u)
+      << "without the exchange the global stage re-projects the gathered rows";
+}
+
+// A nested skyline under the non-distributed strategy feeds the inner
+// skyline's single-partition output (a batch projected for the *inner*
+// dimensions) directly into the outer global operator — which must detect
+// the dimension mismatch and decode instead of reusing a matrix that
+// encodes the wrong columns.
+TEST(ColumnarExchange, NestedSkylineWithDifferentDimsDecodes) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 600, 3, datagen::PointDistribution::kAntiCorrelated, 17)));
+  ASSERT_OK(session.SetConf("sparkline.executors", "4"));
+  const std::string nested =
+      "SELECT * FROM (SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX) t "
+      "SKYLINE OF d2 MIN, d1 MIN";
+
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "non_distributed"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar", "false"));
+  const std::vector<std::string> expected = RowStrings(Rows(&session, nested));
+  ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar", "true"));
+  EXPECT_EQ(expected, RowStrings(Rows(&session, nested)));
+
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+  EXPECT_EQ(expected, RowStrings(Rows(&session, nested)));
+}
+
+// The root decode is the only row materialization on the exchange path: a
+// plain skyline query must report decode time and serve exactly the same
+// rows, and a query whose skyline feeds a row-consuming operator (ORDER BY)
+// must fall back transparently.
+TEST(ColumnarExchange, RootDecodeAndRowFallback) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 800, 2, datagen::PointDistribution::kAntiCorrelated, 5)));
+  ASSERT_OK(session.SetConf("sparkline.executors", "4"));
+
+  const std::string plain = "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX";
+  const std::vector<std::string> expected = RowStrings(Rows(&session, plain));
+  auto df = session.Sql(plain);
+  ASSERT_TRUE(df.ok());
+  auto result = df->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.decode_ms, 0.0)
+      << "a batched plan must decode (and time it) at the root";
+
+  const std::string sorted =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX ORDER BY id";
+  const std::vector<std::string> through_sort =
+      RowStrings(Rows(&session, sorted));
+  EXPECT_EQ(expected, through_sort)
+      << "a row-consuming parent must see identical rows via the fallback";
 }
 
 }  // namespace
