@@ -13,6 +13,10 @@ std::string QueryMetrics::ToString() const {
              "ms peak_mem=", peak_memory_bytes / (1 << 20),
              "MB dominance_tests=", dominance_tests,
              " rows_shuffled=", rows_shuffled);
+  if (sfs_early_stops > 0 || sfs_rows_skipped > 0) {
+    out += StrCat(" sfs_skipped=", sfs_rows_skipped,
+                  " sfs_stops=", sfs_early_stops);
+  }
   if (cache_lookup_ms > 0 || cache_hit) {
     out += StrCat(" cache=", cache_hit ? "hit" : "miss",
                   " cache_lookup=", DoubleToString(cache_lookup_ms), "ms");

@@ -91,6 +91,14 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(config_.skyline_incomplete_parallel, ParseBool(value));
     return Status::OK();
   }
+  if (k == "sparkline.skyline.sfs.early_stop") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_sfs_early_stop, ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.skyline.sfs.sort_key") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_sfs_sort_key, ParseSfsSortKey(value));
+    return Status::OK();
+  }
   if (k == "sparkline.skyline.partitioning") {
     SL_ASSIGN_OR_RETURN(config_.skyline_partitioning,
                         ParseSkylinePartitioning(value));
@@ -240,6 +248,8 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   opts.skyline_columnar_exchange = config_.skyline_columnar_exchange;
   opts.skyline_incomplete_parallel = config_.skyline_incomplete_parallel;
   opts.skyline_partitioning = config_.skyline_partitioning;
+  opts.sfs_early_stop = config_.skyline_sfs_early_stop;
+  opts.sfs_sort_key = config_.skyline_sfs_sort_key;
   opts.non_distributed_threshold = config_.non_distributed_threshold;
   PhysicalPlanner planner(opts);
   return planner.Plan(optimized);

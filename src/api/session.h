@@ -82,6 +82,16 @@ struct SessionConfig {
   /// Local-stage partitioning for complete data. Key:
   /// sparkline.skyline.partitioning = asis | roundrobin | angle.
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;
+  /// SaLSa-style early termination for the SFS family (stop at the minC
+  /// stop point; the global merge inherits the tightest per-partition bound
+  /// through the columnar exchange). Auto-disabled for incomplete/NULL
+  /// data and strict-only, so results are identical with the toggle on or
+  /// off (DISTINCT included). Key: sparkline.skyline.sfs.early_stop.
+  bool skyline_sfs_early_stop = true;
+  /// Monotone SFS sort key: "sum" (the pre-existing score order) or
+  /// "minmax" (SaLSa's minC function — the key whose stop bound is tight).
+  /// Key: sparkline.skyline.sfs.sort_key.
+  skyline::SfsSortKey skyline_sfs_sort_key = skyline::SfsSortKey::kSum;
   /// Cost-based refinement threshold (section 7 future work). Key:
   /// sparkline.skyline.nonDistributedThreshold (rows; 0 = off).
   int64_t non_distributed_threshold = 0;

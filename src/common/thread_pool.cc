@@ -75,10 +75,12 @@ void ParallelFor(ThreadPool* pool, size_t n,
   for (size_t i = 0; i < n; ++i) {
     pool->Submit([&, i] {
       fn(i);
-      if (remaining.fetch_sub(1) == 1) {
-        std::unique_lock<std::mutex> lock(mu);
-        done.notify_all();
-      }
+      // The decrement must happen under the mutex: decrementing to zero
+      // before acquiring it lets the waiter observe completion, return and
+      // destroy mu/done while this worker is still about to lock/notify —
+      // a use-after-free of stack synchronization objects.
+      std::lock_guard<std::mutex> lock(mu);
+      if (remaining.fetch_sub(1) == 1) done.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(mu);

@@ -78,6 +78,16 @@ struct QueryMetrics {
   /// instead of re-projecting, per stage label.
   std::map<std::string, int64_t> matrix_reuses;
 
+  // --- SFS early-termination counters ---------------------------------------
+  /// Input rows of SFS passes never scanned because a SaLSa stop point
+  /// proved every remaining tuple strictly dominated
+  /// (sparkline.skyline.sfs.early_stop). Summed across all passes (local
+  /// partitions, global partial slices, the global merge).
+  int64_t sfs_rows_skipped = 0;
+  /// SFS passes that terminated at a stop point before exhausting their
+  /// input.
+  int64_t sfs_early_stops = 0;
+
   /// Critical-path milliseconds per operator label.
   std::map<std::string, double> operator_ms;
 
@@ -100,6 +110,7 @@ class ExecContext {
   ThreadPool* pool() { return pool_.get(); }
   MemoryTracker* memory() { return &memory_; }
   skyline::DominanceCounter* dominance() { return &dominance_; }
+  skyline::EarlyStopStats* early_stop() { return &early_stop_; }
 
   /// Monotonic deadline in nanoseconds, 0 if none.
   int64_t deadline_nanos() const { return deadline_nanos_; }
@@ -151,6 +162,8 @@ class ExecContext {
             config_.executor_overhead_bytes;
     m.dominance_tests = dominance_.tests.load();
     m.rows_shuffled = rows_shuffled_;
+    m.sfs_rows_skipped = early_stop_.rows_skipped.load();
+    m.sfs_early_stops = early_stop_.stops.load();
     m.projection_ms = projection_ms_;
     m.decode_ms = decode_ms_;
     m.matrix_builds = matrix_builds_;
@@ -164,6 +177,7 @@ class ExecContext {
   std::unique_ptr<ThreadPool> pool_;
   MemoryTracker memory_;
   skyline::DominanceCounter dominance_;
+  skyline::EarlyStopStats early_stop_;
   int64_t deadline_nanos_ = 0;
 
   mutable std::mutex mu_;

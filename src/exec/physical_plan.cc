@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/string_util.h"
 #include "exec/subquery_expr.h"
@@ -249,34 +250,67 @@ std::string ExchangeExec::label() const {
   return "Exchange";
 }
 
+namespace exchange_internal {
+
 namespace {
-/// Simplified angle-based partition assignment (Vlachou et al.): buckets the
-/// hyperspherical angle between the first dimension and the remainder of the
-/// dimension vector. Tuples pointing in similar directions — the ones likely
-/// to dominate each other — share a partition, so local skylines prune more.
-/// Correctness never depends on the scheme (any partitioning is valid for
-/// complete data); only pruning power does.
+/// Sign-adjusted numeric key: negated for MAX so "smaller is better" holds
+/// in every dimension, exactly like the DominanceMatrix projection. NaN for
+/// NULL / non-numeric values (skipped by the bounds, neutral in the angle).
+double NormalizedKey(const Row& row, const skyline::BoundDimension& dim) {
+  const Value& v = row[dim.ordinal];
+  if (v.is_null() || !v.type().is_numeric()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double value = v.ToDouble();
+  return dim.goal == SkylineGoal::kMax ? -value : value;
+}
+}  // namespace
+
+AngleBounds ComputeAngleBounds(const std::vector<std::vector<Row>>& partitions,
+                               const std::vector<skyline::BoundDimension>& dims) {
+  AngleBounds bounds;
+  bounds.lo.assign(dims.size(), std::numeric_limits<double>::infinity());
+  bounds.hi.assign(dims.size(), -std::numeric_limits<double>::infinity());
+  for (const auto& partition : partitions) {
+    for (const Row& row : partition) {
+      for (size_t d = 0; d < dims.size(); ++d) {
+        const double key = NormalizedKey(row, dims[d]);
+        if (std::isnan(key)) continue;
+        bounds.lo[d] = std::min(bounds.lo[d], key);
+        bounds.hi[d] = std::max(bounds.hi[d], key);
+      }
+    }
+  }
+  return bounds;
+}
+
 size_t AnglePartition(const Row& row,
                       const std::vector<skyline::BoundDimension>& dims,
-                      size_t n) {
-  if (dims.size() < 2) return 0;
-  auto magnitude = [&](const skyline::BoundDimension& d) {
-    const Value& v = row[d.ordinal];
-    if (v.is_null() || !v.type().is_numeric()) return 1.0;
-    double m = std::abs(v.ToDouble()) + 1.0;
-    return m;
+                      size_t n, const AngleBounds& bounds) {
+  if (dims.size() < 2 || n <= 1) return 0;
+  // Min-max scale every sign-adjusted key into [0, 1]: the previous raw
+  // |value|+1 magnitudes ignored both the MIN/MAX negation and the
+  // per-dimension scale, so MAX goals (large raw magnitudes for *good*
+  // values) and wide-range dimensions swamped the angle and collapsed most
+  // rows into one or two buckets. Degenerate (constant) and NULL
+  // dimensions contribute a neutral 0.5.
+  auto scaled = [&](size_t d) {
+    const double key = NormalizedKey(row, dims[d]);
+    if (std::isnan(key) || !(bounds.hi[d] > bounds.lo[d])) return 0.5;
+    return (key - bounds.lo[d]) / (bounds.hi[d] - bounds.lo[d]);
   };
   double rest = 0;
-  for (size_t i = 1; i < dims.size(); ++i) {
-    const double m = magnitude(dims[i]);
+  for (size_t d = 1; d < dims.size(); ++d) {
+    const double m = scaled(d);
     rest += m * m;
   }
-  const double angle = std::atan2(std::sqrt(rest), magnitude(dims[0]));
+  const double angle = std::atan2(std::sqrt(rest), scaled(0));
   constexpr double kHalfPi = 1.5707963267948966;
   size_t bucket = static_cast<size_t>(angle / kHalfPi * static_cast<double>(n));
   return bucket >= n ? n - 1 : bucket;
 }
-}  // namespace
+
+}  // namespace exchange_internal
 
 Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
@@ -352,10 +386,13 @@ Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
       }
       case ExchangeMode::kAngle: {
         out.partitions.assign(n, {});
+        const exchange_internal::AngleBounds bounds =
+            exchange_internal::ComputeAngleBounds(in.partitions, dims_);
         for (auto& p : in.partitions) {
           for (auto& row : p) {
-            out.partitions[AnglePartition(row, dims_, n)].push_back(
-                std::move(row));
+            out.partitions[exchange_internal::AnglePartition(row, dims_, n,
+                                                             bounds)]
+                .push_back(std::move(row));
           }
         }
         break;

@@ -166,6 +166,34 @@ enum class SkylineKernel : uint8_t {
   kGridFilter,
 };
 
+/// \brief Angle-partitioning internals, exposed so tests can assert the
+/// scheme's bucket spread and pruning power directly.
+namespace exchange_internal {
+
+/// Per-dimension [lo, hi] range of the normalized skyline keys (values
+/// negated for MAX goals) across all partitions — the scaling context
+/// AnglePartition needs. Non-numeric and NULL values are skipped.
+struct AngleBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+AngleBounds ComputeAngleBounds(const std::vector<std::vector<Row>>& partitions,
+                               const std::vector<skyline::BoundDimension>& dims);
+
+/// Simplified angle-based partition assignment (Vlachou et al.): buckets
+/// the hyperspherical angle between the first dimension and the remainder
+/// of the dimension vector, computed over *normalized* keys — negated for
+/// MAX goals and min-max scaled into [0, 1] per dimension — so that MAX
+/// goals and mixed-scale dimensions spread over buckets instead of
+/// collapsing into one. Correctness never depends on the scheme (any
+/// partitioning is valid for complete data); only pruning power does.
+size_t AnglePartition(const Row& row,
+                      const std::vector<skyline::BoundDimension>& dims,
+                      size_t n, const AngleBounds& bounds);
+
+}  // namespace exchange_internal
+
 /// \brief Re-distributes data; the only operator that moves rows between
 /// executors (a stage boundary, like a Spark shuffle).
 ///
@@ -319,7 +347,9 @@ class LocalSkylineExec : public PhysicalPlan {
   LocalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                    skyline::NullSemantics nulls, PhysicalPlanPtr child,
                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
-                   bool columnar = true, bool columnar_exchange = true);
+                   bool columnar = true, bool columnar_exchange = true,
+                   bool sfs_early_stop = true,
+                   skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum);
   std::string label() const override;
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -330,6 +360,8 @@ class LocalSkylineExec : public PhysicalPlan {
   SkylineKernel kernel_;
   bool columnar_;
   bool columnar_exchange_;
+  bool sfs_early_stop_;
+  skyline::SfsSortKey sfs_sort_key_;
 };
 
 /// \brief Global skyline for complete data over the single gathered
@@ -351,13 +383,18 @@ class LocalSkylineExec : public PhysicalPlan {
 /// input arrives as rows (non-distributed plans), the matrix is built once
 /// in a "<label> [project]" stage and shared the same way. Score-sorted
 /// batches from upstream SFS stages skip the merge re-sort entirely
-/// (inherited order + ColumnarSortFilterSkylinePresorted).
+/// (inherited order + ColumnarSortFilterSkylinePresorted) and additionally
+/// inherit the tightest per-partition SaLSa stop bound the batch carries,
+/// so the partial slices and the sort-free merge can terminate before
+/// scanning most of the gathered input (sparkline.skyline.sfs.early_stop).
 class GlobalSkylineExec : public PhysicalPlan {
  public:
   GlobalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
                     PhysicalPlanPtr child,
                     SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
-                    bool columnar = true, bool columnar_exchange = true);
+                    bool columnar = true, bool columnar_exchange = true,
+                    bool sfs_early_stop = true,
+                    skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum);
   std::string label() const override { return "GlobalSkyline [complete]"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
@@ -371,6 +408,8 @@ class GlobalSkylineExec : public PhysicalPlan {
   SkylineKernel kernel_;
   bool columnar_;
   bool columnar_exchange_;
+  bool sfs_early_stop_;
+  skyline::SfsSortKey sfs_sort_key_;
 };
 
 /// \brief Global skyline for incomplete data (paper section 5.7 /

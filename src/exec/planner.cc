@@ -40,6 +40,26 @@ Result<SkylinePartitioning> ParseSkylinePartitioning(const std::string& name) {
                                 "' (asis | roundrobin | angle)"));
 }
 
+Result<skyline::SfsSortKey> ParseSfsSortKey(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "sum") return skyline::SfsSortKey::kSum;
+  if (lower == "minmax" || lower == "min_max" || lower == "minc") {
+    return skyline::SfsSortKey::kMinMax;
+  }
+  return Status::Invalid(
+      StrCat("unknown SFS sort key '", name, "' (sum | minmax)"));
+}
+
+const char* SfsSortKeyName(skyline::SfsSortKey key) {
+  switch (key) {
+    case skyline::SfsSortKey::kSum:
+      return "sum";
+    case skyline::SfsSortKey::kMinMax:
+      return "minmax";
+  }
+  return "?";
+}
+
 const char* SkylineStrategyName(SkylineStrategy s) {
   switch (s) {
     case SkylineStrategy::kAuto:
@@ -498,18 +518,20 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
       PhysicalPlanPtr local = std::make_shared<LocalSkylineExec>(
           dims, sky.distinct(), skyline::NullSemantics::kComplete,
           std::move(local_input), options_.skyline_kernel,
-          options_.skyline_columnar, exchange_columnar);
+          options_.skyline_columnar, exchange_columnar,
+          options_.sfs_early_stop, options_.sfs_sort_key);
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
           options_.skyline_kernel, options_.skyline_columnar,
-          exchange_columnar);
+          exchange_columnar, options_.sfs_early_stop, options_.sfs_sort_key);
       break;
     }
     case SkylineStrategy::kNonDistributedComplete: {
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(input)),
           options_.skyline_kernel, options_.skyline_columnar,
-          options_.skyline_columnar_exchange);
+          options_.skyline_columnar_exchange, options_.sfs_early_stop,
+          options_.sfs_sort_key);
       break;
     }
     case SkylineStrategy::kDistributedIncomplete: {

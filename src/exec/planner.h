@@ -40,12 +40,26 @@ enum class SkylinePartitioning : uint8_t {
 };
 Result<SkylinePartitioning> ParseSkylinePartitioning(const std::string& name);
 
+/// Parses "sum" | "minmax" (sparkline.skyline.sfs.sort_key).
+Result<skyline::SfsSortKey> ParseSfsSortKey(const std::string& name);
+const char* SfsSortKeyName(skyline::SfsSortKey key);
+
 struct PlannerOptions {
   ClusterConfig cluster;
   SkylineStrategy skyline_strategy = SkylineStrategy::kAuto;
   /// Kernel used by the skyline operators (paper future work: presorting).
   SkylineKernel skyline_kernel = SkylineKernel::kBlockNestedLoop;
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;
+  /// SaLSa-style early termination for the SFS family: presorted passes
+  /// stop at the minC stop point (and the global merge inherits the
+  /// tightest per-partition bound through the columnar exchange).
+  /// Automatically disabled for incomplete/NULL data; never changes
+  /// results. Key: sparkline.skyline.sfs.early_stop.
+  bool sfs_early_stop = true;
+  /// Monotone SFS sort key: sum (the pre-existing score) or minmax
+  /// (SaLSa's minC function, whose stop bound is tight). Key:
+  /// sparkline.skyline.sfs.sort_key.
+  skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum;
   /// Columnar dominance fast path (skyline/columnar.h): project each
   /// partition once into structure-of-arrays form and run index-based
   /// kernels. Falls back to the row kernels per partition when the shape is

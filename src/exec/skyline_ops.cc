@@ -25,6 +25,7 @@
 // matrix_reuses record which stages projected vs. reused.
 #include <algorithm>
 #include <iterator>
+#include <limits>
 #include <memory>
 
 #include "common/string_util.h"
@@ -111,14 +112,18 @@ std::vector<size_t> ChunkBounds(size_t n, size_t chunks) {
 LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                    bool distinct, skyline::NullSemantics nulls,
                                    PhysicalPlanPtr child, SkylineKernel kernel,
-                                   bool columnar, bool columnar_exchange)
+                                   bool columnar, bool columnar_exchange,
+                                   bool sfs_early_stop,
+                                   skyline::SfsSortKey sfs_sort_key)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       nulls_(nulls),
       kernel_(kernel),
       columnar_(columnar),
-      columnar_exchange_(columnar_exchange) {}
+      columnar_exchange_(columnar_exchange),
+      sfs_early_stop_(sfs_early_stop),
+      sfs_sort_key_(sfs_sort_key) {}
 
 std::string LocalSkylineExec::label() const {
   return StrCat("LocalSkyline [",
@@ -142,6 +147,9 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   options.nulls = nulls_;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.sfs_early_stop = sfs_early_stop_;
+  options.sfs_sort_key = sfs_sort_key_;
+  options.early_stop = ctx->early_stop();
 
   const int64_t input_bytes = EstimateRelationBytes(in);
   const size_t n = in.partitions.size();
@@ -171,12 +179,19 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
             skyline::RunColumnarKernel(ToColumnarKernel(kernel_),
                                        batch->matrix(), batch->indices(),
                                        opts));
-        // SFS leaves its window in score order; tag the view so the global
-        // stage can inherit the sort instead of re-sorting.
+        // SFS leaves its window in sort-key order; tag the view so the
+        // global stage can inherit the sort instead of re-sorting, and
+        // attach this partition's SaLSa stop bound (the tightest
+        // max-coordinate over its skyline) so the merge can inherit it too.
         const bool sorted =
             kernel_ == SkylineKernel::kSortFilterSkyline &&
             skyline::SfsFastPathApplicable(batch->matrix(), opts);
-        out.batches[i] = batch->WithSelection(std::move(survivors), sorted);
+        const double stop_bound =
+            sorted && sfs_early_stop_
+                ? skyline::ComputeStopBound(batch->matrix(), survivors)
+                : std::numeric_limits<double>::infinity();
+        out.batches[i] = batch->WithSelection(std::move(survivors), sorted,
+                                              sfs_sort_key_, stop_bound);
         return Status::OK();
       }
       // Shape refused by TryBuild: this partition stays on the row path
@@ -202,13 +217,17 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
 GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                      bool distinct, PhysicalPlanPtr child,
                                      SkylineKernel kernel, bool columnar,
-                                     bool columnar_exchange)
+                                     bool columnar_exchange,
+                                     bool sfs_early_stop,
+                                     skyline::SfsSortKey sfs_sort_key)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
       kernel_(kernel),
       columnar_(columnar),
-      columnar_exchange_(columnar_exchange) {}
+      columnar_exchange_(columnar_exchange),
+      sfs_early_stop_(sfs_early_stop),
+      sfs_sort_key_(sfs_sort_key) {}
 
 Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
     ExecContext* ctx, skyline::ColumnarBatch batch, int64_t input_bytes) const {
@@ -218,14 +237,27 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
   options.memory = ctx->memory();
+  options.sfs_early_stop = sfs_early_stop_;
+  options.sfs_sort_key = sfs_sort_key_;
+  options.early_stop = ctx->early_stop();
 
   const skyline::DominanceMatrix& matrix = batch.matrix();
   const std::vector<uint32_t>& view = batch.indices();
-  // Inherited SFS order: the view arrives score-ascending (local SFS stages
-  // + the exchange's k-way merge), so every SFS pass here skips its sort.
+  // Inherited SFS order: the view arrives ascending in this query's sort
+  // key (local SFS stages + the exchange's k-way merge), so every SFS pass
+  // here skips its sort.
   const bool sfs_inherited = kernel_ == SkylineKernel::kSortFilterSkyline &&
                              batch.score_sorted() &&
+                             batch.sort_key() == sfs_sort_key_ &&
                              skyline::SfsFastPathApplicable(matrix, options);
+  if (sfs_inherited && sfs_early_stop_) {
+    // Inherited stop bound: the tightest per-partition minC shipped with
+    // the gathered batch. Its witness row is part of the gathered input,
+    // so eliminating through it is sound for the global result — the
+    // partial slices and the sort-free merge can terminate before their
+    // own windows tighten the bound.
+    options.sfs_stop_bound = batch.stop_bound();
+  }
   auto run_over =
       [&](const std::vector<uint32_t>& input) -> Result<std::vector<uint32_t>> {
     if (sfs_inherited) {
@@ -234,6 +266,11 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
     }
     return skyline::RunColumnarKernel(ToColumnarKernel(kernel_), matrix, input,
                                       options);
+  };
+  auto result_bound = [&](const std::vector<uint32_t>& survivors) {
+    return sfs_inherited && sfs_early_stop_
+               ? skyline::ComputeStopBound(matrix, survivors)
+               : std::numeric_limits<double>::infinity();
   };
 
   PartitionedRelation out;
@@ -251,7 +288,9 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
       SL_ASSIGN_OR_RETURN(survivors, run_over(view));
       return Status::OK();
     }));
-    out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited);
+    const double bound = result_bound(survivors);
+    out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited,
+                                         sfs_sort_key_, bound);
     ctx->memory()->Shrink(input_bytes);
     return out;
   }
@@ -274,12 +313,15 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
   SL_RETURN_NOT_OK(RunStage(
       ctx, StrCat(label(), " [merge]"), 1, [&](size_t) -> Status {
         if (sfs_inherited) {
-          // Partial outputs are score-ascending runs: merge them and run
-          // the grow-only window — the merge stage never re-sorts.
+          // Partial outputs are key-ascending runs: merge them and run the
+          // grow-only window — the merge stage never re-sorts, and the
+          // inherited stop bound lets it terminate early.
           SL_ASSIGN_OR_RETURN(
               survivors,
               skyline::ColumnarSortFilterSkylinePresorted(
-                  matrix, skyline::MergeByScore(matrix, partials), options));
+                  matrix,
+                  skyline::MergeByScore(matrix, partials, sfs_sort_key_),
+                  options));
           return Status::OK();
         }
         std::vector<uint32_t> merge_input;
@@ -290,7 +332,9 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
                                            matrix, merge_input, options));
         return Status::OK();
       }));
-  out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited);
+  const double bound = result_bound(survivors);
+  out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited,
+                                       sfs_sort_key_, bound);
   ctx->memory()->Shrink(input_bytes);
   return out;
 }
@@ -344,6 +388,9 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   options.nulls = skyline::NullSemantics::kComplete;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.sfs_early_stop = sfs_early_stop_;
+  options.sfs_sort_key = sfs_sort_key_;
+  options.early_stop = ctx->early_stop();
 
   PartitionedRelation out;
   out.attrs = output_;

@@ -42,19 +42,34 @@ void ResultCache::EvictToBudgetLocked(Shard* shard) {
   }
 }
 
+void ResultCache::SweepExpiredTailLocked(Shard* shard, int64_t now_nanos) {
+  if (ttl_ms_.load() <= 0) return;
+  while (!shard->lru.empty()) {
+    auto it = shard->entries.find(shard->lru.back());
+    if (!Expired(it->second, now_nanos)) break;
+    RemoveLocked(shard, it);
+    expirations_.fetch_add(1);
+  }
+}
+
 std::shared_ptr<const CachedResult> ResultCache::Lookup(
     const PlanFingerprint& fp) {
   Shard& shard = ShardFor(fp);
   const std::string key = fp.Key();
+  const int64_t now = StopWatch::NowNanos();
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Release the reservations of cold expired entries even when they are
+  // never probed again — an expired entry must not occupy the byte budget
+  // (or the per-table reverse index) until LRU pressure pushes it out.
+  SweepExpiredTailLocked(&shard, now);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1);
     return nullptr;
   }
-  if (Expired(it->second, StopWatch::NowNanos())) {
+  if (Expired(it->second, now)) {
     RemoveLocked(&shard, it);
-    evictions_.fetch_add(1);
+    expirations_.fetch_add(1);
     misses_.fetch_add(1);
     return nullptr;
   }
@@ -69,6 +84,7 @@ void ResultCache::Insert(const PlanFingerprint& fp,
   Shard& shard = ShardFor(fp);
   std::string key = fp.Key();
   std::lock_guard<std::mutex> lock(shard.mu);
+  SweepExpiredTailLocked(&shard, StopWatch::NowNanos());
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) RemoveLocked(&shard, it);
 
@@ -114,6 +130,25 @@ void ResultCache::Clear() {
   }
 }
 
+void ResultCache::PurgeExpired() {
+  if (ttl_ms_.load() <= 0) return;
+  const int64_t now = StopWatch::NowNanos();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // An entry's LRU position is decoupled from its insertion time (hits
+    // refresh the position, not the clock), so the full purge scans the
+    // map rather than walking the list from the tail.
+    std::vector<std::string> expired;
+    for (const auto& [key, entry] : shard.entries) {
+      if (Expired(entry, now)) expired.push_back(key);
+    }
+    for (const std::string& key : expired) {
+      RemoveLocked(&shard, shard.entries.find(key));
+      expirations_.fetch_add(1);
+    }
+  }
+}
+
 void ResultCache::set_capacity_bytes(int64_t bytes) {
   capacity_bytes_.store(std::max<int64_t>(0, bytes));
   for (Shard& shard : shards_) {
@@ -127,6 +162,7 @@ ResultCache::Stats ResultCache::stats() const {
   s.hits = hits_.load();
   s.misses = misses_.load();
   s.evictions = evictions_.load();
+  s.expirations = expirations_.load();
   s.invalidations = invalidations_.load();
   s.resident_bytes = memory_.current_bytes();
   for (const Shard& shard : shards_) {

@@ -13,8 +13,12 @@
 //     insert Grows it by the entry's estimated footprint and every
 //     eviction/invalidation Shrinks it, so cache residency shows up in the
 //     same accounting the executor uses.
-//   - TTL: entries older than ttl_ms are treated as misses and dropped
-//     lazily on lookup (0 = no expiry).
+//   - TTL: entries older than ttl_ms are treated as misses (0 = no expiry).
+//     Expired entries release their byte reservation and reverse-index
+//     slots eagerly: on lookup of the expired key, through an LRU-tail
+//     sweep on every lookup/insert, and via PurgeExpired() — they never sit
+//     on the budget waiting for LRU pressure. TTL drops are counted as
+//     `expirations`, separate from budget `evictions`.
 //   - Invalidation: each shard keeps a reverse index table-name -> keys;
 //     InvalidateTable drops exactly the entries whose fingerprint
 //     referenced that table. Because table versions are *also* folded into
@@ -66,7 +70,8 @@ class ResultCache {
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
-    int64_t evictions = 0;      ///< budget- or TTL-driven drops
+    int64_t evictions = 0;      ///< budget-driven drops
+    int64_t expirations = 0;    ///< TTL-driven drops
     int64_t invalidations = 0;  ///< catalog-write-driven drops
     int64_t resident_bytes = 0;
     int64_t entries = 0;
@@ -90,6 +95,14 @@ class ResultCache {
 
   /// Drops everything.
   void Clear();
+
+  /// Drops every expired entry of every shard, releasing its byte
+  /// reservation and reverse-index slots. Expiry is otherwise enforced
+  /// lazily — on lookup of the expired key itself plus an LRU-tail sweep on
+  /// every lookup/insert — so entries that are neither re-probed nor at the
+  /// tail can outlive their TTL until this full sweep (or budget pressure)
+  /// reclaims them.
+  void PurgeExpired();
 
   Stats stats() const;
 
@@ -132,6 +145,10 @@ class ResultCache {
                     std::unordered_map<std::string, Entry>::iterator it);
   /// Evicts LRU entries until the shard fits its budget; caller holds mu.
   void EvictToBudgetLocked(Shard* shard);
+  /// Drops expired entries from the LRU tail (stops at the first live one);
+  /// caller holds mu. Runs on every lookup and insert so cold expired
+  /// entries release their reservation without waiting for budget pressure.
+  void SweepExpiredTailLocked(Shard* shard, int64_t now_nanos);
   bool Expired(const Entry& entry, int64_t now_nanos) const;
 
   std::vector<Shard> shards_;
@@ -142,6 +159,7 @@ class ResultCache {
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> expirations_{0};
   std::atomic<int64_t> invalidations_{0};
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "skyline/kernel_common.h"
@@ -60,9 +61,10 @@ Result<std::vector<Row>> AllPairsIncomplete(
     for (size_t j = i + 1; j < n; ++j) {
       // A dominated tuple may still dominate others (Appendix A), so flagged
       // tuples must keep participating; only pairs where both are already
-      // flagged are irrelevant.
-      if (dominated[i] && dominated[j]) continue;
+      // flagged are irrelevant. The deadline ticks before the skip so a
+      // mostly-flagged quadratic scan still times out.
       SL_RETURN_NOT_OK(deadline.Check());
+      if (dominated[i] && dominated[j]) continue;
       CountTest(options);
       const Dominance dom = CompareRows(input[i], input[j], dims, options.nulls);
       switch (dom) {
@@ -112,8 +114,8 @@ Result<std::vector<uint32_t>> IncompleteCandidateScan(
   DeadlineChecker deadline(options.deadline_nanos);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      if (dominated[i] && dominated[j]) continue;
       SL_RETURN_NOT_OK(deadline.Check());
+      if (dominated[i] && dominated[j]) continue;
       CountTest(options);
       const Dominance dom =
           CompareRows(input[begin + i], input[begin + j], dims, options.nulls);
@@ -190,25 +192,91 @@ Result<std::vector<Row>> SortFilterSkyline(
       return BlockNestedLoop(input, dims, options);
     }
   }
-  // Monotone score: if a dominates b then score(a) < score(b) strictly.
-  auto score = [&dims](const Row& r) {
-    double s = 0;
-    for (const auto& d : dims) {
-      const double v = r[d.ordinal].ToDouble();
-      s += d.goal == SkylineGoal::kMin ? v : -v;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t num_dims = dims.size();
+
+  // Per-row key summaries over the MIN-normalized values (MAX negated):
+  // the sum (strictly monotone under dominance), the smallest coordinate
+  // (the kMinMax primary key / SaLSa minC function) and the largest
+  // coordinate (the stop-point bound a skyline point contributes). The
+  // per-dimension maxima convert the sum key into coordinate space for the
+  // kSum stop test. NULLs make coordinate bounds meaningless, so any NULL
+  // disables the early stop (the filter pass itself keeps the pre-existing
+  // behaviour).
+  std::vector<double> scores(input.size()), min_coord(input.size()),
+      max_coord(input.size());
+  std::vector<double> dim_hi(num_dims, -kInf);
+  bool any_null = false;
+  for (size_t i = 0; i < input.size(); ++i) {
+    double s = 0, lo = kInf, hi = -kInf;
+    for (size_t d = 0; d < num_dims; ++d) {
+      const Value& value = input[i][dims[d].ordinal];
+      if (value.is_null()) {
+        any_null = true;
+        continue;
+      }
+      const double v = dims[d].goal == SkylineGoal::kMin ? value.ToDouble()
+                                                         : -value.ToDouble();
+      s += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      dim_hi[d] = std::max(dim_hi[d], v);
     }
-    return s;
-  };
+    scores[i] = s;
+    min_coord[i] = lo;
+    max_coord[i] = hi;
+  }
+
+  const SfsSortKey sort_key = options.sfs_sort_key;
   std::vector<size_t> order(input.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::vector<double> scores(input.size());
-  for (size_t i = 0; i < input.size(); ++i) scores[i] = score(input[i]);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sort_key == SfsSortKey::kMinMax && min_coord[a] != min_coord[b]) {
+      return min_coord[a] < min_coord[b];
+    }
+    return scores[a] < scores[b];
+  });
 
+  const bool early_stop = options.sfs_early_stop && !any_null;
+  // kSum stop test: sum(t) only lower-bounds a coordinate via the other
+  // dimensions' maxima (t_j >= sum(t) - sum_{k != j} hi_k), so the bound in
+  // sort-key space is minC + max_j sum_{k != j} hi_k = minC + (sum(hi) -
+  // min(hi)). kMinMax compares the min coordinate against minC directly.
+  double sum_offset = 0;
+  if (early_stop && sort_key == SfsSortKey::kSum && !input.empty()) {
+    double total = 0, min_hi = kInf;
+    for (const double hi : dim_hi) {
+      total += hi;
+      min_hi = std::min(min_hi, hi);
+    }
+    sum_offset = total - min_hi;
+  }
+
+  double min_c = early_stop ? options.sfs_stop_bound : kInf;
   std::vector<Row> window;
   DeadlineChecker deadline(options.deadline_nanos);
-  for (size_t idx : order) {
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const size_t idx = order[pos];
+    SL_RETURN_NOT_OK(deadline.Check());
+    if (early_stop) {
+      // Stop point: every coordinate of every remaining tuple strictly
+      // exceeds minC, so the skyline point with max-coordinate minC
+      // strictly dominates them all. Strict-only elimination keeps equal
+      // tuples, so DISTINCT semantics are unaffected.
+      const double key =
+          sort_key == SfsSortKey::kMinMax ? min_coord[idx] : scores[idx];
+      const double bound =
+          sort_key == SfsSortKey::kMinMax ? min_c : min_c + sum_offset;
+      if (key > bound) {
+        if (options.early_stop != nullptr) {
+          options.early_stop->rows_skipped.fetch_add(
+              static_cast<int64_t>(order.size() - pos),
+              std::memory_order_relaxed);
+          options.early_stop->stops.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
     const Row& tuple = input[idx];
     bool eliminated = false;
     for (const Row& w : window) {
@@ -223,7 +291,10 @@ Result<std::vector<Row>> SortFilterSkyline(
     }
     // Presorting guarantees no later tuple dominates an earlier one, so the
     // window only ever grows and each member is final skyline output.
-    if (!eliminated) window.push_back(tuple);
+    if (!eliminated) {
+      window.push_back(tuple);
+      min_c = std::min(min_c, max_coord[idx]);
+    }
   }
   return window;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/result.h"
@@ -16,6 +17,25 @@ namespace sparkline {
 class MemoryTracker;
 
 namespace skyline {
+
+/// \brief Monotone sort key of the SFS presorting family. Both keys order
+/// the input so that no tuple can be strictly dominated by a later one
+/// (over MIN-normalized values: MAX dimensions negated, so "smaller is
+/// better" everywhere):
+///
+///   kSum     sum of the normalized coordinates — strictly monotone under
+///            dominance (a dominates b => sum(a) < sum(b)); ties keep input
+///            order. This is DominanceMatrix::Score, the pre-existing SFS
+///            order.
+///   kMinMax  SaLSa's minC function: primary key = the smallest normalized
+///            coordinate, tie-broken by the sum. min alone is only weakly
+///            monotone; the strictly monotone sum tie-break restores the
+///            "window only grows" argument. This is the key whose stop
+///            bound is tight (see SkylineOptions::sfs_early_stop).
+enum class SfsSortKey : uint8_t {
+  kSum,
+  kMinMax,
+};
 
 /// \brief Options shared by all skyline algorithms.
 struct SkylineOptions {
@@ -39,6 +59,38 @@ struct SkylineOptions {
   /// which is how tests prove the columnar exchange removed per-stage
   /// re-projection.
   std::atomic<int64_t>* matrix_builds = nullptr;
+
+  // --- SaLSa-style early termination (SFS family only) ----------------------
+
+  /// Terminate an SFS filter pass as soon as its sort key proves every
+  /// remaining tuple strictly dominated. The pass maintains
+  /// minC = the smallest max-coordinate over the skyline points seen so far
+  /// (its witness dominates everything whose every coordinate strictly
+  /// exceeds minC) and stops once the presorted sort key guarantees that for
+  /// all remaining tuples: for kMinMax, when the next min-coordinate exceeds
+  /// minC; for kSum, when the next sum exceeds minC plus the per-dimension
+  /// input maxima correction (sum alone cannot bound a single coordinate).
+  ///
+  /// Sound only for complete, non-null numeric MIN/MAX input: with NULLs or
+  /// incomplete semantics a masked comparison cannot be certified by a
+  /// coordinate bound, so the SFS entry points automatically disable the
+  /// stop (the BNL fallbacks never consult it). Only *strictly* dominated
+  /// tuples are skipped — never equal ones — so results are identical with
+  /// DISTINCT on or off.
+  bool sfs_early_stop = true;
+  /// Which monotone presort the SFS family uses (see SfsSortKey).
+  SfsSortKey sfs_sort_key = SfsSortKey::kSum;
+  /// Inherited stop bound in max-coordinate space (+infinity = none): the
+  /// tightest minC produced by upstream passes whose witness points belong
+  /// to the same relation (e.g. the per-partition bounds a gathered
+  /// ColumnarBatch carries into the global merge). Combined with the pass's
+  /// own running minC; a tuple eliminated through it is dominated by a
+  /// concrete witness somewhere in the original input, which is sound for
+  /// the global result under transitive (complete) dominance.
+  double sfs_stop_bound = std::numeric_limits<double>::infinity();
+  /// If non-null, early-termination accounting (rows skipped, passes that
+  /// stopped early).
+  EarlyStopStats* early_stop = nullptr;
 };
 
 // Preconditions shared by every Result-returning entry point below:
@@ -128,8 +180,11 @@ Result<std::vector<uint32_t>> ValidateAgainstChunk(
 /// \brief Sort-Filter-Skyline (SFS), the presorting family the paper lists
 /// as future work (section 7). Requires complete data and numeric
 /// dimensions; falls back to BlockNestedLoop otherwise. After sorting by a
-/// monotone score, no tuple can be dominated by a later one, so the window
-/// only grows and every window member is final.
+/// monotone score (options.sfs_sort_key), no tuple can be dominated by a
+/// later one, so the window only grows and every window member is final.
+/// With options.sfs_early_stop the pass additionally terminates at the
+/// SaLSa stop point; the stop is automatically disabled when any skyline
+/// value is NULL (results are identical either way).
 Result<std::vector<Row>> SortFilterSkyline(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options);

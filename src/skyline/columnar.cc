@@ -234,11 +234,17 @@ ColumnarBatch ColumnarBatch::Concat(std::vector<ColumnarBatch>* parts,
   std::vector<const std::vector<uint32_t>*> selections;
   size_t total = 0;
   bool all_sorted = true;
+  const SfsSortKey sort_key = parts->front().sort_key_;
+  double stop_bound = std::numeric_limits<double>::infinity();
   for (const ColumnarBatch& part : *parts) {
     matrices.push_back(part.matrix_.get());
     selections.push_back(&part.indices_);
     total += part.num_rows();
-    all_sorted &= part.score_sorted_;
+    // Sorted inheritance needs every part ascending in the *same* key.
+    all_sorted &= part.score_sorted_ && part.sort_key_ == sort_key;
+    // Each part's bound witness is one of its shipped rows, so the
+    // tightest bound stays valid for the concatenated relation.
+    stop_bound = std::min(stop_bound, part.stop_bound_);
   }
   DominanceMatrix merged = DominanceMatrix::ConcatSelected(matrices, selections);
 
@@ -266,6 +272,7 @@ ColumnarBatch ColumnarBatch::Concat(std::vector<ColumnarBatch>* parts,
   batch.matrix_ = std::make_shared<const DominanceMatrix>(std::move(merged));
   batch.rows_ = std::move(rows);
   batch.dims_ = parts->front().dims_;
+  batch.stop_bound_ = stop_bound;
   if (all_sorted) {
     // SFS-order inheritance: each part's view became one contiguous run of
     // the new matrix; merge the runs instead of re-sorting downstream.
@@ -277,8 +284,9 @@ ColumnarBatch ColumnarBatch::Concat(std::vector<ColumnarBatch>* parts,
       offset += static_cast<uint32_t>(part.num_rows());
       runs.push_back(std::move(run));
     }
-    batch.indices_ = MergeByScore(*batch.matrix_, runs);
+    batch.indices_ = MergeByScore(*batch.matrix_, runs, sort_key);
     batch.score_sorted_ = true;
+    batch.sort_key_ = sort_key;
   } else {
     batch.indices_ = AllIndices(*batch.matrix_);
   }
@@ -286,10 +294,14 @@ ColumnarBatch ColumnarBatch::Concat(std::vector<ColumnarBatch>* parts,
 }
 
 ColumnarBatch ColumnarBatch::WithSelection(std::vector<uint32_t> indices,
-                                           bool score_sorted) const {
+                                           bool score_sorted,
+                                           SfsSortKey sort_key,
+                                           double stop_bound) const {
   ColumnarBatch batch = *this;
   batch.indices_ = std::move(indices);
   batch.score_sorted_ = score_sorted;
+  batch.sort_key_ = sort_key;
+  batch.stop_bound_ = stop_bound;
   return batch;
 }
 
@@ -362,20 +374,79 @@ Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
 
 namespace {
 
-/// The SFS filter pass over score-ascending input: no later tuple can
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The kSum stop test converts the max-coordinate bound minC into sort-key
+/// (sum) space: a coordinate is only lower-bounded by the sum through the
+/// other dimensions' maxima (t_j >= sum(t) - sum_{k != j} hi_k over the
+/// pass's input), so the sum threshold is minC + (sum(hi) - min(hi)).
+double SumStopOffset(const DominanceMatrix& matrix,
+                     const std::vector<uint32_t>& input) {
+  const size_t d = matrix.num_dims();
+  if (input.empty() || d == 0) return 0;
+  std::vector<double> hi(d, -kInf);
+  for (const uint32_t r : input) {
+    const double* keys = matrix.row_keys(r);
+    for (size_t j = 0; j < d; ++j) hi[j] = std::max(hi[j], keys[j]);
+  }
+  double total = 0, min_hi = kInf;
+  for (const double h : hi) {
+    total += h;
+    min_hi = std::min(min_hi, h);
+  }
+  return total - min_hi;
+}
+
+/// The SFS filter pass over key-ascending input: no later tuple can
 /// dominate an earlier one, so the window only grows — an append-only dense
 /// key buffer scanned sequentially per incoming tuple. Shared by the
 /// sorting entry point and the inherited-order (presorted) one.
+///
+/// With options.sfs_early_stop the pass maintains the SaLSa stop bound
+/// minC = min over window members (and any inherited bound) of MaxKey and
+/// terminates once the ascending sort key proves every remaining tuple
+/// strictly dominated by the bound's witness. NULL bitmaps disable the stop
+/// (NULL key slots hold placeholders, so coordinate bounds are meaningless).
 Result<std::vector<uint32_t>> SfsFilterPass(const DominanceMatrix& matrix,
                                             const std::vector<uint32_t>& ordered,
                                             const SkylineOptions& options) {
   const size_t d = matrix.num_dims();
+  const bool early_stop = options.sfs_early_stop && !matrix.has_nulls();
+  const SfsSortKey sort_key = options.sfs_sort_key;
+  const double sum_offset =
+      early_stop && sort_key == SfsSortKey::kSum
+          ? SumStopOffset(matrix, ordered)
+          : 0;
+  double min_c = early_stop ? options.sfs_stop_bound : kInf;
+
   std::vector<uint32_t> window;
   std::vector<double> window_keys;
   DeadlineChecker deadline(options.deadline_nanos);
   BatchedCounter tests(options);
-  for (const uint32_t tuple : ordered) {
+  for (size_t pos = 0; pos < ordered.size(); ++pos) {
+    const uint32_t tuple = ordered[pos];
+    SL_RETURN_NOT_OK(deadline.Check());
     const double* keys = matrix.row_keys(tuple);
+    if (early_stop) {
+      // Stop point: once the ascending sort key exceeds the bound, every
+      // coordinate of every remaining tuple strictly exceeds minC, so the
+      // bound's witness strictly dominates them all. Strict-only
+      // elimination never drops equal tuples, so DISTINCT is unaffected.
+      const double key =
+          sort_key == SfsSortKey::kMinMax ? matrix.MinKey(tuple)
+                                          : matrix.Score(tuple);
+      const double bound =
+          sort_key == SfsSortKey::kMinMax ? min_c : min_c + sum_offset;
+      if (key > bound) {
+        if (options.early_stop != nullptr) {
+          options.early_stop->rows_skipped.fetch_add(
+              static_cast<int64_t>(ordered.size() - pos),
+              std::memory_order_relaxed);
+          options.early_stop->stops.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
     bool eliminated = false;
     for (size_t i = 0; i < window.size(); ++i) {
       SL_RETURN_NOT_OK(deadline.Check());
@@ -393,6 +464,7 @@ Result<std::vector<uint32_t>> SfsFilterPass(const DominanceMatrix& matrix,
     if (!eliminated) {
       window.push_back(tuple);
       window_keys.insert(window_keys.end(), keys, keys + d);
+      if (early_stop) min_c = std::min(min_c, matrix.MaxKey(tuple));
     }
   }
   return window;
@@ -406,14 +478,27 @@ Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
   if (!SfsFastPathApplicable(matrix, options)) {
     return ColumnarBlockNestedLoop(matrix, input, options);
   }
-  // Monotone score over the negated-for-MAX keys: if a dominates b then
-  // score(a) < score(b) strictly, so after sorting the window only grows.
+  // Monotone sort key over the negated-for-MAX keys: kSum is strictly
+  // monotone under dominance; kMinMax (SaLSa's minC) is weakly monotone and
+  // tie-broken by the strictly monotone sum, so in either order the window
+  // only grows.
   std::vector<double> scores(input.size());
   for (size_t i = 0; i < input.size(); ++i) scores[i] = matrix.Score(input[i]);
+  std::vector<double> min_keys;
+  if (options.sfs_sort_key == SfsSortKey::kMinMax) {
+    min_keys.resize(input.size());
+    for (size_t i = 0; i < input.size(); ++i) {
+      min_keys[i] = matrix.MinKey(input[i]);
+    }
+  }
   std::vector<uint32_t> order(input.size());
   for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](uint32_t a, uint32_t b) { return scores[a] < scores[b]; });
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (!min_keys.empty() && min_keys[a] != min_keys[b]) {
+      return min_keys[a] < min_keys[b];
+    }
+    return scores[a] < scores[b];
+  });
   std::vector<uint32_t> ordered(input.size());
   for (size_t i = 0; i < order.size(); ++i) ordered[i] = input[order[i]];
   return SfsFilterPass(matrix, ordered, options);
@@ -428,12 +513,17 @@ Result<std::vector<uint32_t>> ColumnarSortFilterSkylinePresorted(
 
 std::vector<uint32_t> MergeByScore(
     const DominanceMatrix& matrix,
-    const std::vector<std::vector<uint32_t>>& runs) {
+    const std::vector<std::vector<uint32_t>>& runs, SfsSortKey sort_key) {
   // Iterative stable two-way merges: std::merge takes from the first range
-  // on ties, and earlier runs accumulate on the left, so equal scores keep
+  // on ties, and earlier runs accumulate on the left, so equal keys keep
   // run order — the same tie-break a global stable sort would produce.
   std::vector<uint32_t> merged;
-  auto score_less = [&](uint32_t a, uint32_t b) {
+  auto key_less = [&](uint32_t a, uint32_t b) {
+    if (sort_key == SfsSortKey::kMinMax) {
+      const double ma = matrix.MinKey(a);
+      const double mb = matrix.MinKey(b);
+      if (ma != mb) return ma < mb;
+    }
     return matrix.Score(a) < matrix.Score(b);
   };
   for (const auto& run : runs) {
@@ -444,10 +534,18 @@ std::vector<uint32_t> MergeByScore(
     std::vector<uint32_t> next;
     next.reserve(merged.size() + run.size());
     std::merge(merged.begin(), merged.end(), run.begin(), run.end(),
-               std::back_inserter(next), score_less);
+               std::back_inserter(next), key_less);
     merged = std::move(next);
   }
   return merged;
+}
+
+double ComputeStopBound(const DominanceMatrix& matrix,
+                        const std::vector<uint32_t>& view) {
+  if (matrix.has_nulls() || matrix.num_dims() == 0) return kInf;
+  double bound = kInf;
+  for (const uint32_t r : view) bound = std::min(bound, matrix.MaxKey(r));
+  return bound;
 }
 
 Result<std::vector<uint32_t>> ColumnarGridFilterSkyline(

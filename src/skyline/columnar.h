@@ -25,7 +25,9 @@
 // back to the row kernels, keeping correctness independent of the fast path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -191,6 +193,27 @@ class DominanceMatrix {
     return s;
   }
 
+  /// Smallest normalized key of one row — SaLSa's minC sort function (the
+  /// SfsSortKey::kMinMax primary key). Only meaningful for all-numeric
+  /// MIN/MAX matrices without NULLs (NULL slots hold 0.0 placeholders).
+  double MinKey(uint32_t row) const {
+    const double* keys = row_keys(row);
+    double lo = keys[0];
+    for (size_t d = 1; d < d_; ++d) lo = std::min(lo, keys[d]);
+    return lo;
+  }
+
+  /// Largest normalized key of one row — the stop-point coordinate a
+  /// skyline point contributes: every tuple whose coordinates all strictly
+  /// exceed MaxKey(p) is strictly dominated by p. Same preconditions as
+  /// MinKey.
+  double MaxKey(uint32_t row) const {
+    const double* keys = row_keys(row);
+    double hi = keys[0];
+    for (size_t d = 1; d < d_; ++d) hi = std::max(hi, keys[d]);
+    return hi;
+  }
+
   /// Bitmask of DIFF dimensions (for CompareKeySpans callers).
   uint32_t diff_mask() const { return diff_mask_; }
 
@@ -268,7 +291,10 @@ Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
 
 /// \brief Index-based Sort-Filter-Skyline. Falls back to
 /// ColumnarBlockNestedLoop under incomplete semantics or when any dimension
-/// is not a numeric MIN/MAX (the same conditions as the row kernel).
+/// is not a numeric MIN/MAX (the same conditions as the row kernel). Sorts
+/// by options.sfs_sort_key; with options.sfs_early_stop the filter pass
+/// terminates at the SaLSa stop point (auto-disabled when the matrix has
+/// NULL bitmaps — results are identical either way).
 Result<std::vector<uint32_t>> ColumnarSortFilterSkyline(
     const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
     const SkylineOptions& options);
@@ -283,25 +309,40 @@ inline bool SfsFastPathApplicable(const DominanceMatrix& matrix,
          matrix.all_numeric_minmax();
 }
 
-/// \brief Sort-Filter-Skyline over input that is *already* ascending in
-/// DominanceMatrix::Score — the inherited-order variant the merge stage
-/// runs when its input views come from upstream SFS stages, skipping the
-/// re-sort entirely.
+/// \brief Sort-Filter-Skyline over input that is *already* ascending in the
+/// active sort key (options.sfs_sort_key) — the inherited-order variant the
+/// merge stage runs when its input views come from upstream SFS stages,
+/// skipping the re-sort entirely. Honours options.sfs_early_stop and any
+/// inherited options.sfs_stop_bound (the tightest per-partition bound the
+/// gathered batch carries), so a presorted merge can terminate before
+/// scanning most of the gathered input.
 ///
 /// \pre SfsFastPathApplicable(matrix, options) holds and `input` is
-/// score-ascending (equal scores in the caller's intended tie-break order;
-/// the window-only-grows argument needs nothing stronger than ascending
-/// scores).
+/// ascending in the active sort key (equal keys in the caller's intended
+/// tie-break order; the window-only-grows argument needs nothing stronger
+/// than an ascending monotone key).
 Result<std::vector<uint32_t>> ColumnarSortFilterSkylinePresorted(
     const DominanceMatrix& matrix, const std::vector<uint32_t>& input,
     const SkylineOptions& options);
 
-/// \brief Merges score-ascending index runs into one score-ascending vector
+/// \brief Merges key-ascending index runs into one key-ascending vector
 /// (O(n · k) cascade of stable merges; ties keep earlier runs first, so
 /// merging per-partition SFS outputs reproduces the tie-break order of one
-/// global stable sort over the concatenated input).
+/// global stable sort over the concatenated input). `sort_key` selects the
+/// comparator: Score for kSum, (MinKey, Score) lexicographic for kMinMax —
+/// it must match the key the runs were sorted with.
 std::vector<uint32_t> MergeByScore(const DominanceMatrix& matrix,
-                                   const std::vector<std::vector<uint32_t>>& runs);
+                                   const std::vector<std::vector<uint32_t>>& runs,
+                                   SfsSortKey sort_key = SfsSortKey::kSum);
+
+/// \brief The tightest SaLSa stop bound a (skyline) result view supports:
+/// the smallest MaxKey over the view's rows (+infinity for an empty view or
+/// a matrix with NULL bitmaps, which cannot certify coordinate bounds).
+/// Since the point minimizing the max-coordinate of any input always has a
+/// skyline representative with an equal-or-smaller max-coordinate, the
+/// bound computed over a skyline equals the bound over its full input.
+double ComputeStopBound(const DominanceMatrix& matrix,
+                        const std::vector<uint32_t>& view);
 
 /// \brief Index-based grid-filter skyline: cell-level pruning over the
 /// normalized keys (all dimensions MIN after negation, so no bucket
@@ -400,10 +441,13 @@ class ColumnarBatch {
   /// result are the selected rows materialized in view order — exactly the
   /// rows a row-mode gather would have shipped, so matrix row order equals
   /// gathered input order (the DISTINCT tie-break order downstream stages
-  /// rely on). If every part is score-sorted, the merged view is produced
-  /// by MergeByScore and stays score-sorted (SFS-order inheritance across
-  /// the exchange). A single part is compacted the same way, so the
-  /// upstream stage's non-survivor rows never travel past the exchange.
+  /// rely on). If every part is score-sorted with the same sort key, the
+  /// merged view is produced by MergeByScore and stays score-sorted
+  /// (SFS-order inheritance across the exchange). The result's stop bound
+  /// is the minimum over the parts' bounds — every part's witness row is
+  /// shipped, so the tightest local bound survives the gather. A single
+  /// part is compacted the same way, so the upstream stage's non-survivor
+  /// rows never travel past the exchange.
   ///
   /// The parts are consumed (backings moved out where exclusively owned)
   /// but deliberately left alive in the caller's vector: destroying the old
@@ -417,18 +461,30 @@ class ColumnarBatch {
                               MemoryTracker* memory = nullptr);
 
   /// A derived view over the same matrix/rows (e.g. the survivors of a
-  /// kernel run). `score_sorted` asserts the new view is score-ascending.
-  ColumnarBatch WithSelection(std::vector<uint32_t> indices,
-                              bool score_sorted) const;
+  /// kernel run). `score_sorted` asserts the new view is ascending in
+  /// `sort_key`; `stop_bound` is the SaLSa stop bound the view's rows
+  /// support (ComputeStopBound; +infinity = none), carried so the global
+  /// merge can inherit the tightest per-partition bound.
+  ColumnarBatch WithSelection(
+      std::vector<uint32_t> indices, bool score_sorted,
+      SfsSortKey sort_key = SfsSortKey::kSum,
+      double stop_bound = std::numeric_limits<double>::infinity()) const;
 
   /// Contiguous sub-view [begin, end) of the current view, inheriting the
-  /// sort flag (a slice of an ascending view is ascending).
+  /// sort flag (a slice of an ascending view is ascending) and stop bound.
   ColumnarBatch Slice(size_t begin, size_t end) const;
 
   const DominanceMatrix& matrix() const { return *matrix_; }
   const std::vector<uint32_t>& indices() const { return indices_; }
   size_t num_rows() const { return indices_.size(); }
   bool score_sorted() const { return score_sorted_; }
+  /// The key the view is sorted by; meaningful only when score_sorted().
+  SfsSortKey sort_key() const { return sort_key_; }
+  /// Tightest inherited SaLSa stop bound (+infinity = none). Its witness is
+  /// a row of this batch (or of an upstream batch of the same relation), so
+  /// downstream SFS passes over supersets of this view may seed their minC
+  /// with it.
+  double stop_bound() const { return stop_bound_; }
   const std::vector<Row>& backing_rows() const { return *rows_; }
 
   /// \brief True when this batch was projected for exactly these skyline
@@ -470,6 +526,10 @@ class ColumnarBatch {
   std::vector<BoundDimension> dims_;  ///< what the matrix was projected for
   std::vector<uint32_t> indices_;  ///< the view, in processing order
   bool score_sorted_ = false;
+  /// Key the view is ascending in (valid when score_sorted_).
+  SfsSortKey sort_key_ = SfsSortKey::kSum;
+  /// Tightest SaLSa stop bound of the view (+infinity = none).
+  double stop_bound_ = std::numeric_limits<double>::infinity();
 };
 
 /// \brief Convenience end-to-end entry: builds the matrix, runs the chosen

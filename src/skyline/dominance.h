@@ -46,6 +46,19 @@ struct DominanceCounter {
   std::atomic<int64_t> tests{0};
 };
 
+/// \brief Accounting for SaLSa-style early termination in the SFS family
+/// (see SkylineOptions::sfs_early_stop). Shared across threads; the exec
+/// layer surfaces the totals as QueryMetrics::sfs_rows_skipped /
+/// sfs_early_stops.
+struct EarlyStopStats {
+  /// Input rows of SFS passes that were never scanned because a stop point
+  /// proved every remaining tuple dominated.
+  std::atomic<int64_t> rows_skipped{0};
+  /// Number of SFS passes that terminated at a stop point before exhausting
+  /// their input.
+  std::atomic<int64_t> stops{0};
+};
+
 /// \brief Compares two rows on the given dimensions.
 ///
 /// Complete semantics: `left` dominates `right` iff all DIFF dims are equal,

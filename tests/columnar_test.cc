@@ -54,6 +54,44 @@ std::vector<Row> RandomRows(size_t n, size_t dims, double null_rate,
   return rows;
 }
 
+/// Correlated rows: a per-row base level plus small per-dimension noise, so
+/// good tuples are good everywhere — the workload where SaLSa stop points
+/// terminate scans early.
+std::vector<Row> CorrelatedRows(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = rng.Uniform(0.0, 100.0);
+    Row row;
+    for (size_t d = 0; d < dims; ++d) {
+      row.push_back(Value::Double(base + rng.Uniform(0.0, 5.0)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Anti-correlated rows: points near a constant-sum plane, the
+/// skyline-heavy workload where stop points rarely fire.
+std::vector<Row> AntiCorrelatedRows(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    double sum = 0;
+    for (size_t d = 0; d + 1 < dims; ++d) {
+      const double v = rng.Uniform(0.0, 100.0 - sum / static_cast<double>(dims));
+      row.push_back(Value::Double(v));
+      sum += v;
+    }
+    row.push_back(Value::Double(std::max(0.0, 100.0 - sum)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 // --- DominanceMatrix --------------------------------------------------------
 
 TEST(DominanceMatrixTest, CompareMatchesCompareRows) {
@@ -467,6 +505,307 @@ TEST(ColumnarBatchTest, MatrixMemoryChargedForBatchLifetime) {
   }
   EXPECT_EQ(tracker.current_bytes(), 0) << "reservation must die with the batch";
 }
+
+// --- SaLSa-style early termination ------------------------------------------
+
+std::vector<Row> SfsWith(const std::vector<Row>& rows,
+                         const std::vector<BoundDimension>& dims,
+                         bool early_stop, SfsSortKey key, bool distinct,
+                         EarlyStopStats* stats = nullptr) {
+  SkylineOptions options;
+  options.sfs_early_stop = early_stop;
+  options.sfs_sort_key = key;
+  options.distinct = distinct;
+  options.early_stop = stats;
+  auto result = ColumnarSkyline(ColumnarKernel::kSortFilterSkyline, rows, dims,
+                                options);
+  SL_CHECK(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+TEST(SfsEarlyStop, ResultIdenticalToFullScanAcrossKeysAndDistributions) {
+  struct Workload {
+    const char* name;
+    std::vector<Row> rows;
+  };
+  const std::vector<Workload> workloads = {
+      {"correlated", CorrelatedRows(800, 4, 7)},
+      {"anticorrelated", AntiCorrelatedRows(800, 4, 7)},
+      {"duplicates", RandomRows(400, 3, /*null_rate=*/0.0, 3, 7)},
+  };
+  for (const auto& w : workloads) {
+    const size_t num_dims = w.rows[0].size();
+    auto dims = MinDims(num_dims);
+    dims[1].goal = SkylineGoal::kMax;  // exercise the negated-key path
+    for (const SfsSortKey key : {SfsSortKey::kSum, SfsSortKey::kMinMax}) {
+      for (const bool distinct : {false, true}) {
+        const std::vector<Row> full =
+            SfsWith(w.rows, dims, /*early_stop=*/false, key, distinct);
+        const std::vector<Row> stopped =
+            SfsWith(w.rows, dims, /*early_stop=*/true, key, distinct);
+        // SFS output order is the sort order, so the full sequence (not
+        // just the set) must match.
+        ASSERT_EQ(full.size(), stopped.size())
+            << w.name << " key=" << static_cast<int>(key)
+            << " distinct=" << distinct;
+        for (size_t i = 0; i < full.size(); ++i) {
+          EXPECT_EQ(RowToString(full[i]), RowToString(stopped[i]));
+        }
+        SkylineOptions oracle_options;
+        oracle_options.distinct = distinct;
+        EXPECT_EQ(Sorted(stopped),
+                  Sorted(BruteForceSkyline(w.rows, dims, oracle_options)));
+      }
+    }
+  }
+}
+
+TEST(SfsEarlyStop, SkipsMostRowsOnCorrelatedData) {
+  const std::vector<Row> rows = CorrelatedRows(2000, 4, 11);
+  const auto dims = MinDims(4);
+  EarlyStopStats stats;
+  SfsWith(rows, dims, /*early_stop=*/true, SfsSortKey::kMinMax, false, &stats);
+  EXPECT_GE(stats.stops.load(), 1);
+  EXPECT_GT(stats.rows_skipped.load(), static_cast<int64_t>(rows.size()) / 3)
+      << "the minC stop point must skip >1/3 of a correlated input";
+}
+
+TEST(SfsEarlyStop, RowKernelMatchesColumnarAndSkips) {
+  // All-MIN goals: with a MAX goal mixed in, a correlated generator is
+  // anti-correlated in normalized space and the stop (correctly) never
+  // fires. Goal mixes are covered by the equivalence sweep above.
+  const std::vector<Row> rows = CorrelatedRows(1500, 3, 23);
+  const auto dims = MinDims(3);
+  for (const SfsSortKey key : {SfsSortKey::kSum, SfsSortKey::kMinMax}) {
+    EarlyStopStats row_stats;
+    SkylineOptions options;
+    options.sfs_sort_key = key;
+    options.early_stop = &row_stats;
+    auto row_result = SortFilterSkyline(rows, dims, options);
+    ASSERT_TRUE(row_result.ok());
+    EXPECT_EQ(Sorted(*row_result),
+              Sorted(SfsWith(rows, dims, /*early_stop=*/true, key, false)));
+    if (key == SfsSortKey::kMinMax) {
+      EXPECT_GT(row_stats.rows_skipped.load(), 0)
+          << "the row kernel must stop early on correlated data too";
+    }
+    options.sfs_early_stop = false;
+    auto full = SortFilterSkyline(rows, dims, options);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(Sorted(*row_result), Sorted(*full));
+  }
+}
+
+TEST(SfsEarlyStop, AutoDisabledOnNullBitmaps) {
+  // NULL key slots hold placeholders, so coordinate bounds are unsound;
+  // the stop must silently disable itself (stats stay zero) while the SFS
+  // fast path itself keeps running.
+  std::vector<Row> rows = CorrelatedRows(500, 3, 31);
+  rows[497][1] = Value::Null(DataType::Double());
+  const auto dims = MinDims(3);
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+  ASSERT_TRUE(matrix->has_nulls());
+  EarlyStopStats stats;
+  SkylineOptions options;
+  options.sfs_early_stop = true;
+  options.sfs_sort_key = SfsSortKey::kMinMax;
+  options.early_stop = &stats;
+  auto result =
+      ColumnarSortFilterSkyline(*matrix, AllIndices(*matrix), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.stops.load(), 0);
+  EXPECT_EQ(stats.rows_skipped.load(), 0);
+
+  // Row kernel: same auto-disable on NULL input.
+  auto row_result = SortFilterSkyline(rows, dims, options);
+  ASSERT_TRUE(row_result.ok());
+  EXPECT_EQ(stats.stops.load(), 0);
+}
+
+TEST(SfsEarlyStop, PresortedPassInheritsStopBound) {
+  const std::vector<Row> rows = CorrelatedRows(1200, 4, 43);
+  const auto dims = MinDims(4);
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+
+  SkylineOptions options;
+  options.sfs_sort_key = SfsSortKey::kMinMax;
+  auto baseline =
+      ColumnarSortFilterSkyline(*matrix, AllIndices(*matrix), options);
+  ASSERT_TRUE(baseline.ok());
+  const double bound = ComputeStopBound(*matrix, *baseline);
+  ASSERT_TRUE(std::isfinite(bound));
+
+  // Presort by (MinKey, Score) — the kMinMax order the presorted pass
+  // expects — then run it with the inherited bound: the result must be
+  // identical and the bound must skip rows before the pass's own window
+  // could have tightened minC.
+  std::vector<uint32_t> ordered = AllIndices(*matrix);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const double ma = matrix->MinKey(a);
+                     const double mb = matrix->MinKey(b);
+                     if (ma != mb) return ma < mb;
+                     return matrix->Score(a) < matrix->Score(b);
+                   });
+  EarlyStopStats stats;
+  SkylineOptions inherited = options;
+  inherited.sfs_stop_bound = bound;
+  inherited.early_stop = &stats;
+  auto presorted =
+      ColumnarSortFilterSkylinePresorted(*matrix, ordered, inherited);
+  ASSERT_TRUE(presorted.ok());
+  EXPECT_EQ(Sorted(MaterializeRows(rows, *baseline)),
+            Sorted(MaterializeRows(rows, *presorted)));
+  EXPECT_GT(stats.rows_skipped.load(), 0);
+}
+
+TEST(SfsEarlyStop, StopBoundSurvivesConcat) {
+  // Two parts with different bounds: the concatenated batch must carry the
+  // tighter one (its witness row ships with its part).
+  auto part_rows_a = SharedRows(CorrelatedRows(300, 3, 51));
+  auto part_rows_b = SharedRows(CorrelatedRows(300, 3, 52));
+  const auto dims = MinDims(3);
+  SkylineOptions options;
+  std::vector<ColumnarBatch> parts;
+  std::vector<double> bounds;
+  for (const auto& rows : {part_rows_a, part_rows_b}) {
+    auto batch = ColumnarBatch::Project(rows, dims);
+    ASSERT_TRUE(batch.has_value());
+    auto survivors = ColumnarSortFilterSkyline(batch->matrix(),
+                                               batch->indices(), options);
+    ASSERT_TRUE(survivors.ok());
+    const double bound = ComputeStopBound(batch->matrix(), *survivors);
+    bounds.push_back(bound);
+    parts.push_back(batch->WithSelection(std::move(*survivors), true,
+                                         SfsSortKey::kSum, bound));
+  }
+  ColumnarBatch merged = ColumnarBatch::Concat(&parts);
+  EXPECT_TRUE(merged.score_sorted());
+  EXPECT_EQ(merged.stop_bound(), std::min(bounds[0], bounds[1]));
+}
+
+// --- MergeByScore tie-break determinism --------------------------------------
+
+TEST(MergeByScoreTest, EqualKeysReproduceGlobalStableSortOrder) {
+  // Low-cardinality rows produce many equal scores (and equal min keys)
+  // across runs; the cascade of stable merges must order them exactly like
+  // one global stable sort over the concatenated input.
+  std::vector<Row> rows = RandomRows(240, 2, /*null_rate=*/0.0, 3, 91);
+  const auto dims = MinDims(2);
+  auto matrix = DominanceMatrix::TryBuild(rows, dims);
+  ASSERT_TRUE(matrix.has_value());
+
+  for (const SfsSortKey key : {SfsSortKey::kSum, SfsSortKey::kMinMax}) {
+    auto key_less = [&](uint32_t a, uint32_t b) {
+      if (key == SfsSortKey::kMinMax) {
+        const double ma = matrix->MinKey(a);
+        const double mb = matrix->MinKey(b);
+        if (ma != mb) return ma < mb;
+      }
+      return matrix->Score(a) < matrix->Score(b);
+    };
+    // Three contiguous runs in input order, each sorted by the key.
+    std::vector<std::vector<uint32_t>> runs;
+    for (uint32_t begin = 0; begin < 240; begin += 80) {
+      std::vector<uint32_t> run;
+      for (uint32_t i = begin; i < begin + 80; ++i) run.push_back(i);
+      std::stable_sort(run.begin(), run.end(), key_less);
+      runs.push_back(std::move(run));
+    }
+    const std::vector<uint32_t> merged = MergeByScore(*matrix, runs, key);
+
+    std::vector<uint32_t> global = AllIndices(*matrix);
+    std::stable_sort(global.begin(), global.end(), key_less);
+    EXPECT_EQ(merged, global)
+        << "ties must keep input (run) order, key=" << static_cast<int>(key);
+  }
+}
+
+// --- deadline coverage: every kernel must return Timeout ---------------------
+
+class ColumnarKernelDeadline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rows_ = AntiCorrelatedRows(600, 4, 3);
+    matrix_ = DominanceMatrix::TryBuild(rows_, MinDims(4));
+    ASSERT_TRUE(matrix_.has_value());
+    // A deadline in the past: the kernels' batched checker trips on its
+    // first clock read (after at most 1024 ticks).
+    expired_.deadline_nanos = 1;
+  }
+
+  std::vector<Row> rows_;
+  std::optional<DominanceMatrix> matrix_;
+  SkylineOptions expired_;
+};
+
+#define EXPECT_TIMES_OUT(expr)                                     \
+  do {                                                             \
+    auto _result = (expr);                                         \
+    ASSERT_FALSE(_result.ok()) << "kernel ignored the deadline";   \
+    EXPECT_EQ(_result.status().code(), StatusCode::kTimeout);      \
+  } while (0)
+
+TEST_F(ColumnarKernelDeadline, BlockNestedLoop) {
+  EXPECT_TIMES_OUT(
+      ColumnarBlockNestedLoop(*matrix_, AllIndices(*matrix_), expired_));
+}
+
+TEST_F(ColumnarKernelDeadline, SortFilterSkyline) {
+  EXPECT_TIMES_OUT(
+      ColumnarSortFilterSkyline(*matrix_, AllIndices(*matrix_), expired_));
+}
+
+TEST_F(ColumnarKernelDeadline, SortFilterSkylineEarlyStopLoop) {
+  // Early stop enabled with the kMinMax key on anti-correlated data: the
+  // stop never fires (the pass runs its early-stop bookkeeping for every
+  // tuple), and the loop must still observe the deadline. (On data where
+  // the stop fires before the checker's first clock read, finishing OK is
+  // the correct outcome — fast passes need no timeout.)
+  SkylineOptions options = expired_;
+  options.sfs_sort_key = SfsSortKey::kMinMax;
+  EXPECT_TIMES_OUT(
+      ColumnarSortFilterSkyline(*matrix_, AllIndices(*matrix_), options));
+}
+
+TEST_F(ColumnarKernelDeadline, SortFilterSkylinePresorted) {
+  std::vector<uint32_t> ordered = AllIndices(*matrix_);
+  std::stable_sort(ordered.begin(), ordered.end(), [&](uint32_t a, uint32_t b) {
+    return matrix_->Score(a) < matrix_->Score(b);
+  });
+  EXPECT_TIMES_OUT(
+      ColumnarSortFilterSkylinePresorted(*matrix_, ordered, expired_));
+}
+
+TEST_F(ColumnarKernelDeadline, GridFilter) {
+  EXPECT_TIMES_OUT(
+      ColumnarGridFilterSkyline(*matrix_, AllIndices(*matrix_), expired_));
+}
+
+TEST_F(ColumnarKernelDeadline, AllPairsIncomplete) {
+  SkylineOptions options = expired_;
+  options.nulls = NullSemantics::kIncomplete;
+  EXPECT_TIMES_OUT(
+      ColumnarAllPairsIncomplete(*matrix_, AllIndices(*matrix_), options));
+}
+
+TEST_F(ColumnarKernelDeadline, IncompleteCandidateScan) {
+  SkylineOptions options = expired_;
+  options.nulls = NullSemantics::kIncomplete;
+  EXPECT_TIMES_OUT(
+      ColumnarIncompleteCandidateScan(*matrix_, AllIndices(*matrix_), options));
+}
+
+TEST_F(ColumnarKernelDeadline, ValidateAgainstChunk) {
+  SkylineOptions options = expired_;
+  options.nulls = NullSemantics::kIncomplete;
+  const std::vector<uint32_t> all = AllIndices(*matrix_);
+  EXPECT_TIMES_OUT(ColumnarValidateAgainstChunk(*matrix_, all, all, options));
+}
+
+#undef EXPECT_TIMES_OUT
 
 }  // namespace
 }  // namespace skyline

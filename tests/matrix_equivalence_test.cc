@@ -57,6 +57,19 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
       skyline::BruteForceSkyline(table->rows(), oracle_dims, oracle_options));
   ASSERT_FALSE(expected.empty());
 
+  // The kernel axis crosses SFS with its early-stop and sort-key knobs
+  // (which only the SFS family consults); BNL and grid run once each.
+  struct KernelConfig {
+    const char* kernel;
+    const char* early_stop;
+    const char* sort_key;
+  };
+  const std::vector<KernelConfig> kernels = {
+      {"bnl", "true", "sum"},          {"grid", "true", "sum"},
+      {"sfs", "true", "sum"},          {"sfs", "true", "minmax"},
+      {"sfs", "false", "sum"},         {"sfs", "false", "minmax"},
+  };
+
   int combinations = 0;
   const std::vector<const char*> strategies =
       incomplete ? std::vector<const char*>{"auto", "incomplete"}
@@ -64,13 +77,18 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
                                             "non_distributed", "incomplete",
                                             "reference"};
   for (const char* strategy : strategies) {
-    for (const char* kernel : {"bnl", "sfs", "grid"}) {
+    for (const KernelConfig& kernel : kernels) {
       for (const char* columnar : {"true", "false"}) {
         for (const char* exchange : {"true", "false"}) {
           for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
             for (const char* executors : {"1", "3", "8"}) {
               ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
-              ASSERT_OK(session.SetConf("sparkline.skyline.kernel", kernel));
+              ASSERT_OK(
+                  session.SetConf("sparkline.skyline.kernel", kernel.kernel));
+              ASSERT_OK(session.SetConf("sparkline.skyline.sfs.early_stop",
+                                        kernel.early_stop));
+              ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key",
+                                        kernel.sort_key));
               ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
               ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
                                         exchange));
@@ -79,7 +97,9 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
               ASSERT_OK(session.SetConf("sparkline.executors", executors));
               auto rows = RowStrings(Rows(&session, query));
               ASSERT_EQ(expected, rows)
-                  << "strategy=" << strategy << " kernel=" << kernel
+                  << "strategy=" << strategy << " kernel=" << kernel.kernel
+                  << " early_stop=" << kernel.early_stop
+                  << " sort_key=" << kernel.sort_key
                   << " columnar=" << columnar << " exchange=" << exchange
                   << " partitioning=" << partitioning
                   << " executors=" << executors;
@@ -90,7 +110,7 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
       }
     }
   }
-  EXPECT_GE(combinations, 2 * 3 * 2 * 2 * 3 * 3);
+  EXPECT_GE(combinations, 2 * 6 * 2 * 2 * 3 * 3);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -381,6 +401,126 @@ TEST(ColumnarExchange, RootDecodeAndRowFallback) {
       RowStrings(Rows(&session, sorted));
   EXPECT_EQ(expected, through_sort)
       << "a row-consuming parent must see identical rows via the fallback";
+}
+
+// --- SFS order determinism across the exchange --------------------------------
+
+std::vector<std::string> OrderedRowStrings(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(RowToString(r));
+  return out;
+}
+
+// MergeByScore tie-break determinism, end to end: SFS output order is the
+// global stable sort order, so equal-key rows coming from different
+// partitions must reproduce the single-partition sequence exactly — the
+// result must be bit-identical (order included) across executor counts,
+// sort keys and early-stop settings. Low-cardinality values force many
+// equal scores, equal min-keys and exact duplicate tuples.
+TEST(SfsOrderDeterminism, ExchangeMergeReproducesSinglePartitionOrder) {
+  std::vector<std::array<double, 3>> pts;
+  for (int i = 0; i < 240; ++i) {
+    pts.push_back({static_cast<double>(i), static_cast<double>((i * 7) % 5),
+                   static_cast<double>((i * 11) % 5)});
+  }
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(
+      ::sparkline::testing::MakePointsTable("pts", pts)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.kernel", "sfs"));
+
+  for (const char* query :
+       {"SELECT x, y FROM pts SKYLINE OF x MIN, y MIN",
+        "SELECT x, y FROM pts SKYLINE OF DISTINCT x MIN, y MIN"}) {
+    for (const char* sort_key : {"sum", "minmax"}) {
+      for (const char* early_stop : {"true", "false"}) {
+        ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key", sort_key));
+        ASSERT_OK(
+            session.SetConf("sparkline.skyline.sfs.early_stop", early_stop));
+        ASSERT_OK(session.SetConf("sparkline.executors", "1"));
+        const std::vector<std::string> reference =
+            OrderedRowStrings(Rows(&session, query));
+        ASSERT_FALSE(reference.empty());
+        for (const char* executors : {"2", "4", "8"}) {
+          ASSERT_OK(session.SetConf("sparkline.executors", executors));
+          EXPECT_EQ(reference, OrderedRowStrings(Rows(&session, query)))
+              << query << " sort_key=" << sort_key
+              << " early_stop=" << early_stop << " executors=" << executors;
+        }
+      }
+    }
+  }
+}
+
+// --- SFS early termination: metrics and auto-disable --------------------------
+
+// On correlated data the minC stop point must skip a large fraction of the
+// input (acceptance bar: >30% of the table rows), visible through the
+// sfs_rows_skipped / sfs_early_stops counters, without changing the result.
+TEST(SfsEarlyStopEndToEnd, CorrelatedSkylineSkipsAndMatches) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 4000, 3, datagen::PointDistribution::kCorrelated, 77)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.kernel", "sfs"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key", "minmax"));
+  ASSERT_OK(session.SetConf("sparkline.executors", "4"));
+  const std::string query =
+      "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MIN, d2 MIN";
+
+  auto run = [&](const char* early_stop) {
+    SL_CHECK_OK(
+        session.SetConf("sparkline.skyline.sfs.early_stop", early_stop));
+    auto df = session.Sql(query);
+    SL_CHECK(df.ok());
+    auto r = df->Collect();
+    SL_CHECK(r.ok()) << r.status().ToString();
+    return *std::move(r);
+  };
+
+  const QueryResult off = run("false");
+  EXPECT_EQ(off.metrics.sfs_rows_skipped, 0);
+  EXPECT_EQ(off.metrics.sfs_early_stops, 0);
+
+  const QueryResult on = run("true");
+  EXPECT_GE(on.metrics.sfs_early_stops, 1);
+  EXPECT_GT(on.metrics.sfs_rows_skipped, 4000 * 3 / 10)
+      << "the stop point must skip >30% of a correlated table";
+  EXPECT_LT(on.metrics.dominance_tests, off.metrics.dominance_tests)
+      << "skipped rows must translate into fewer dominance tests";
+  EXPECT_EQ(RowStrings(off.rows()), RowStrings(on.rows()));
+}
+
+// With NULLs in the skyline dimensions the stop is unsound and must
+// auto-disable: the counters stay zero and results still match the oracle
+// (the incomplete pipeline never runs SFS, and the columnar SFS pass
+// refuses the stop whenever the matrix carries null bitmaps).
+TEST(SfsEarlyStopEndToEnd, AutoDisabledOnIncompleteData) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts", 800, 3, datagen::PointDistribution::kCorrelated, 78,
+      /*null_probability=*/0.3)));
+  ASSERT_OK(session.SetConf("sparkline.skyline.kernel", "sfs"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.sfs.early_stop", "true"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key", "minmax"));
+  ASSERT_OK(session.SetConf("sparkline.executors", "4"));
+
+  auto df = session.Sql("SELECT * FROM pts SKYLINE OF d0 MIN, d1 MIN, d2 MIN");
+  ASSERT_TRUE(df.ok());
+  auto result = df->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.sfs_rows_skipped, 0);
+  EXPECT_EQ(result->metrics.sfs_early_stops, 0);
+
+  std::vector<skyline::BoundDimension> oracle_dims{
+      {1, SkylineGoal::kMin}, {2, SkylineGoal::kMin}, {3, SkylineGoal::kMin}};
+  skyline::SkylineOptions oracle_options;
+  oracle_options.nulls = skyline::NullSemantics::kIncomplete;
+  EXPECT_EQ(RowStrings(result->rows()),
+            RowStrings(skyline::BruteForceSkyline(
+                ::sparkline::testing::Rows(&session, "SELECT * FROM pts"),
+                oracle_dims, oracle_options)));
 }
 
 }  // namespace

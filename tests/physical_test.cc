@@ -1,6 +1,8 @@
 // Tests for the physical operators and the distributed execution engine:
 // partitioning, exchanges, joins, aggregation phases, skyline operators,
 // metrics and timeouts.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "datagen/datagen.h"
@@ -271,6 +273,75 @@ TEST_F(PhysicalTest, EmptyScalarSubqueryYieldsNull) {
                    "SELECT id FROM pts WHERE x = "
                    "(SELECT min(x) FROM pts WHERE x > 100)");
   EXPECT_TRUE(rows.empty());  // NULL comparison filters everything
+}
+
+// --- angle partitioning: normalized-key regression ----------------------------
+
+// Rays from the origin: every ray holds a dominance chain (its innermost
+// point dominates the rest), so a direction-aware partitioning puts whole
+// chains together and local skylines collapse to one point per ray. The
+// dimensions are phrased as mixed-scale MAX goals (value = C - coordinate,
+// dim 1 scaled by 1000): the pre-fix assignment bucketed raw |value|+1
+// magnitudes, so the scaled dimension swamped the angle and every row
+// landed in the last bucket.
+std::vector<Row> RayRows(size_t rays, size_t per_ray) {
+  std::vector<Row> rows;
+  constexpr double kPi = 3.141592653589793;
+  for (size_t ray = 0; ray < rays; ++ray) {
+    const double theta =
+        (static_cast<double>(ray) + 0.5) / static_cast<double>(rays) * kPi / 2;
+    for (size_t k = 1; k <= per_ray; ++k) {
+      const double r = static_cast<double>(k);
+      const double x = r * std::cos(theta);
+      const double y = r * std::sin(theta);
+      // MAX goals: larger stored value = better = smaller underlying
+      // coordinate. Dimension 1 uses a 1000x scale.
+      rows.push_back(Row{Value::Double(100.0 - x),
+                         Value::Double(1000.0 * (100.0 - y))});
+    }
+  }
+  return rows;
+}
+
+TEST(AnglePartitionTest, NormalizedKeysSpreadMaxGoalMixedScaleData) {
+  const std::vector<Row> rows = RayRows(16, 8);
+  const std::vector<skyline::BoundDimension> dims{{0, SkylineGoal::kMax},
+                                                  {1, SkylineGoal::kMax}};
+  const size_t n = 4;
+  const auto bounds = exchange_internal::ComputeAngleBounds({rows}, dims);
+
+  std::vector<std::vector<Row>> angle_parts(n), round_robin(n);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t bucket =
+        exchange_internal::AnglePartition(rows[i], dims, n, bounds);
+    ASSERT_LT(bucket, n);
+    angle_parts[bucket].push_back(rows[i]);
+    round_robin[i % n].push_back(rows[i]);
+  }
+
+  // The pre-fix magnitudes collapsed MAX-goal/mixed-scale data into one
+  // bucket; normalized keys must spread it.
+  size_t non_empty = 0;
+  for (const auto& p : angle_parts) non_empty += p.empty() ? 0 : 1;
+  EXPECT_EQ(non_empty, n) << "angle buckets degenerate despite spread data";
+
+  // Pruning power: direction-aligned partitions keep whole dominance
+  // chains together, so the shuffled survivor count (the global stage's
+  // input) must be strictly smaller than under direction-blind round-robin.
+  auto local_survivors = [&](const std::vector<std::vector<Row>>& parts) {
+    size_t total = 0;
+    for (const auto& part : parts) {
+      auto local = skyline::BlockNestedLoop(part, dims, {});
+      SL_CHECK(local.ok());
+      total += local->size();
+    }
+    return total;
+  };
+  const size_t angle_total = local_survivors(angle_parts);
+  const size_t rr_total = local_survivors(round_robin);
+  EXPECT_EQ(angle_total, 16u)
+      << "each ray's chain must collapse to its innermost point";
+  EXPECT_LT(angle_total, rr_total);
 }
 
 }  // namespace

@@ -266,6 +266,47 @@ TEST(ResultCacheTest, TtlExpiry) {
   EXPECT_EQ(cache.Lookup(a), nullptr);
   EXPECT_EQ(cache.stats().entries, 0);
   EXPECT_EQ(cache.stats().resident_bytes, 0);
+  EXPECT_EQ(cache.stats().expirations, 1);
+  EXPECT_EQ(cache.stats().evictions, 0)
+      << "TTL drops must not be counted as budget evictions";
+}
+
+// Regression: expired entries that are never probed again must not keep
+// charging the byte budget or linger in the per-table reverse index until
+// LRU pressure evicts them — any lookup sweeps the expired LRU tail, and
+// PurgeExpired() reclaims everything.
+TEST(ResultCacheTest, ExpiredEntriesReleaseBudgetWithoutReprobe) {
+  ResultCache::Options options;
+  options.ttl_ms = 5;
+  options.num_shards = 1;
+  ResultCache cache(options);
+
+  cache.Insert(SyntheticFp(1, {"t"}), SyntheticEntry(100));
+  cache.Insert(SyntheticFp(2, {"t"}), SyntheticEntry(100));
+  ASSERT_EQ(cache.stats().resident_bytes, 200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  // A lookup of an *unrelated* key must still release the expired entries
+  // (the tail sweep) — neither expired fingerprint is probed.
+  EXPECT_EQ(cache.Lookup(SyntheticFp(3, {"u"})), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().resident_bytes, 0);
+  EXPECT_EQ(cache.stats().expirations, 2);
+
+  // The reverse index is released too: a table write after expiry finds
+  // nothing left to invalidate.
+  cache.InvalidateTable("t");
+  EXPECT_EQ(cache.stats().invalidations, 0);
+
+  // The full purge reclaims expired entries with no lookup or insert
+  // traffic at all.
+  cache.Insert(SyntheticFp(4, {"t"}), SyntheticEntry(50));
+  cache.Insert(SyntheticFp(5, {"t"}), SyntheticEntry(50));
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  cache.PurgeExpired();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().resident_bytes, 0);
+  EXPECT_EQ(cache.stats().expirations, 4);
 }
 
 // --- cached execution through the session ------------------------------------
