@@ -31,6 +31,10 @@ std::string QueryMetrics::ToString() const {
                   "ms decode=", DoubleToString(decode_ms),
                   "ms matrix_builds=", builds, " matrix_reuses=", reuses);
   }
+  if (tasks_retried > 0 || tasks_failed > 0) {
+    out += StrCat(" tasks_retried=", tasks_retried,
+                  " tasks_failed=", tasks_failed);
+  }
   out += StrCat(" rows_served=", rows_served, " bytes_served=", bytes_served);
   return out;
 }

@@ -1,6 +1,8 @@
 #include "api/session.h"
 
 #include "api/dataframe.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "sql/parser.h"
@@ -156,6 +158,36 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     if (cache_ != nullptr) cache_->set_ttl_ms(n);
     return Status::OK();
   }
+  if (k == "sparkline.exec.task_retries") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0 || n > 100) {
+      return Status::Invalid("sparkline.exec.task_retries must be in [0, 100]");
+    }
+    config_.cluster.task_retries = static_cast<int>(n);
+    return Status::OK();
+  }
+  if (k == "sparkline.exec.retry_backoff_ms") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) {
+      return Status::Invalid("sparkline.exec.retry_backoff_ms must be >= 0");
+    }
+    config_.cluster.retry_backoff_ms = n;
+    return Status::OK();
+  }
+  if (k == "sparkline.exec.memory_limit_bytes") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) {
+      return Status::Invalid(
+          "sparkline.exec.memory_limit_bytes must be >= 0 (0 = unlimited)");
+    }
+    config_.cluster.memory_limit_bytes = n;
+    return Status::OK();
+  }
+  if (k == "sparkline.failpoints") {
+    // Process-wide, not per-session: failpoints model machine faults, which
+    // do not respect session boundaries. Empty value disarms everything.
+    return fail::ArmFromString(value);
+  }
   if (k == "sparkline.serve.max_concurrent") {
     SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
     if (n < 1 || n > 1024) {
@@ -206,6 +238,11 @@ serve::QueryService* Session::service() {
 
 Result<std::future<Result<QueryResult>>> Session::SqlAsync(
     const std::string& sql) {
+  SL_ASSIGN_OR_RETURN(serve::QueryHandle handle, service()->Submit(sql));
+  return std::move(handle.future);
+}
+
+Result<serve::QueryHandle> Session::SqlSubmit(const std::string& sql) {
   return service()->Submit(sql);
 }
 
@@ -256,6 +293,14 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
 }
 
 Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
+  return Execute(plan, nullptr);
+}
+
+Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
+                                     const CancellationTokenPtr& cancel) const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("query cancelled before execution");
+  }
   SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
 
   // Consult the fingerprinted result cache (serve layer). The fingerprint
@@ -294,6 +339,7 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
   SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
 
   ExecContext ctx(config_.cluster);
+  if (cancel != nullptr) ctx.set_cancel_token(cancel);
   StopWatch wall;
   SL_ASSIGN_OR_RETURN(PartitionedRelation rel, physical->Execute(&ctx));
 
@@ -318,7 +364,18 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
     entry->attrs = result.attrs;
     entry->rows = result.shared_rows();
     entry->bytes = result.metrics.bytes_served;
-    cache()->Insert(fp, std::move(entry));
+    // Caching is an optimization, never a correctness dependency: a failed
+    // (or throwing) insert degrades to uncached serving of this result.
+    Status cached = Status::OK();
+    try {
+      cached = cache()->Insert(fp, std::move(entry));
+    } catch (const std::exception& e) {
+      cached = Status::Internal(e.what());
+    }
+    if (!cached.ok()) {
+      SL_LOG_WARN << "result-cache insert failed, serving uncached: "
+                  << cached.ToString();
+    }
   }
   return result;
 }

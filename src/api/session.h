@@ -31,6 +31,17 @@
 //   sparkline.cache.ttl_ms                  entry TTL (0 = none)
 //   sparkline.serve.max_concurrent          query-service threads /
 //                                           admission base
+//   sparkline.exec.task_retries             per-task retry budget for
+//                                           transient (Unavailable) failures
+//   sparkline.exec.retry_backoff_ms         initial retry backoff (doubles
+//                                           per attempt)
+//   sparkline.exec.memory_limit_bytes       per-query memory ceiling
+//                                           (0 = unlimited); exceeding it
+//                                           fails with ResourceExhausted
+//   sparkline.failpoints                    fault-injection spec, e.g.
+//                                           "exec.scan=error*2;
+//                                            exec.exchange=delay:5" —
+//                                           empty disarms all (testing only)
 #pragma once
 
 #include <future>
@@ -148,6 +159,10 @@ class Session {
   /// Rejects immediately with Status::Unavailable past the admission cap.
   Result<std::future<Result<QueryResult>>> SqlAsync(const std::string& sql);
 
+  /// Like SqlAsync but returns the full handle, whose Cancel() sheds the
+  /// query from the service queue or interrupts its execution.
+  Result<serve::QueryHandle> SqlSubmit(const std::string& sql);
+
   /// The lazily created serving front-end (created with the
   /// sparkline.serve.max_concurrent in effect at first use).
   serve::QueryService* service();
@@ -169,6 +184,12 @@ class Session {
   Result<PhysicalPlanPtr> PlanPhysical(const LogicalPlanPtr& optimized) const;
   /// Analyze + optimize + plan + execute.
   Result<QueryResult> Execute(const LogicalPlanPtr& plan) const;
+  /// Same, with a cooperative cancellation token installed on the query's
+  /// ExecContext: Cancel() makes every kernel loop and stage boundary
+  /// return Status::Cancelled at the next check. A null token means
+  /// "not cancellable".
+  Result<QueryResult> Execute(const LogicalPlanPtr& plan,
+                              const CancellationTokenPtr& cancel) const;
   Result<ExplainInfo> Explain(const LogicalPlanPtr& plan) const;
 
  private:

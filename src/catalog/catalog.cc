@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace sparkline {
@@ -83,6 +84,10 @@ Status Catalog::DropTable(const std::string& name) {
 
 Status Catalog::InsertInto(const std::string& name,
                            const std::vector<Row>& rows) {
+  // Injected before the snapshot is taken: a failed write publishes nothing
+  // and bumps no version, so readers and the result cache never observe a
+  // half-applied insert.
+  SL_FAILPOINT("catalog.write");
   std::string key = ToLower(name);
   for (;;) {
     // Snapshot under a shared lock, build the successor unlocked (the copy

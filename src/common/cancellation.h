@@ -1,0 +1,41 @@
+// Cooperative query cancellation.
+//
+// A CancellationToken is the Spark-analogue of SparkContext.cancelJobGroup:
+// the serving tier hands one to every admitted query, keeps a handle, and
+// flipping it makes the running query unwind with Status::Cancelled at the
+// next cancellation point instead of being killed. Cancellation points are
+//
+//   - every stage boundary (PhysicalPlan::RunStage checks before dispatching
+//     each partition task and after the stage barrier), and
+//   - every kernel loop (skyline::internal::DeadlineChecker polls the token
+//     alongside the deadline every few thousand dominance tests),
+//
+// so even a single-stage quadratic kernel reacts within microseconds while
+// the hot loop pays one relaxed atomic load per ~1k tests.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace sparkline {
+
+/// \brief One-way latch shared between a query and its controller.
+///
+/// Thread-safe: Cancel() may race with any number of cancelled() polls.
+/// Tokens are immortal for the query's duration — ExecContext holds a
+/// shared_ptr, so a controller dropping its handle never invalidates the
+/// pointer the kernels poll.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+}  // namespace sparkline

@@ -1,0 +1,141 @@
+// Failpoints: named fault-injection sites for chaos-testing the engine.
+//
+// Modeled on the failpoint facilities of LevelDB/TiKV: production code marks
+// interesting sites with SL_FAILPOINT("site.name"); a disarmed site costs a
+// single relaxed atomic load (no lock, no string hashing), so the
+// instrumentation can stay in release builds. Tests (or operators, via the
+// `sparkline.failpoints` session flag) arm sites to
+//
+//   - return an injected Status (Unavailable by default — the transient
+//     "lost task" fault the stage runner retries; or Internal, which is
+//     terminal),
+//   - throw (exercising the must-not-throw guards of the thread pool and
+//     the stage runner),
+//   - inject latency (driving timeout/cancellation paths), or
+//   - any of the above on the Nth hit, with a fire budget, or with seeded
+//     probability,
+//
+// which lets the fault-injection suite sweep every registered site across
+// every kernel/exchange configuration and assert that each query either
+// succeeds bit-identical to the no-fault oracle (after retries) or fails
+// with a clean Status — never a crash, hang, or leaked reservation.
+//
+// The registry is process-wide (sites are compiled into the engine, not
+// per-session), like every real failpoint library. Arming is meant for
+// tests and single-session tools; concurrent sessions share armed faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace sparkline {
+namespace fail {
+
+/// \brief What an armed failpoint does when it fires.
+enum class Action : uint8_t {
+  /// Return an injected error Status (spec.code).
+  kError,
+  /// Throw std::runtime_error — simulates third-party code violating the
+  /// "tasks must not throw" contract; the thread-pool / stage-runner guards
+  /// convert it into a failed query instead of std::terminate.
+  kThrow,
+  /// Sleep for spec.delay_ms, then continue normally.
+  kDelay,
+};
+
+/// \brief Arming spec for one site.
+struct FailpointSpec {
+  Action action = Action::kError;
+  /// Injected error code for kError. kUnavailable is retryable (the stage
+  /// runner re-executes the task); kInternal and friends are terminal.
+  StatusCode code = StatusCode::kUnavailable;
+  /// Sleep duration for kDelay.
+  int64_t delay_ms = 0;
+  /// First hit (1-based) that fires; earlier hits pass through. 1 = fire
+  /// from the first hit on.
+  int64_t from_hit = 1;
+  /// Maximum number of fires (-1 = unlimited). `from_hit=1, max_fires=2`
+  /// models a task that fails twice and then succeeds — the retry path.
+  int64_t max_fires = -1;
+  /// Fire probability in [0, 1], evaluated per eligible hit with a seeded
+  /// deterministic generator (reproducible chaos).
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+/// True when at least one site is armed anywhere in the process. This is
+/// the only check disarmed hot paths pay.
+bool AnyArmed();
+
+/// Evaluates the site: returns the injected Status / sleeps / throws when
+/// the site is armed and its trigger matches, OK otherwise. Unregistered
+/// names are a programming error (SL_DCHECK) and return OK.
+Status Hit(const char* site);
+
+/// Arms `site` with `spec`; fails with NotFound for unregistered sites
+/// (registration is the compiled-in site list — see RegisteredSites).
+Status Arm(const std::string& site, const FailpointSpec& spec);
+
+/// Disarms one site (no-op when not armed).
+void Disarm(const std::string& site);
+
+/// Disarms everything and resets all hit counters.
+void DisarmAll();
+
+/// Every site compiled into the engine, in stable order. The chaos suite
+/// sweeps exactly this list, so a new SL_FAILPOINT site must be added to
+/// the registry (failpoint.cc) to take effect — Arm() on an unknown name
+/// fails loudly rather than silently never firing.
+std::vector<std::string> RegisteredSites();
+
+/// Times `site` fired (injected a fault) since the last DisarmAll.
+int64_t FireCount(const std::string& site);
+
+/// Parses and applies a flag-style arming string:
+///
+///   spec      := site '=' action modifiers*
+///   action    := 'error' | 'error(' code ')' | 'throw' | 'delay:' ms
+///   code      := 'unavailable' | 'internal' | 'execution'
+///   modifiers := '@' from_hit    (fire starting at the Nth hit)
+///              | '*' max_fires   (stop after N fires)
+///              | '%' probability [':' seed]
+///
+/// Multiple specs are separated by ';'. The empty string disarms all. E.g.
+///   "exec.local_task=error*2"            fail the first two task attempts
+///   "exec.exchange=delay:50"             50 ms latency in every exchange
+///   "serve.cache_insert=error(internal)" terminal cache-write fault
+///   "exec.stage_task=error%0.5:42"       flaky tasks, seeded coin flips
+Status ArmFromString(const std::string& flag_value);
+
+/// \brief RAII arming for tests: arms in the constructor, disarms in the
+/// destructor.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(const std::string& site, const FailpointSpec& spec)
+      : site_(site) {
+    SL_CHECK_OK(Arm(site, spec)) << "arming failpoint '" << site << "'";
+  }
+  ~ScopedFailpoint() { Disarm(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace fail
+}  // namespace sparkline
+
+/// Marks a fault-injection site inside a Status-returning function:
+/// propagates the injected Status when the site is armed and fires. Costs
+/// one relaxed atomic load when nothing is armed anywhere.
+#define SL_FAILPOINT(site)                                    \
+  do {                                                        \
+    if (::sparkline::fail::AnyArmed()) {                      \
+      SL_RETURN_NOT_OK(::sparkline::fail::Hit(site));         \
+    }                                                         \
+  } while (0)

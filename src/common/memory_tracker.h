@@ -1,31 +1,75 @@
 // Byte accounting for materialized data, used to reproduce the paper's
-// peak-memory-consumption experiments (Figures 8-10, 17, 19).
+// peak-memory-consumption experiments (Figures 8-10, 17, 19) and — since the
+// fault-tolerance work — to *enforce* a per-query budget: with a limit set,
+// TryGrow refuses reservations that would exceed it and the executor turns
+// the refusal into a clean Status::ResourceExhausted instead of growing
+// unboundedly.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace sparkline {
 
 /// \brief Tracks current and peak reserved bytes across threads.
 ///
-/// Operators call Grow() when they materialize partitions / windows and
-/// Shrink() when buffers are released. The executor adds a configurable
-/// fixed per-executor overhead on top of the tracked peak to model each
-/// executor loading its entire execution environment (paper section 6.5).
+/// Operators call Grow()/TryGrow() when they materialize partitions /
+/// windows and Shrink() when buffers are released. The executor adds a
+/// configurable fixed per-executor overhead on top of the tracked peak to
+/// model each executor loading its entire execution environment (paper
+/// section 6.5).
 class MemoryTracker {
  public:
   void Grow(int64_t bytes) {
     int64_t now = current_.fetch_add(bytes) + bytes;
-    int64_t peak = peak_.load();
-    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
-    }
+    UpdatePeak(now);
   }
 
-  void Shrink(int64_t bytes) { current_.fetch_sub(bytes); }
+  /// Reserves `bytes` unless the reservation would push current past the
+  /// limit; returns false (reserving nothing) in that case. With no limit
+  /// set this is exactly Grow(). A zero/negative request always succeeds.
+  bool TryGrow(int64_t bytes) {
+    const int64_t limit = limit_bytes_.load(std::memory_order_relaxed);
+    if (limit <= 0) {
+      Grow(bytes);
+      return true;
+    }
+    int64_t cur = current_.load();
+    do {
+      if (cur + bytes > limit) return false;
+    } while (!current_.compare_exchange_weak(cur, cur + bytes));
+    UpdatePeak(cur + bytes);
+    return true;
+  }
+
+  /// Releases `bytes`. Mismatched accounting (shrinking more than was ever
+  /// grown) is a caller bug: it would drive current below zero and silently
+  /// corrupt later peak math, so the release is clamped at zero — and
+  /// asserts in debug builds so the mismatch is found, not papered over.
+  void Shrink(int64_t bytes) {
+    int64_t cur = current_.load();
+    int64_t next;
+    do {
+      next = cur - bytes;
+      if (next < 0) {
+        SL_DCHECK(false) << "MemoryTracker::Shrink(" << bytes
+                         << ") underflows current_=" << cur
+                         << "; mismatched Grow/Shrink accounting";
+        next = 0;
+      }
+    } while (!current_.compare_exchange_weak(cur, next));
+  }
 
   int64_t current_bytes() const { return current_.load(); }
   int64_t peak_bytes() const { return peak_.load(); }
+
+  /// Hard budget in bytes (0 = unlimited). Consulted by TryGrow and by
+  /// ExecContext::CheckMemoryLimit (which also catches unconditional Grow
+  /// overshoot, e.g. kernel-internal matrix reservations).
+  void set_limit_bytes(int64_t bytes) { limit_bytes_.store(bytes); }
+  int64_t limit_bytes() const { return limit_bytes_.load(); }
 
   void Reset() {
     current_.store(0);
@@ -33,11 +77,72 @@ class MemoryTracker {
   }
 
  private:
+  void UpdatePeak(int64_t now) {
+    int64_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> limit_bytes_{0};
+};
+
+/// \brief Move-only RAII charge for bytes already reserved on a tracker.
+///
+/// Created by PhysicalPlan::ChargeOutput after a successful TryGrow and
+/// carried by the PartitionedRelation it paid for; the destructor releases
+/// the bytes, so a relation dying on ANY path — consumed by its parent
+/// operator, dropped mid-plan by an error, or flattened at the plan root —
+/// returns its reservation. Once the query's last relation is gone,
+/// current_bytes() is back at zero (the invariant the fault-injection suite
+/// asserts after every chaos run).
+class MemoryCharge {
+ public:
+  MemoryCharge() = default;
+  /// Takes ownership of `bytes` already reserved on `tracker`.
+  MemoryCharge(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {}
+  ~MemoryCharge() { Release(); }
+
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept {
+    if (this != &other) {
+      Release();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  void Release() {
+    if (tracker_ != nullptr) tracker_->Shrink(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  int64_t bytes_ = 0;
 };
 
 /// \brief RAII reservation against a MemoryTracker.
+///
+/// Unconditional: used for bounded side allocations (matrix storage, join
+/// hash tables, exchange double-buffers) whose size was already implied by
+/// an admitted input. Limit enforcement happens at the relation-charge
+/// points (MemoryCharge via PhysicalPlan::ChargeOutput) and via
+/// ExecContext::CheckMemoryLimit, which observes any overshoot these
+/// reservations cause.
 class ScopedReservation {
  public:
   ScopedReservation(MemoryTracker* tracker, int64_t bytes)

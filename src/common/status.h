@@ -24,6 +24,11 @@ enum class StatusCode : uint8_t {
   kInternal,
   /// Transient overload (e.g. the query service's admission cap); retry.
   kUnavailable,
+  /// The query was cancelled via its CancellationToken; never retried.
+  kCancelled,
+  /// A hard resource limit (ClusterConfig::memory_limit_bytes) was hit;
+  /// retrying the same query against the same limit cannot succeed.
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code ("Parse error", ...).
@@ -73,9 +78,27 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// True for errors that model a transient fault of the simulated cluster
+  /// (a lost task, a flaky exchange): re-executing the same deterministic
+  /// task may succeed, so the stage runner retries these up to
+  /// ClusterConfig::task_retries times. Deterministic failures — Timeout,
+  /// Cancelled, ResourceExhausted, parse/analysis/plan errors — are never
+  /// retried.
+  bool IsRetryable() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -125,6 +148,10 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 
 #include "common/logging.h"
 
@@ -53,7 +54,21 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // Last-resort guard: tasks must report errors via Status, but a task that
+    // does throw (third-party code, injected faults) must not take the whole
+    // process down via std::terminate — it costs one task, not the pool. The
+    // stage runner has its own guard that converts throws into a failed
+    // query; this one only protects foreign Submit() users and the pool's
+    // bookkeeping below (active_ must be decremented or WaitIdle hangs).
+    try {
+      task();
+    } catch (const std::exception& e) {
+      SL_LOG_ERROR << "thread-pool task threw '" << e.what()
+                   << "'; tasks must report errors via Status";
+    } catch (...) {
+      SL_LOG_ERROR << "thread-pool task threw a non-std::exception; "
+                      "tasks must report errors via Status";
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
@@ -74,7 +89,17 @@ void ParallelFor(ThreadPool* pool, size_t n,
   std::condition_variable done;
   for (size_t i = 0; i < n; ++i) {
     pool->Submit([&, i] {
-      fn(i);
+      // fn(i) throwing must not skip the decrement below, or the waiter
+      // blocks forever on stack objects the worker will never touch again.
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        SL_LOG_ERROR << "ParallelFor task " << i << " threw '" << e.what()
+                     << "'; treating as completed (errors belong in Status)";
+      } catch (...) {
+        SL_LOG_ERROR << "ParallelFor task " << i
+                     << " threw a non-std::exception; treating as completed";
+      }
       // The decrement must happen under the mutex: decrementing to zero
       // before acquiring it lets the waiter observe completion, return and
       // destroy mu/done while this worker is still about to lock/notify —

@@ -269,7 +269,7 @@ Result<PartitionedRelation> HashAggregateExec::Execute(ExecContext* ctx) const {
     out.partitions.clear();
     out.partitions.push_back(std::move(all));
   }
-  AccountMemory(ctx, in, out);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 

@@ -13,12 +13,15 @@
 // has. Wall-clock time is reported alongside.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/memory_tracker.h"
 #include "common/result.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "skyline/dominance.h"
@@ -34,6 +37,18 @@ struct ClusterConfig {
   int64_t executor_overhead_bytes = 64ll << 20;
   /// Query timeout in milliseconds (0 = none); the paper uses 3600 s.
   int64_t timeout_ms = 0;
+  /// Re-execution budget per stage task for transient (IsRetryable) faults —
+  /// the analogue of spark.task.maxFailures. 2 retries = 3 attempts total.
+  int task_retries = 2;
+  /// Backoff between retry attempts of one task, in milliseconds. Doubled
+  /// per attempt (1 ms, 2 ms, 4 ms, ...); kept tiny because the simulated
+  /// cluster's transient faults clear instantly.
+  int64_t retry_backoff_ms = 1;
+  /// Hard per-query budget for tracked (materialized) bytes, 0 = unlimited.
+  /// Relation-output charges that would exceed it fail the query mid-stage
+  /// with a clean Status::ResourceExhausted; the executor overhead bytes are
+  /// a reporting add-on and do not count against this budget.
+  int64_t memory_limit_bytes = 0;
 };
 
 /// \brief Everything measured while running one query.
@@ -43,6 +58,14 @@ struct QueryMetrics {
   int64_t peak_memory_bytes = 0;
   int64_t dominance_tests = 0;
   int64_t rows_shuffled = 0;
+
+  // --- fault-tolerance counters ---------------------------------------------
+  /// Stage-task attempts that failed with a transient (retryable) fault and
+  /// were re-executed. A task that fails twice and then succeeds adds 2.
+  int64_t tasks_retried = 0;
+  /// Stage-task attempts that failed terminally (non-retryable error, or a
+  /// retryable one with the retry budget exhausted) and failed the query.
+  int64_t tasks_failed = 0;
 
   // --- result-cache counters (serve layer) ---------------------------------
   /// True when the rows were served from the fingerprinted result cache
@@ -104,6 +127,7 @@ class ExecContext {
     if (config_.timeout_ms > 0) {
       deadline_nanos_ = StopWatch::NowNanos() + config_.timeout_ms * 1000000;
     }
+    memory_.set_limit_bytes(config_.memory_limit_bytes);
   }
 
   const ClusterConfig& config() const { return config_; }
@@ -119,6 +143,47 @@ class ExecContext {
       return Status::Timeout("query exceeded the configured timeout");
     }
     return Status::OK();
+  }
+
+  /// The query's cancellation token (never null — a default token is created
+  /// so kernels can poll unconditionally). The serving tier installs its own
+  /// shared token via set_cancel_token to keep a Cancel() handle.
+  const CancellationToken* cancel_token() const { return cancel_.get(); }
+  const CancellationTokenPtr& shared_cancel_token() const { return cancel_; }
+  void set_cancel_token(CancellationTokenPtr token) {
+    if (token != nullptr) cancel_ = std::move(token);
+  }
+
+  /// The stage-boundary interrupt check: cancellation first (an explicit
+  /// Cancel() beats a deadline that may have expired at the same moment),
+  /// then the deadline.
+  Status CheckInterrupt() const {
+    if (cancel_->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    return CheckTimeout();
+  }
+
+  /// Fails with ResourceExhausted when tracked bytes exceed the configured
+  /// limit. Relation-output charges enforce the limit at reservation time
+  /// (MemoryTracker::TryGrow); this catches overshoot from unconditional
+  /// side reservations (kernel matrix storage, join hash tables).
+  Status CheckMemoryLimit() const {
+    const int64_t limit = memory_.limit_bytes();
+    if (limit > 0 && memory_.current_bytes() > limit) {
+      return Status::ResourceExhausted(
+          StrCat("query exceeded the memory limit: ", memory_.current_bytes(),
+                 " bytes tracked > limit ", limit));
+    }
+    return Status::OK();
+  }
+
+  // --- fault-tolerance accounting (thread-safe) -----------------------------
+  void AddTaskRetries(int64_t n) {
+    tasks_retried_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddTaskFailure() {
+    tasks_failed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Records one stage's critical-path time under an operator label.
@@ -162,6 +227,8 @@ class ExecContext {
             config_.executor_overhead_bytes;
     m.dominance_tests = dominance_.tests.load();
     m.rows_shuffled = rows_shuffled_;
+    m.tasks_retried = tasks_retried_.load();
+    m.tasks_failed = tasks_failed_.load();
     m.sfs_rows_skipped = early_stop_.rows_skipped.load();
     m.sfs_early_stops = early_stop_.stops.load();
     m.projection_ms = projection_ms_;
@@ -179,6 +246,9 @@ class ExecContext {
   skyline::DominanceCounter dominance_;
   skyline::EarlyStopStats early_stop_;
   int64_t deadline_nanos_ = 0;
+  CancellationTokenPtr cancel_ = std::make_shared<CancellationToken>();
+  std::atomic<int64_t> tasks_retried_{0};
+  std::atomic<int64_t> tasks_failed_{0};
 
   mutable std::mutex mu_;
   double simulated_ms_ = 0;

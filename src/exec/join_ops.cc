@@ -49,7 +49,10 @@ Result<PartitionedRelation> HashJoinExec::Execute(ExecContext* ctx) const {
   DecodeInput(ctx, &left);
   DecodeInput(ctx, &right);
   const std::vector<Row> build = std::move(right).Flatten();
-  ctx->memory()->Grow(static_cast<int64_t>(build.size()) * 64);  // hash table
+  // RAII so the hash-table bytes are returned on error paths too (the old
+  // Grow/Shrink pair leaked the reservation when a probe task failed).
+  ScopedReservation hash_table_bytes(ctx->memory(),
+                                     static_cast<int64_t>(build.size()) * 64);
 
   // Build side: key -> row indices. SQL equi-join semantics: null keys never
   // match, so they are not inserted.
@@ -115,8 +118,7 @@ Result<PartitionedRelation> HashJoinExec::Execute(ExecContext* ctx) const {
     }
     return Status::OK();
   }));
-  AccountMemory(ctx, left, out);
-  ctx->memory()->Shrink(static_cast<int64_t>(build.size()) * 64);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -164,7 +166,7 @@ Result<PartitionedRelation> NestedLoopJoinExec::Execute(ExecContext* ctx) const 
       for (const Row& rrow : broadcast) {
         if (++since_check >= 8192) {
           since_check = 0;
-          SL_RETURN_NOT_OK(ctx->CheckTimeout());
+          SL_RETURN_NOT_OK(ctx->CheckInterrupt());
         }
         bool pass = true;
         if (condition != nullptr) {
@@ -195,7 +197,7 @@ Result<PartitionedRelation> NestedLoopJoinExec::Execute(ExecContext* ctx) const 
     }
     return Status::OK();
   }));
-  AccountMemory(ctx, left, out);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 

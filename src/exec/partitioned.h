@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "expr/expression.h"
 #include "skyline/columnar.h"
 #include "types/value.h"
@@ -30,6 +31,12 @@ struct PartitionedRelation {
   /// the gather exchange produce or consume batches; everyone else calls
   /// EnsureRows() first.
   std::vector<std::optional<skyline::ColumnarBatch>> batches;
+  /// The bytes this relation holds reserved on the query's MemoryTracker
+  /// (attached by PhysicalPlan::ChargeOutput, released by the destructor).
+  /// Making the charge a member — instead of the pre-fault-tolerance ad-hoc
+  /// Grow/Shrink pairs — is what guarantees the tracker drains to zero on
+  /// error and cancellation paths too. Makes the relation move-only.
+  MemoryCharge charge;
 
   /// True when at least one partition is carried as a batch.
   bool has_batches() const {

@@ -1,9 +1,12 @@
 #include "exec/physical_plan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "exec/subquery_expr.h"
 #include "expr/evaluator.h"
@@ -45,25 +48,73 @@ Status PhysicalPlan::RunStage(ExecContext* ctx, const std::string& stage_label,
                               size_t num_partitions,
                               const std::function<Status(size_t)>& fn) const {
   if (num_partitions == 0) return Status::OK();
+  // Stage-boundary cancellation points: before dispatching any task and
+  // after the barrier.
+  SL_RETURN_NOT_OK(ctx->CheckInterrupt());
   std::vector<Status> statuses(num_partitions);
   std::vector<double> cpu_ms(num_partitions, 0.0);
   ParallelFor(ctx->pool(), num_partitions, [&](size_t i) {
     ThreadCpuTimer timer;
-    statuses[i] = fn(i);
+    statuses[i] = RunTask(ctx, stage_label, i, fn);
     cpu_ms[i] = static_cast<double>(timer.ElapsedNanos()) / 1e6;
   });
-  // Critical-path model: the stage takes as long as its slowest task.
+  // Critical-path model: the stage takes as long as its slowest task
+  // (retries included — a re-executed task lengthens its stage).
   ctx->AddStageTime(stage_label,
                     *std::max_element(cpu_ms.begin(), cpu_ms.end()));
   for (const auto& s : statuses) SL_RETURN_NOT_OK(s);
-  return ctx->CheckTimeout();
+  return ctx->CheckInterrupt();
 }
 
-void PhysicalPlan::AccountMemory(ExecContext* ctx,
-                                 const PartitionedRelation& in,
-                                 const PartitionedRelation& out) const {
-  ctx->memory()->Grow(EstimateRelationBytes(out));
-  ctx->memory()->Shrink(EstimateRelationBytes(in));
+Status PhysicalPlan::RunTask(ExecContext* ctx, const std::string& stage_label,
+                             size_t index,
+                             const std::function<Status(size_t)>& fn) const {
+  const int retries = std::max(0, ctx->config().task_retries);
+  int64_t backoff_ms = std::max<int64_t>(0, ctx->config().retry_backoff_ms);
+  for (int attempt = 0;; ++attempt) {
+    SL_RETURN_NOT_OK(ctx->CheckInterrupt());
+    Status s;
+    try {
+      // The injected fault fires BEFORE the task body: a retried attempt
+      // must never re-run a body that already consumed (moved out of) its
+      // input partition. The bodies themselves never produce retryable
+      // statuses, so fn(index) runs at most once to completion.
+      s = fail::AnyArmed() ? fail::Hit(failpoint_site()) : Status::OK();
+      if (s.ok()) s = fn(index);
+    } catch (const std::exception& e) {
+      s = Status::Internal(StrCat("task ", index, " of stage '", stage_label,
+                                  "' threw: ", e.what()));
+    } catch (...) {
+      s = Status::Internal(StrCat("task ", index, " of stage '", stage_label,
+                                  "' threw a non-std::exception"));
+    }
+    if (s.ok()) return s;
+    if (!s.IsRetryable() || attempt >= retries) {
+      ctx->AddTaskFailure();
+      return s;
+    }
+    ctx->AddTaskRetries(1);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
+}
+
+Status PhysicalPlan::ChargeOutput(ExecContext* ctx,
+                                  PartitionedRelation* out) const {
+  const int64_t bytes = EstimateRelationBytes(*out);
+  if (!ctx->memory()->TryGrow(bytes)) {
+    return Status::ResourceExhausted(
+        StrCat(label(), " output of ", bytes,
+               " bytes does not fit the memory limit (",
+               ctx->memory()->current_bytes(), " of ",
+               ctx->memory()->limit_bytes(), " bytes in use)"));
+  }
+  out->charge = MemoryCharge(ctx->memory(), bytes);
+  // Unconditional side reservations (kernel matrices, hash tables) bypass
+  // TryGrow; surface their overshoot here, at the operator boundary.
+  return ctx->CheckMemoryLimit();
 }
 
 void PhysicalPlan::DecodeInput(ExecContext* ctx, PartitionedRelation* in) const {
@@ -136,7 +187,7 @@ Result<PartitionedRelation> ScanExec::Execute(ExecContext* ctx) const {
     }
     return Status::OK();
   }));
-  ctx->memory()->Grow(EstimateRelationBytes(out));
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -150,7 +201,7 @@ Result<PartitionedRelation> LocalRelationExec::Execute(ExecContext* ctx) const {
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.push_back(*rows_);
-  ctx->memory()->Grow(EstimateRelationBytes(out));
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -185,7 +236,7 @@ Result<PartitionedRelation> ProjectExec::Execute(ExecContext* ctx) const {
     }
     return Status::OK();
   }));
-  AccountMemory(ctx, in, out);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -210,7 +261,7 @@ Result<PartitionedRelation> FilterExec::Execute(ExecContext* ctx) const {
     }
     return Status::OK();
   }));
-  AccountMemory(ctx, in, out);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -345,9 +396,9 @@ Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
         return Status::OK();
       }));
       ctx->AddMatrixReuse(label());
-      // Both copies exist transiently, as on the row path below.
-      ctx->memory()->Grow(EstimateRelationBytes(out));
-      ctx->memory()->Shrink(EstimateRelationBytes(out));
+      // `in` still holds its charge here, so both copies are accounted
+      // transiently, as on the row path below.
+      SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
       return out;
     }
     // Mixed row/batch input: decode everything and gather rows.
@@ -400,9 +451,9 @@ Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
     }
     return Status::OK();
   }));
-  // The exchange holds both copies transiently (serialization buffers).
-  ctx->memory()->Grow(EstimateRelationBytes(out));
-  ctx->memory()->Shrink(EstimateRelationBytes(out));
+  // `in`'s charge is still alive (serialization buffers): the exchange
+  // holds both copies transiently.
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -451,6 +502,7 @@ Result<PartitionedRelation> SortExec::Execute(ExecContext* ctx) const {
   out.partitions.emplace_back();
   out.partitions[0].reserve(rows.size());
   for (size_t i : order) out.partitions[0].push_back(std::move(rows[i]));
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -469,7 +521,7 @@ Result<PartitionedRelation> LimitExec::Execute(ExecContext* ctx) const {
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.push_back(std::move(rows));
-  (void)ctx;
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 

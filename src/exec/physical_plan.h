@@ -53,12 +53,27 @@ class PhysicalPlan {
   /// Recursively executes children, then this operator.
   virtual Result<PartitionedRelation> Execute(ExecContext* ctx) const = 0;
 
+  /// The fault-injection site this operator's stage tasks evaluate (see
+  /// common/failpoint.h); all stages of one operator share the site. The
+  /// generic per-task site is "exec.stage_task"; operators the chaos suite
+  /// targets individually override it.
+  virtual const char* failpoint_site() const { return "exec.stage_task"; }
+
   std::string TreeString() const;
 
  protected:
   /// Runs `fn` once per partition on the executor pool, measuring each task
   /// with the thread-CPU clock and recording the critical path (max task
   /// time) under this operator's label.
+  ///
+  /// Fault tolerance: each task is retried up to
+  /// ClusterConfig::task_retries times (with exponential backoff) when it
+  /// fails with a transient IsRetryable status — the Spark-lineage
+  /// argument: stage tasks are deterministic pure functions of their input
+  /// partition, so re-execution is safe. A task that throws is converted
+  /// into a terminal Status::Internal. The stage checks
+  /// ExecContext::CheckInterrupt (cancellation + timeout) before
+  /// dispatching and after the barrier.
   Status RunStage(ExecContext* ctx, size_t num_partitions,
                   const std::function<Status(size_t)>& fn) const;
 
@@ -70,9 +85,13 @@ class PhysicalPlan {
                   size_t num_partitions,
                   const std::function<Status(size_t)>& fn) const;
 
-  /// Standard memory-model bookkeeping: output materialized, input released.
-  void AccountMemory(ExecContext* ctx, const PartitionedRelation& in,
-                     const PartitionedRelation& out) const;
+  /// Reserves the output relation's estimated bytes against the query's
+  /// memory budget and attaches the RAII charge to `out`; fails with
+  /// ResourceExhausted when the reservation would exceed
+  /// ClusterConfig::memory_limit_bytes. Input charges release automatically
+  /// when the operator's local relations die, so the tracker drains to zero
+  /// on every path — success, error, cancellation.
+  Status ChargeOutput(ExecContext* ctx, PartitionedRelation* out) const;
 
   /// The row fallback for batch-carrying input: decodes every ColumnarBatch
   /// partition into rows (timed into QueryMetrics::decode_ms). Every
@@ -83,6 +102,12 @@ class PhysicalPlan {
 
   std::vector<Attribute> output_;
   std::vector<PhysicalPlanPtr> children_;
+
+ private:
+  /// One task of a stage: the per-attempt failpoint, the throw guard, and
+  /// the transient-fault retry loop (see RunStage).
+  Status RunTask(ExecContext* ctx, const std::string& stage_label,
+                 size_t index, const std::function<Status(size_t)>& fn) const;
 };
 
 // --- leaves ----------------------------------------------------------------
@@ -94,6 +119,7 @@ class ScanExec : public PhysicalPlan {
   ScanExec(TablePtr table, std::vector<size_t> column_indices,
            std::vector<Attribute> output);
   std::string label() const override;
+  const char* failpoint_site() const override { return "exec.scan"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
@@ -207,6 +233,7 @@ class ExchangeExec : public PhysicalPlan {
   ExchangeExec(ExchangeMode mode, std::vector<skyline::BoundDimension> dims,
                PhysicalPlanPtr child);
   std::string label() const override;
+  const char* failpoint_site() const override { return "exec.exchange"; }
   Partitioning output_partitioning() const override {
     switch (mode_) {
       case ExchangeMode::kGather:
@@ -351,6 +378,7 @@ class LocalSkylineExec : public PhysicalPlan {
                    bool sfs_early_stop = true,
                    skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum);
   std::string label() const override;
+  const char* failpoint_site() const override { return "exec.local_task"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
@@ -396,12 +424,12 @@ class GlobalSkylineExec : public PhysicalPlan {
                     bool sfs_early_stop = true,
                     skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum);
   std::string label() const override { return "GlobalSkyline [complete]"; }
+  const char* failpoint_site() const override { return "exec.global_task"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
-  Result<PartitionedRelation> ExecuteColumnar(ExecContext* ctx,
-                                              skyline::ColumnarBatch batch,
-                                              int64_t input_bytes) const;
+  Result<PartitionedRelation> ExecuteColumnar(
+      ExecContext* ctx, skyline::ColumnarBatch batch) const;
 
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;
@@ -449,12 +477,12 @@ class GlobalSkylineIncompleteExec : public PhysicalPlan {
                               bool columnar = true, bool parallel = true,
                               bool columnar_exchange = true);
   std::string label() const override { return "GlobalSkyline [incomplete]"; }
+  const char* failpoint_site() const override { return "exec.global_task"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
 
  private:
-  Result<PartitionedRelation> ExecuteColumnar(ExecContext* ctx,
-                                              skyline::ColumnarBatch batch,
-                                              int64_t input_bytes) const;
+  Result<PartitionedRelation> ExecuteColumnar(
+      ExecContext* ctx, skyline::ColumnarBatch batch) const;
 
   std::vector<skyline::BoundDimension> dims_;
   bool distinct_;

@@ -147,11 +147,11 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   options.nulls = nulls_;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
   options.sfs_early_stop = sfs_early_stop_;
   options.sfs_sort_key = sfs_sort_key_;
   options.early_stop = ctx->early_stop();
 
-  const int64_t input_bytes = EstimateRelationBytes(in);
   const size_t n = in.partitions.size();
   const bool emit_batches = columnar_ && columnar_exchange_;
 
@@ -207,8 +207,7 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
                                          columnar_));
     return Status::OK();
   }));
-  ctx->memory()->Grow(EstimateRelationBytes(out));
-  ctx->memory()->Shrink(input_bytes);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -230,12 +229,13 @@ GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
       sfs_sort_key_(sfs_sort_key) {}
 
 Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
-    ExecContext* ctx, skyline::ColumnarBatch batch, int64_t input_bytes) const {
+    ExecContext* ctx, skyline::ColumnarBatch batch) const {
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kComplete;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
   options.memory = ctx->memory();
   options.sfs_early_stop = sfs_early_stop_;
   options.sfs_sort_key = sfs_sort_key_;
@@ -291,7 +291,7 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
     const double bound = result_bound(survivors);
     out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited,
                                          sfs_sort_key_, bound);
-    ctx->memory()->Shrink(input_bytes);
+    SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
     return out;
   }
 
@@ -335,30 +335,29 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
   const double bound = result_bound(survivors);
   out.batches[0] = batch.WithSelection(std::move(survivors), sfs_inherited,
                                        sfs_sort_key_, bound);
-  ctx->memory()->Shrink(input_bytes);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
 Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
-  const int64_t input_bytes = EstimateRelationBytes(in);
 
   // Columnar exchange: consume the gathered batch straight off the shuffle;
   // the matrix was built upstream and is reused as-is. A batch projected
   // for different dimensions (a nested skyline's output feeding this one
   // directly) encodes the wrong columns and must decode instead.
+  // `in` keeps its charge until this function returns, so the gathered
+  // input stays accounted while the kernels run.
   if (columnar_ && columnar_exchange_ && in.batches.size() == 1 &&
       in.batches[0].has_value() && in.batches[0]->ProjectedFor(dims_)) {
-    ctx->memory()->Grow(input_bytes);
     ctx->AddMatrixReuse(label());
     skyline::ColumnarBatch batch = std::move(*in.batches[0]);
-    return ExecuteColumnar(ctx, std::move(batch), input_bytes);
+    return ExecuteColumnar(ctx, std::move(batch));
   }
 
   DecodeInput(ctx, &in);
   // AllTuples distribution: everything on one executor.
   std::vector<Row> rows = std::move(in).Flatten();
-  ctx->memory()->Grow(input_bytes);
 
   // Row input with the exchange on (non-distributed plans): project once in
   // a dedicated stage and share the matrix across partial/merge exactly as
@@ -378,7 +377,7 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
       return Status::OK();
     }));
     if (batch.has_value()) {
-      return ExecuteColumnar(ctx, std::move(*batch), input_bytes);
+      return ExecuteColumnar(ctx, std::move(*batch));
     }
     rows = std::move(*shared_rows);  // shape refused: back to the row path
   }
@@ -388,6 +387,7 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   options.nulls = skyline::NullSemantics::kComplete;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
   options.sfs_early_stop = sfs_early_stop_;
   options.sfs_sort_key = sfs_sort_key_;
   options.early_stop = ctx->early_stop();
@@ -406,7 +406,7 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
                                            options, columnar_));
       return Status::OK();
     }));
-    ctx->memory()->Shrink(input_bytes);
+    SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
     return out;
   }
 
@@ -447,7 +447,7 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
                              dims_, options, columnar_));
         return Status::OK();
       }));
-  ctx->memory()->Shrink(input_bytes);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
@@ -464,12 +464,13 @@ GlobalSkylineIncompleteExec::GlobalSkylineIncompleteExec(
       columnar_exchange_(columnar_exchange) {}
 
 Result<PartitionedRelation> GlobalSkylineIncompleteExec::ExecuteColumnar(
-    ExecContext* ctx, skyline::ColumnarBatch batch, int64_t input_bytes) const {
+    ExecContext* ctx, skyline::ColumnarBatch batch) const {
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kIncomplete;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
   options.memory = ctx->memory();
 
   const skyline::DominanceMatrix& matrix = batch.matrix();
@@ -495,7 +496,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::ExecuteColumnar(
       return Status::OK();
     }));
     out.batches[0] = batch.WithSelection(std::move(survivors), false);
-    ctx->memory()->Shrink(input_bytes);
+    SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
     return out;
   }
 
@@ -542,14 +543,13 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::ExecuteColumnar(
         out.batches[0] = batch.WithSelection(std::move(survivors), false);
         return Status::OK();
       }));
-  ctx->memory()->Shrink(input_bytes);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 
 Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
     ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
-  const int64_t input_bytes = EstimateRelationBytes(in);
 
   // Accept the shuffled batch only when it was projected for these
   // dimensions AND its view is ascending in matrix index: the validation
@@ -562,21 +562,20 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
       in.batches[0].has_value() && in.batches[0]->ProjectedFor(dims_) &&
       std::is_sorted(in.batches[0]->indices().begin(),
                      in.batches[0]->indices().end())) {
-    ctx->memory()->Grow(input_bytes);
     ctx->AddMatrixReuse(label());
     skyline::ColumnarBatch batch = std::move(*in.batches[0]);
-    return ExecuteColumnar(ctx, std::move(batch), input_bytes);
+    return ExecuteColumnar(ctx, std::move(batch));
   }
 
   DecodeInput(ctx, &in);
   std::vector<Row> rows = std::move(in).Flatten();
-  ctx->memory()->Grow(input_bytes);
 
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kIncomplete;
   options.counter = ctx->dominance();
   options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
 
   PartitionedRelation out;
   out.attrs = output_;
@@ -602,7 +601,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
       }
       return Status::OK();
     }));
-    ctx->memory()->Shrink(input_bytes);
+    SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
     return out;
   }
 
@@ -702,7 +701,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
         }
         return Status::OK();
       }));
-  ctx->memory()->Shrink(input_bytes);
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
   return out;
 }
 

@@ -1,10 +1,12 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "api/dataframe.h"
 #include "api/session.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace sparkline {
 namespace serve {
@@ -24,49 +26,88 @@ QueryService::~QueryService() {
 }
 
 namespace {
-Result<QueryResult> RunOne(Session* session, const std::string& sql) {
+Result<QueryResult> RunOne(Session* session, const std::string& sql,
+                           const CancellationTokenPtr& token) {
   SL_ASSIGN_OR_RETURN(DataFrame df, session->Sql(sql));
-  return df.Collect();
+  return session->Execute(df.plan(), token);
 }
 }  // namespace
 
-Result<std::future<Result<QueryResult>>> QueryService::Submit(
-    std::string sql) {
-  const int64_t in_flight = in_flight_.fetch_add(1) + 1;
-  if (in_flight > max_pending_) {
-    in_flight_.fetch_sub(1);
-    rejected_.fetch_add(1);
-    return Status::Unavailable(
-        StrCat("query service admission cap reached (", max_pending_,
-               " queries in flight); retry later"));
+void QueryService::RunAdmitted(
+    const std::string& sql, const CancellationTokenPtr& token,
+    int64_t admitted_nanos,
+    const std::shared_ptr<std::promise<Result<QueryResult>>>& promise) {
+  bool was_shed = false;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    const int64_t timeout_ms = session_->config().cluster.timeout_ms;
+    if (token->cancelled()) {
+      // Shed before execution: Cancel() won the race against the queue.
+      was_shed = true;
+      return Status::Cancelled("query cancelled while queued");
+    }
+    if (timeout_ms > 0 &&
+        StopWatch::NowNanos() - admitted_nanos > timeout_ms * 1000000) {
+      // The per-query deadline elapsed while the query sat in the queue;
+      // executing it now could only produce a late timeout error anyway.
+      was_shed = true;
+      return Status::Timeout(
+          StrCat("query spent longer than the ", timeout_ms,
+                 "ms timeout waiting in the service queue"));
+    }
+    try {
+      return RunOne(session_, sql, token);
+    } catch (const std::exception& e) {
+      // Last resort (execution converts its own exceptions to Status): the
+      // promise must be fulfilled or the caller's future would hang.
+      return Status::Internal(StrCat("query threw: ", e.what()));
+    } catch (...) {
+      return Status::Internal("query threw a non-std::exception");
+    }
+  }();
+  // Counters flip before the future unblocks so that a caller observing
+  // future.get() sees them settled.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    if (was_shed) ++stats_.shed;
+    --stats_.in_flight;
   }
-  submitted_.fetch_add(1);
+  promise->set_value(std::move(result));
+}
 
+Result<QueryHandle> QueryService::Submit(std::string sql) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_.in_flight >= max_pending_) {
+      ++stats_.rejected;
+      return Status::Unavailable(
+          StrCat("query service admission cap reached (", max_pending_,
+                 " queries in flight); retry later"));
+    }
+    ++stats_.submitted;
+    ++stats_.in_flight;
+  }
+
+  QueryHandle handle;
+  handle.token = std::make_shared<CancellationToken>();
   auto promise = std::make_shared<std::promise<Result<QueryResult>>>();
-  std::future<Result<QueryResult>> future = promise->get_future();
-  pool_->Submit([this, promise, sql = std::move(sql)]() {
-    Result<QueryResult> result = RunOne(session_, sql);
-    // Counters flip before the future unblocks so that a caller observing
-    // future.get() sees them settled.
-    completed_.fetch_add(1);
-    in_flight_.fetch_sub(1);
-    promise->set_value(std::move(result));
+  handle.future = promise->get_future();
+  const int64_t admitted_nanos = StopWatch::NowNanos();
+  pool_->Submit([this, promise, token = handle.token, admitted_nanos,
+                 sql = std::move(sql)]() {
+    RunAdmitted(sql, token, admitted_nanos, promise);
   });
-  return future;
+  return handle;
 }
 
 Result<QueryResult> QueryService::Execute(const std::string& sql) {
-  SL_ASSIGN_OR_RETURN(auto future, Submit(sql));
-  return future.get();
+  SL_ASSIGN_OR_RETURN(QueryHandle handle, Submit(sql));
+  return handle.future.get();
 }
 
 QueryService::Stats QueryService::stats() const {
-  Stats s;
-  s.submitted = submitted_.load();
-  s.completed = completed_.load();
-  s.rejected = rejected_.load();
-  s.in_flight = in_flight_.load();
-  return s;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace serve

@@ -1,10 +1,10 @@
 // QueryService: the concurrent serving front-end.
 //
 // Accepts SQL strings, runs them asynchronously on a shared ThreadPool of
-// `max_concurrent` service threads, and returns futures. The session's
-// fingerprinted result cache (consulted inside Session::Execute) makes
-// repeated queries short-circuit; the service adds concurrency and
-// admission control on top:
+// `max_concurrent` service threads, and returns handles (future + cancel).
+// The session's fingerprinted result cache (consulted inside
+// Session::Execute) makes repeated queries short-circuit; the service adds
+// concurrency, admission control and cancellation on top:
 //
 //   - max_concurrent service threads execute queries in parallel (each
 //     query still gets its own simulated-cluster ExecContext/pool).
@@ -13,6 +13,15 @@
 //     Status::Unavailable instead of queueing unboundedly — callers are
 //     expected to retry with backoff, which keeps tail latency bounded
 //     under overload.
+//   - Cancellation: every submitted query carries a CancellationToken that
+//     is installed on its ExecContext. QueryHandle::Cancel() makes a
+//     running query's kernel loops and stage boundaries return
+//     Status::Cancelled at the next check, and sheds a still-queued query
+//     without executing it at all.
+//   - Queue shedding: when the session has a per-query timeout
+//     (sparkline.timeout_ms), a query that already waited in the queue
+//     longer than the timeout is shed with Status::Timeout instead of
+//     burning a service thread on work whose deadline has passed.
 //
 // Thread safety: Submit/Execute may be called from any thread. The service
 // relies on the Catalog being internally synchronized and on the Session
@@ -20,12 +29,13 @@
 // first, then serve).
 #pragma once
 
-#include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "api/query_result.h"
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 
@@ -35,7 +45,25 @@ class Session;
 
 namespace serve {
 
-/// \brief Asynchronous SQL execution with admission control.
+/// \brief One submitted query: the result future plus a cancellation handle.
+///
+/// Move-only (futures are). The token outlives the service thread's use of
+/// it, so Cancel() is safe at any time — before execution starts (the query
+/// is shed from the queue), during it (cooperative cancellation points
+/// return Status::Cancelled), or after completion (no-op).
+struct QueryHandle {
+  std::future<Result<QueryResult>> future;
+  CancellationTokenPtr token;
+
+  /// Requests cancellation; the result (Status::Cancelled, or the query's
+  /// outcome if it won the race) still arrives through `future`.
+  void Cancel() {
+    if (token != nullptr) token->Cancel();
+  }
+};
+
+/// \brief Asynchronous SQL execution with admission control and
+/// cancellation.
 class QueryService {
  public:
   struct Options {
@@ -46,10 +74,14 @@ class QueryService {
     int max_pending = 0;
   };
 
+  /// A *consistent* snapshot: all fields are read under one lock, so
+  /// `submitted == completed + in_flight` holds in every snapshot (shed and
+  /// cancelled queries count as completed — their future is fulfilled).
   struct Stats {
     int64_t submitted = 0;
     int64_t completed = 0;
     int64_t rejected = 0;  ///< admission-cap rejections
+    int64_t shed = 0;      ///< dropped from the queue (cancel / deadline)
     int64_t in_flight = 0;
   };
 
@@ -62,8 +94,9 @@ class QueryService {
 
   /// Parses, analyzes and executes `sql` on a service thread. Fails fast
   /// with Status::Unavailable when the admission cap is reached; all other
-  /// errors (parse/analysis/execution) are delivered through the future.
-  Result<std::future<Result<QueryResult>>> Submit(std::string sql);
+  /// errors (parse/analysis/execution/cancellation) are delivered through
+  /// the handle's future.
+  Result<QueryHandle> Submit(std::string sql);
 
   /// Synchronous convenience wrapper: Submit + wait.
   Result<QueryResult> Execute(const std::string& sql);
@@ -78,14 +111,21 @@ class QueryService {
   int max_pending() const { return max_pending_; }
 
  private:
+  /// Runs one admitted query on a service thread (or sheds it).
+  void RunAdmitted(const std::string& sql, const CancellationTokenPtr& token,
+                   int64_t admitted_nanos,
+                   const std::shared_ptr<std::promise<Result<QueryResult>>>&
+                       promise);
+
   Session* session_;
   int max_pending_;
   std::unique_ptr<ThreadPool> pool_;
 
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> in_flight_{0};
+  // All counters share one mutex so stats() can return a consistent
+  // snapshot (the previous per-counter atomics allowed readers to observe
+  // submitted/completed/in_flight mid-update, breaking the invariant).
+  mutable std::mutex stats_mu_;
+  Stats stats_;
 };
 
 }  // namespace serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace sparkline {
@@ -78,9 +79,10 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   return it->second.result;
 }
 
-void ResultCache::Insert(const PlanFingerprint& fp,
-                         std::shared_ptr<const CachedResult> entry) {
-  if (entry == nullptr || entry->bytes > PerShardBudget()) return;
+Status ResultCache::Insert(const PlanFingerprint& fp,
+                           std::shared_ptr<const CachedResult> entry) {
+  SL_FAILPOINT("serve.cache_insert");
+  if (entry == nullptr || entry->bytes > PerShardBudget()) return Status::OK();
   Shard& shard = ShardFor(fp);
   std::string key = fp.Key();
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -101,6 +103,7 @@ void ResultCache::Insert(const PlanFingerprint& fp,
   }
   shard.entries.emplace(std::move(key), std::move(e));
   EvictToBudgetLocked(&shard);
+  return Status::OK();
 }
 
 void ResultCache::InvalidateTable(const std::string& table_name) {

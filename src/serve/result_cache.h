@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/status.h"
 #include "expr/expression.h"
 #include "serve/fingerprint.h"
 #include "types/value.h"
@@ -85,9 +86,12 @@ class ResultCache {
 
   /// Inserts (or replaces) the entry for `fp`, evicting least-recently-used
   /// entries of the same shard until the shard's budget share is met.
-  /// Entries larger than the shard budget are not admitted.
-  void Insert(const PlanFingerprint& fp,
-              std::shared_ptr<const CachedResult> entry);
+  /// Entries larger than the shard budget are not admitted (that is OK, not
+  /// an error). Fails only under injected faults (failpoint
+  /// "serve.cache_insert"); callers are expected to degrade to uncached
+  /// serving — a cache-insert failure must never fail the query.
+  Status Insert(const PlanFingerprint& fp,
+                std::shared_ptr<const CachedResult> entry);
 
   /// Drops exactly the entries whose fingerprint referenced `table_name`
   /// (lower-cased catalog key).

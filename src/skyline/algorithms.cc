@@ -18,7 +18,7 @@ Result<std::vector<Row>> BlockNestedLoop(const std::vector<Row>& input,
                                          const SkylineOptions& options) {
   SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
   std::vector<Row> window;
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (const Row& tuple : input) {
     bool eliminated = false;
     size_t i = 0;
@@ -56,7 +56,7 @@ Result<std::vector<Row>> AllPairsIncomplete(
   std::vector<uint32_t> bitmaps(n);
   for (size_t i = 0; i < n; ++i) bitmaps[i] = NullBitmap(input[i], dims);
 
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       // A dominated tuple may still dominate others (Appendix A), so flagged
@@ -111,7 +111,7 @@ Result<std::vector<uint32_t>> IncompleteCandidateScan(
   // Same pair scan as AllPairsIncomplete, restricted to the chunk: flagged
   // tuples keep participating (they may still dominate), deletion is
   // deferred to the end.
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       SL_RETURN_NOT_OK(deadline.Check());
@@ -149,7 +149,7 @@ Result<std::vector<uint32_t>> ValidateAgainstChunk(
   if (peer_begin > peer_end || peer_end > input.size()) {
     return Status::Invalid("validation peer chunk out of range");
   }
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   std::vector<uint32_t> survivors;
   survivors.reserve(candidates.size());
   for (const uint32_t c : candidates) {
@@ -254,7 +254,7 @@ Result<std::vector<Row>> SortFilterSkyline(
 
   double min_c = early_stop ? options.sfs_stop_bound : kInf;
   std::vector<Row> window;
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (size_t pos = 0; pos < order.size(); ++pos) {
     const size_t idx = order[pos];
     SL_RETURN_NOT_OK(deadline.Check());
@@ -372,7 +372,7 @@ Result<std::vector<Row>> GridFilterSkyline(
   for (const auto& [key, rows] : cells) keys.push_back(key);
 
   std::vector<Row> survivors;
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (uint64_t key : keys) {
     bool eliminated = false;
     for (uint64_t other : keys) {

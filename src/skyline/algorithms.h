@@ -14,6 +14,7 @@
 
 namespace sparkline {
 
+class CancellationToken;
 class MemoryTracker;
 
 namespace skyline {
@@ -49,6 +50,11 @@ struct SkylineOptions {
   /// Monotonic-clock deadline in nanoseconds (0 = none); algorithms return
   /// Status::Timeout soon after passing it.
   int64_t deadline_nanos = 0;
+  /// If non-null, polled alongside the deadline (same cadence, one relaxed
+  /// load per ~1k dominance tests); algorithms return Status::Cancelled soon
+  /// after the token flips. Must outlive the call — the executor passes the
+  /// token owned (shared_ptr) by its ExecContext.
+  const CancellationToken* cancel = nullptr;
   /// If non-null, DominanceMatrix storage (packed keys, null bitmaps,
   /// dictionaries) built inside the columnar entry points is charged here
   /// for as long as the matrix lives. Row kernels ignore it.

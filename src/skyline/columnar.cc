@@ -328,7 +328,7 @@ Result<std::vector<uint32_t>> ColumnarBlockNestedLoop(
   std::vector<double> window_keys;
   std::vector<uint32_t> window_nulls;
 
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   BatchedCounter tests(options);
   for (const uint32_t tuple : input) {
     const double* keys = matrix.row_keys(tuple);
@@ -421,7 +421,7 @@ Result<std::vector<uint32_t>> SfsFilterPass(const DominanceMatrix& matrix,
 
   std::vector<uint32_t> window;
   std::vector<double> window_keys;
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   BatchedCounter tests(options);
   for (size_t pos = 0; pos < ordered.size(); ++pos) {
     const uint32_t tuple = ordered[pos];
@@ -610,7 +610,7 @@ Result<std::vector<uint32_t>> ColumnarGridFilterSkyline(
   for (const auto& [key, rows] : cells) keys.push_back(key);
 
   std::vector<uint32_t> survivors;
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   for (const uint64_t key : keys) {
     bool eliminated = false;
     for (const uint64_t other : keys) {
@@ -640,7 +640,7 @@ Result<std::vector<uint32_t>> ColumnarAllPairsIncomplete(
     const SkylineOptions& options) {
   const size_t n = input.size();
   std::vector<char> dominated(n, 0);
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   BatchedCounter tests(options);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
@@ -693,7 +693,7 @@ Result<std::vector<uint32_t>> ColumnarIncompleteCandidateScan(
 Result<std::vector<uint32_t>> ColumnarValidateAgainstChunk(
     const DominanceMatrix& matrix, const std::vector<uint32_t>& candidates,
     const std::vector<uint32_t>& peer, const SkylineOptions& options) {
-  DeadlineChecker deadline(options.deadline_nanos);
+  DeadlineChecker deadline(options);
   BatchedCounter tests(options);
   std::vector<uint32_t> survivors;
   survivors.reserve(candidates.size());

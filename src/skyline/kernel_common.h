@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "skyline/algorithms.h"
@@ -13,16 +14,24 @@ namespace sparkline {
 namespace skyline {
 namespace internal {
 
-/// Checks the deadline every few thousand dominance tests.
+/// Checks the deadline — and, when the options carry a CancellationToken,
+/// the token — every ~1k dominance tests. These polls are the kernels'
+/// cancellation points: even a single-stage quadratic kernel unwinds with
+/// Status::Cancelled/Timeout within microseconds of the signal.
 class DeadlineChecker {
  public:
   explicit DeadlineChecker(int64_t deadline_nanos)
       : deadline_(deadline_nanos) {}
+  explicit DeadlineChecker(const SkylineOptions& options)
+      : deadline_(options.deadline_nanos), cancel_(options.cancel) {}
 
   Status Check() {
-    if (deadline_ == 0) return Status::OK();
+    if (deadline_ == 0 && cancel_ == nullptr) return Status::OK();
     if ((++ticks_ & 0x3ff) != 0) return Status::OK();
-    if (StopWatch::NowNanos() > deadline_) {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::Cancelled("skyline computation cancelled");
+    }
+    if (deadline_ != 0 && StopWatch::NowNanos() > deadline_) {
       return Status::Timeout("skyline computation exceeded the deadline");
     }
     return Status::OK();
@@ -30,6 +39,7 @@ class DeadlineChecker {
 
  private:
   int64_t deadline_;
+  const CancellationToken* cancel_ = nullptr;
   uint64_t ticks_ = 0;
 };
 

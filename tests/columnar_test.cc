@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "skyline/columnar.h"
 
@@ -277,6 +278,50 @@ TEST(ColumnarKernelTest, CountsDominanceTestsLikeRowBnl) {
                               col_options)
                   .ok());
   EXPECT_EQ(row_counter.tests.load(), col_counter.tests.load());
+}
+
+// Every columnar kernel — including the SFS early-stop scan, whose loop has
+// its own termination logic — polls the cancellation token and returns
+// Status::Cancelled under a pre-cancelled token instead of finishing the
+// scan or crashing.
+TEST(ColumnarKernelTest, EveryKernelHonorsCancelledToken) {
+  const std::vector<Row> rows = AntiCorrelatedRows(20000, 4, 19);
+  const auto dims = MinDims(4);
+  CancellationToken token;
+  token.Cancel();
+
+  for (const ColumnarKernel kernel :
+       {ColumnarKernel::kBlockNestedLoop, ColumnarKernel::kSortFilterSkyline,
+        ColumnarKernel::kGridFilter}) {
+    SkylineOptions opts;
+    opts.cancel = &token;
+    auto r = ColumnarSkyline(kernel, rows, dims, opts);
+    ASSERT_FALSE(r.ok()) << "kernel " << static_cast<int>(kernel);
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << "kernel " << static_cast<int>(kernel);
+  }
+
+  // The early-stop SFS pass on correlated data (where the stop normally
+  // fires) still honors cancellation before reaching its stop point.
+  for (const SfsSortKey key : {SfsSortKey::kSum, SfsSortKey::kMinMax}) {
+    SkylineOptions opts;
+    opts.cancel = &token;
+    opts.sfs_early_stop = true;
+    opts.sfs_sort_key = key;
+    auto r = ColumnarSkyline(ColumnarKernel::kSortFilterSkyline,
+                             CorrelatedRows(20000, 4, 23), dims, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+
+  // Incomplete-data columnar path (all-pairs + candidate/validate rounds).
+  SkylineOptions iopts;
+  iopts.nulls = NullSemantics::kIncomplete;
+  iopts.cancel = &token;
+  auto incomplete = ColumnarAllPairsSkyline(
+      RandomRows(4000, 3, /*null_rate=*/0.3, 50, 29), MinDims(3), iopts);
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(), StatusCode::kCancelled);
 }
 
 // --- regression: grid cell-key overflow past 16 dimensions -----------------

@@ -2,9 +2,12 @@
 // tracker, RNG distributions.
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "common/memory_tracker.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -12,6 +15,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "test_util.h"
 
 namespace sparkline {
 namespace {
@@ -117,6 +121,23 @@ TEST(ThreadPoolTest, ParallelForZeroAndSingle) {
   EXPECT_EQ(calls, 1);
 }
 
+// A task that throws must not take the process down (the old WorkerLoop let
+// the exception escape into std::terminate) and must not poison the pool:
+// later tasks still run on every worker.
+TEST(ThreadPoolTest, SurvivesThrowingTasks) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("injected task failure"); });
+  }
+  pool.WaitIdle();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 32);
+}
+
 TEST(MemoryTrackerTest, TracksPeak) {
   MemoryTracker t;
   t.Grow(100);
@@ -136,6 +157,138 @@ TEST(MemoryTrackerTest, ScopedReservation) {
   }
   EXPECT_EQ(t.current_bytes(), 0);
   EXPECT_EQ(t.peak_bytes(), 64);
+}
+
+#ifdef NDEBUG
+// Regression: a mismatched Shrink used to drive current_ negative and
+// silently corrupt all later peak math. Release builds clamp at zero
+// (debug builds assert instead, which is why this only runs under NDEBUG).
+TEST(MemoryTrackerTest, ShrinkUnderflowClampsAtZero) {
+  MemoryTracker t;
+  t.Grow(10);
+  t.Shrink(25);
+  EXPECT_EQ(t.current_bytes(), 0);
+  t.Grow(7);
+  EXPECT_EQ(t.current_bytes(), 7);  // not 7 - 15: the underflow didn't stick
+}
+#endif
+
+TEST(MemoryTrackerTest, TryGrowEnforcesLimit) {
+  MemoryTracker t;
+  t.set_limit_bytes(100);
+  EXPECT_TRUE(t.TryGrow(60));
+  EXPECT_FALSE(t.TryGrow(50));  // 60 + 50 > 100
+  EXPECT_EQ(t.current_bytes(), 60);  // the refused reservation charged nothing
+  EXPECT_TRUE(t.TryGrow(40));
+  EXPECT_EQ(t.current_bytes(), 100);
+  t.set_limit_bytes(0);  // 0 = unlimited
+  EXPECT_TRUE(t.TryGrow(1 << 20));
+}
+
+TEST(MemoryTrackerTest, MemoryChargeReleasesOnEveryPath) {
+  MemoryTracker t;
+  t.Grow(64);
+  {
+    MemoryCharge a(&t, 64);
+    EXPECT_EQ(t.current_bytes(), 64);
+    MemoryCharge b = std::move(a);  // move transfers, no double release
+    MemoryCharge c;
+    c = std::move(b);
+    EXPECT_EQ(t.current_bytes(), 64);
+  }
+  EXPECT_EQ(t.current_bytes(), 0);
+}
+
+TEST(CancellationTokenTest, CancelIsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesAreFree) {
+  EXPECT_FALSE(fail::AnyArmed());
+  EXPECT_OK(fail::Hit("exec.scan"));
+}
+
+TEST_F(FailpointTest, ArmRejectsUnknownSites) {
+  EXPECT_EQ(fail::Arm("exec.typo", fail::FailpointSpec{}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, ErrorActionFiresAndCounts) {
+  ASSERT_OK(fail::ArmFromString("exec.scan=error"));
+  EXPECT_TRUE(fail::AnyArmed());
+  Status s = fail::Hit("exec.scan");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_EQ(fail::FireCount("exec.scan"), 1);
+  EXPECT_OK(fail::Hit("exec.exchange"));  // other sites stay disarmed
+}
+
+TEST_F(FailpointTest, FromHitAndMaxFiresModifiers) {
+  // Fire only on the 3rd and 4th evaluations: @3 (start at hit 3) *2 (budget
+  // of two fires).
+  ASSERT_OK(fail::ArmFromString("exec.local_task=error(internal)@3*2"));
+  EXPECT_OK(fail::Hit("exec.local_task"));
+  EXPECT_OK(fail::Hit("exec.local_task"));
+  EXPECT_EQ(fail::Hit("exec.local_task").code(), StatusCode::kInternal);
+  EXPECT_EQ(fail::Hit("exec.local_task").code(), StatusCode::kInternal);
+  EXPECT_OK(fail::Hit("exec.local_task"));  // budget exhausted
+  EXPECT_EQ(fail::FireCount("exec.local_task"), 2);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  auto run = [] {
+    SL_CHECK_OK(fail::ArmFromString("exec.stage_task=error%0.5:1234"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!fail::Hit("exec.stage_task").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run();
+  const std::vector<bool> b = run();
+  EXPECT_EQ(a, b);  // same seed, same coin flips
+  const int64_t fires = fail::FireCount("exec.stage_task");
+  EXPECT_GT(fires, 8);   // ~32 expected; loose bounds keep this robust
+  EXPECT_LT(fires, 56);
+}
+
+TEST_F(FailpointTest, ThrowAndDelayActions) {
+  ASSERT_OK(fail::ArmFromString("exec.exchange=throw*1"));
+  EXPECT_THROW((void)fail::Hit("exec.exchange"), std::runtime_error);
+  EXPECT_OK(fail::Hit("exec.exchange"));  // *1 budget spent
+
+  ASSERT_OK(fail::ArmFromString("exec.scan=delay:20"));
+  StopWatch w;
+  EXPECT_OK(fail::Hit("exec.scan"));  // delay succeeds, just late
+  EXPECT_GE(w.ElapsedMillis(), 15.0);
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(fail::ArmFromString("exec.scan").ok());           // no '='
+  EXPECT_FALSE(fail::ArmFromString("exec.scan=explode").ok());   // bad action
+  EXPECT_FALSE(fail::ArmFromString("exec.scan=error%1.5").ok()); // p > 1
+  EXPECT_FALSE(fail::ArmFromString("exec.scan=error@0").ok());   // hit < 1
+  EXPECT_FALSE(fail::ArmFromString("nope=error").ok());          // bad site
+  EXPECT_FALSE(fail::AnyArmed()) << "failed arms must not leave sites armed";
+}
+
+TEST_F(FailpointTest, MultiSpecStringArmsEverySite) {
+  ASSERT_OK(fail::ArmFromString(
+      " exec.scan = error ; serve.cache_insert = throw ; "));
+  EXPECT_FALSE(fail::Hit("exec.scan").ok());
+  EXPECT_THROW((void)fail::Hit("serve.cache_insert"), std::runtime_error);
+  ASSERT_OK(fail::ArmFromString(""));  // empty string disarms everything
+  EXPECT_FALSE(fail::AnyArmed());
 }
 
 TEST(RngTest, Deterministic) {

@@ -463,8 +463,8 @@ TEST(QueryServiceTest, AsyncExecutionAndAdmissionCap) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
 
-  ASSERT_OK_AND_ASSIGN(QueryResult heavy_result, heavy.get());
-  ASSERT_OK_AND_ASSIGN(QueryResult queued_result, queued.get());
+  ASSERT_OK_AND_ASSIGN(QueryResult heavy_result, heavy.future.get());
+  ASSERT_OK_AND_ASSIGN(QueryResult queued_result, queued.future.get());
   EXPECT_GT(heavy_result.num_rows(), 0u);
   EXPECT_GT(queued_result.num_rows(), 0u);
 
@@ -476,7 +476,7 @@ TEST(QueryServiceTest, AsyncExecutionAndAdmissionCap) {
 
   // Errors travel through the future, not the submit call.
   ASSERT_OK_AND_ASSIGN(auto bad, service.Submit("SELECT * FROM nope"));
-  EXPECT_FALSE(bad.get().ok());
+  EXPECT_FALSE(bad.future.get().ok());
 }
 
 TEST(QueryServiceTest, SessionSqlAsyncWiring) {
@@ -496,6 +496,127 @@ TEST(QueryServiceTest, SessionSqlAsyncWiring) {
 
   // max_concurrent is frozen once the service exists.
   EXPECT_FALSE(session.SetConf("sparkline.serve.max_concurrent", "8").ok());
+}
+
+TEST(QueryServiceTest, CancelRunningQuery) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.serve.max_concurrent", "1"));
+  TablePtr big = datagen::GeneratePoints(
+      "big", 20000, 6, datagen::PointDistribution::kAntiCorrelated, 7, 0.0);
+  ASSERT_OK(session.catalog()->RegisterTable(big));
+
+  ASSERT_OK_AND_ASSIGN(
+      serve::QueryHandle handle,
+      session.SqlSubmit("SELECT * FROM big SKYLINE OF d0 MIN, d1 MAX, d2 MIN, "
+                        "d3 MAX, d4 MIN, d5 MAX"));
+  handle.Cancel();
+  Result<QueryResult> result = handle.future.get();
+  // Cancellation raced the query; it either lost cleanly (full result) or
+  // won (Status::Cancelled) — never a crash or a hang.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << result.status().ToString();
+  }
+}
+
+TEST(QueryServiceTest, CancelShedsQueuedQuery) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.serve.max_concurrent", "1"));
+  TablePtr big = datagen::GeneratePoints(
+      "big", 8000, 5, datagen::PointDistribution::kAntiCorrelated, 11, 0.0);
+  ASSERT_OK(session.catalog()->RegisterTable(big));
+  ASSERT_OK(session.catalog()->RegisterTable(SmallPoints()));
+
+  // The heavy query occupies the single service thread; the second query is
+  // still queued when we cancel it, so it must be shed without executing.
+  ASSERT_OK_AND_ASSIGN(
+      serve::QueryHandle heavy,
+      session.SqlSubmit(
+          "SELECT * FROM big SKYLINE OF d0 MIN, d1 MAX, d2 MIN, d3 MAX"));
+  ASSERT_OK_AND_ASSIGN(serve::QueryHandle queued,
+                       session.SqlSubmit("SELECT * FROM pts SKYLINE OF x MIN"));
+  queued.Cancel();
+
+  Result<QueryResult> queued_result = queued.future.get();
+  if (!queued_result.ok()) {
+    EXPECT_EQ(queued_result.status().code(), StatusCode::kCancelled);
+  }
+  ASSERT_OK_AND_ASSIGN(QueryResult heavy_result, heavy.future.get());
+  EXPECT_GT(heavy_result.num_rows(), 0u);
+
+  session.service()->Drain();
+  const serve::QueryService::Stats stats = session.service()->stats();
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+// stats() must return a *consistent* snapshot while submissions race: the
+// previous independent atomics allowed submitted/completed/in_flight to be
+// observed mid-update.
+TEST(QueryServiceTest, StatsSnapshotIsConsistentUnderConcurrency) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.serve.max_concurrent", "2"));
+  ASSERT_OK(session.catalog()->RegisterTable(SmallPoints()));
+  serve::QueryService* service = session.service();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const serve::QueryService::Stats s = service->stats();
+      // Invariant of the lifecycle: every submitted query is either still
+      // in flight or completed — in *every* snapshot, not just at rest.
+      if (s.submitted != s.completed + s.in_flight) violations.fetch_add(1);
+      if (s.in_flight < 0 || s.completed < 0) violations.fetch_add(1);
+    }
+  });
+
+  constexpr int kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto handle = service->Submit("SELECT * FROM pts SKYLINE OF x MIN");
+        if (handle.ok()) handle->future.get();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  const serve::QueryService::Stats s = service->stats();
+  EXPECT_EQ(s.submitted, s.completed);
+  EXPECT_EQ(s.in_flight, 0);
+}
+
+// A queued query whose per-query deadline already passed is shed before
+// execution instead of burning a service thread.
+TEST(QueryServiceTest, ExpiredDeadlineQueriesAreShedFromQueue) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.serve.max_concurrent", "1"));
+  ASSERT_OK(session.SetConf("sparkline.timeout_ms", "30"));
+  ASSERT_OK(session.catalog()->RegisterTable(SmallPoints()));
+  serve::QueryService* service = session.service();
+
+  // Park the single service thread until well past the queued query's
+  // deadline, using a delay failpoint on the scan of the first query.
+  ASSERT_OK(session.SetConf("sparkline.failpoints", "exec.scan=delay:120*1"));
+  ASSERT_OK_AND_ASSIGN(serve::QueryHandle slow,
+                       service->Submit("SELECT * FROM pts SKYLINE OF x MIN"));
+  ASSERT_OK_AND_ASSIGN(
+      serve::QueryHandle late,
+      service->Submit("SELECT * FROM pts SKYLINE OF y MAX"));
+
+  Result<QueryResult> late_result = late.future.get();
+  ASSERT_FALSE(late_result.ok());
+  EXPECT_EQ(late_result.status().code(), StatusCode::kTimeout);
+  (void)slow.future.get();  // outcome irrelevant; just settle it
+  ASSERT_OK(session.SetConf("sparkline.failpoints", ""));
+
+  const serve::QueryService::Stats stats = service->stats();
+  EXPECT_EQ(stats.shed, 1);
 }
 
 // --- the hammer: concurrent mixed workload vs. the brute-force oracle --------

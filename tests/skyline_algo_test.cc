@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "skyline/algorithms.h"
 
@@ -111,6 +113,58 @@ TEST(BnlTest, DeadlineProducesTimeout) {
   auto result = BlockNestedLoop(rows, MinDims(4), opts);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsTimeout());
+}
+
+// Every row kernel polls the cancellation token at the DeadlineChecker
+// cadence; with a pre-cancelled token each must return Status::Cancelled
+// (never a crash, a hang, or a partial result passed off as complete).
+TEST(CancellationTest, EveryRowKernelHonorsCancelledToken) {
+  const std::vector<Row> rows = RandomRows(20000, 4, 0, 1000000, 17);
+  const std::vector<BoundDimension> dims = MinDims(4);
+  CancellationToken token;
+  token.Cancel();
+
+  auto expect_cancelled = [](const Status& s, const std::string& kernel) {
+    EXPECT_EQ(s.code(), StatusCode::kCancelled) << kernel << ": "
+                                                << s.ToString();
+  };
+
+  SkylineOptions opts;
+  opts.cancel = &token;
+  expect_cancelled(BlockNestedLoop(rows, dims, opts).status(), "bnl");
+  expect_cancelled(GridFilterSkyline(rows, dims, opts).status(), "grid");
+  for (const SfsSortKey key : {SfsSortKey::kSum, SfsSortKey::kMinMax}) {
+    for (const bool early_stop : {false, true}) {
+      SkylineOptions sfs = opts;
+      sfs.sfs_sort_key = key;
+      sfs.sfs_early_stop = early_stop;
+      expect_cancelled(
+          SortFilterSkyline(rows, dims, sfs).status(),
+          StrCat("sfs key=", static_cast<int>(key), " stop=", early_stop));
+    }
+  }
+
+  // Incomplete-data kernels (the quadratic scans are the ones that need
+  // interruption most).
+  const std::vector<Row> sparse = RandomRows(4000, 3, 0.3, 50, 21);
+  SkylineOptions iopts;
+  iopts.nulls = NullSemantics::kIncomplete;
+  iopts.cancel = &token;
+  expect_cancelled(AllPairsIncomplete(sparse, MinDims(3), iopts).status(),
+                   "all_pairs");
+  expect_cancelled(
+      IncompleteCandidateScan(sparse, 0, sparse.size(), MinDims(3), iopts)
+          .status(),
+      "candidate_scan");
+  SkylineOptions vopts = iopts;
+  vopts.cancel = nullptr;
+  auto candidates =
+      IncompleteCandidateScan(sparse, 0, sparse.size() / 2, MinDims(3), vopts);
+  ASSERT_TRUE(candidates.ok());
+  expect_cancelled(ValidateAgainstChunk(sparse, *candidates, sparse.size() / 2,
+                                        sparse.size(), MinDims(3), iopts)
+                       .status(),
+                   "validate");
 }
 
 TEST(AllPairsTest, MatchesOracleOnCyclicData) {
