@@ -20,6 +20,9 @@ std::string QueryMetrics::ToString() const {
   if (cache_lookup_ms > 0 || cache_hit) {
     out += StrCat(" cache=", cache_hit ? "hit" : "miss",
                   " cache_lookup=", DoubleToString(cache_lookup_ms), "ms");
+    if (cache_delta_maintained > 0) {
+      out += StrCat(" cache_deltas=", cache_delta_maintained);
+    }
   }
   if (projection_ms > 0 || decode_ms > 0 || !matrix_builds.empty() ||
       !matrix_reuses.empty()) {

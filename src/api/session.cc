@@ -158,6 +158,24 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     if (cache_ != nullptr) cache_->set_ttl_ms(n);
     return Status::OK();
   }
+  if (k == "sparkline.cache.incremental") {
+    SL_ASSIGN_OR_RETURN(config_.cache_incremental, ParseBool(value));
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (maintainer_ != nullptr) {
+      maintainer_->set_enabled(config_.cache_incremental);
+    }
+    return Status::OK();
+  }
+  if (k == "sparkline.cache.max_delta_batch") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) {
+      return Status::Invalid("sparkline.cache.max_delta_batch must be >= 0");
+    }
+    config_.cache_max_delta_batch = n;
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    if (maintainer_ != nullptr) maintainer_->set_max_delta_batch(n);
+    return Status::OK();
+  }
   if (k == "sparkline.exec.task_retries") {
     SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
     if (n < 0 || n > 100) {
@@ -214,16 +232,58 @@ serve::ResultCache* Session::cache() const {
     options.capacity_bytes = config_.cache_capacity_bytes;
     options.ttl_ms = config_.cache_ttl_ms;
     cache_ = std::make_shared<serve::ResultCache>(options);
-    // Invalidate dependents on every catalog write. The listener holds the
-    // cache weakly so a dead session's cache (and its resident results)
-    // can be reclaimed even if the catalog outlives the session.
+    // Maintain (or invalidate) dependents on every catalog write. The
+    // listener holds the maintainer weakly so a dead session's cache (and
+    // its resident results) can be reclaimed even if the catalog outlives
+    // the session.
+    maintainer_ =
+        std::make_shared<serve::IncrementalMaintainer>(catalog_.get(), cache_);
+    maintainer_->set_enabled(config_.cache_incremental);
+    maintainer_->set_max_delta_batch(config_.cache_max_delta_batch);
     catalog_->AddWriteListener(
-        [weak = std::weak_ptr<serve::ResultCache>(cache_)](
-            const std::string& table) {
-          if (auto cache = weak.lock()) cache->InvalidateTable(table);
+        [weak = std::weak_ptr<serve::IncrementalMaintainer>(maintainer_)](
+            const WriteEvent& event) {
+          if (auto maintainer = weak.lock()) maintainer->OnWrite(event);
         });
   }
   return cache_.get();
+}
+
+serve::IncrementalMaintainer* Session::maintainer() const {
+  cache();  // creates the maintainer + registers the write listener
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return maintainer_.get();
+}
+
+Result<uint64_t> Session::Subscribe(const std::string& sql,
+                                    serve::SubscriptionCallback callback) {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr plan, ParseSql(sql));
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+  std::shared_ptr<const serve::DeltaRecipe> recipe =
+      serve::BuildDeltaRecipe(analyzed);
+  if (recipe == nullptr) {
+    return Status::Invalid(
+        "continuous queries require a maintainable skyline: a single table "
+        "scanned through Filter/Project steps only, with complete dominance "
+        "(COMPLETE declared or no nullable dimension)");
+  }
+  return maintainer()->Subscribe(std::move(recipe), std::move(callback));
+}
+
+Status Session::Unsubscribe(uint64_t id) {
+  // Copy the pointer out instead of calling under serve_mu_: Unsubscribe
+  // takes the maintainer's subscription lock, and callbacks run user code —
+  // holding serve_mu_ across that couples unrelated lock orders.
+  std::shared_ptr<serve::IncrementalMaintainer> maintainer;
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    maintainer = maintainer_;
+  }
+  if (maintainer == nullptr) {
+    return Status::Invalid("no subscriptions were ever registered");
+  }
+  maintainer->Unsubscribe(id);
+  return Status::OK();
 }
 
 serve::QueryService* Session::service() {
@@ -322,6 +382,7 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
         result.attrs = hit->attrs;
         result.SetRows(hit->rows);  // shared snapshot, no copy
         result.metrics.cache_hit = true;
+        result.metrics.cache_delta_maintained = hit->delta_count;
         result.metrics.cache_lookup_ms = lookup_ms;
         result.metrics.wall_ms = lookup_ms;
         result.metrics.simulated_ms = lookup_ms;
@@ -364,6 +425,12 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
     entry->attrs = result.attrs;
     entry->rows = result.shared_rows();
     entry->bytes = result.metrics.bytes_served;
+    entry->fingerprint = fp;
+    // Attach the maintenance recipe when the plan shape supports it, so the
+    // write listener can delta-advance this entry instead of dropping it.
+    uint64_t snapshot_version = 0;
+    entry->recipe = serve::BuildDeltaRecipe(analyzed, &snapshot_version);
+    entry->table_version = snapshot_version;
     // Caching is an optimization, never a correctness dependency: a failed
     // (or throwing) insert degrades to uncached serving of this result.
     Status cached = Status::OK();

@@ -29,6 +29,11 @@
 //   sparkline.cache.enabled                 bool, fingerprinted result cache
 //   sparkline.cache.capacity_bytes          cache byte budget
 //   sparkline.cache.ttl_ms                  entry TTL (0 = none)
+//   sparkline.cache.incremental             bool, delta-maintain cached
+//                                           skylines under InsertInto
+//                                           instead of invalidating
+//   sparkline.cache.max_delta_batch         rows; inserts larger than this
+//                                           invalidate instead of classify
 //   sparkline.serve.max_concurrent          query-service threads /
 //                                           admission base
 //   sparkline.exec.task_retries             per-task retry budget for
@@ -54,6 +59,7 @@
 #include "catalog/catalog.h"
 #include "exec/planner.h"
 #include "optimizer/optimizer.h"
+#include "serve/incremental.h"
 #include "serve/query_service.h"
 #include "serve/result_cache.h"
 
@@ -119,6 +125,16 @@ struct SessionConfig {
   int64_t cache_capacity_bytes = 256ll << 20;
   /// Cache entry TTL in ms (0 = no expiry). Key: sparkline.cache.ttl_ms.
   int64_t cache_ttl_ms = 0;
+  /// Incremental maintenance: InsertInto advances affected cached skylines
+  /// by classifying the inserted batch against the cached result
+  /// (serve/incremental.h) instead of invalidating them. Off = every write
+  /// invalidates (the pre-maintenance behaviour). Results are bit-identical
+  /// either way. Key: sparkline.cache.incremental.
+  bool cache_incremental = true;
+  /// Inserts with more rows than this fall back to invalidation (delta
+  /// classification is O((|skyline|+|batch|)*|batch|); recomputing once
+  /// beats classifying a huge batch). Key: sparkline.cache.max_delta_batch.
+  int64_t cache_max_delta_batch = 1024;
   /// Query-service threads (= max concurrently executing queries; the
   /// admission cap defaults to 4x this). Read when the service is first
   /// used. Key: sparkline.serve.max_concurrent.
@@ -171,6 +187,20 @@ class Session {
   /// Execute first runs). Never null.
   serve::ResultCache* cache() const;
 
+  /// The lazily created incremental-maintenance engine (created together
+  /// with the cache; also drives Subscribe). Never null.
+  serve::IncrementalMaintainer* maintainer() const;
+
+  /// Registers a continuous skyline query: the callback fires immediately
+  /// with the full current skyline (a resync delta), then once per catalog
+  /// write that changes the result, on the catalog's notifier thread. The
+  /// query must be a maintainable skyline (single table, Filter/Project
+  /// pipeline, complete dominance) — anything else is Status::Invalid.
+  /// Returns the subscription id for Unsubscribe.
+  Result<uint64_t> Subscribe(const std::string& sql,
+                             serve::SubscriptionCallback callback);
+  Status Unsubscribe(uint64_t id);
+
   /// A DataFrame over a registered table.
   Result<DataFrame> Table(const std::string& name);
 
@@ -202,6 +232,9 @@ class Session {
   // declared last and therefore destroyed first.
   mutable std::mutex serve_mu_;
   mutable std::shared_ptr<serve::ResultCache> cache_;
+  /// Created with cache_ (the write listener holds both weakly); shared so
+  /// in-flight notifier dispatches survive session teardown.
+  mutable std::shared_ptr<serve::IncrementalMaintainer> maintainer_;
   std::unique_ptr<serve::QueryService> service_;
 };
 

@@ -16,41 +16,103 @@ namespace {
 std::atomic<uint64_t> g_version_counter{0};
 }  // namespace
 
+Catalog::~Catalog() {
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    stop_ = true;
+  }
+  notify_cv_.notify_all();
+  if (notifier_.joinable()) notifier_.join();
+}
+
 uint64_t Catalog::BumpVersionLocked(const std::string& key) {
   return versions_[key] = g_version_counter.fetch_add(1) + 1;
 }
 
-void Catalog::NotifyWrite(const std::string& key) {
-  std::vector<WriteListener> listeners;
+uint64_t Catalog::VersionBeforeLocked(const std::string& key) const {
+  auto it = versions_.find(key);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void Catalog::EnqueueWrite(WriteEvent event) {
   {
+    // No listeners -> nothing to deliver; skip the queue entirely so
+    // listener-free catalogs never grow one.
     std::lock_guard<std::mutex> lock(listeners_mu_);
-    listeners = listeners_;
+    if (listeners_.empty()) return;
   }
-  for (const auto& listener : listeners) listener(key);
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    queue_.push_back(std::move(event));
+  }
+  notify_cv_.notify_all();
+}
+
+void Catalog::NotifierLoop() {
+  for (;;) {
+    WriteEvent event;
+    {
+      std::unique_lock<std::mutex> lock(notify_mu_);
+      notify_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Drain the remaining queue even when stopping: a listener-visible
+      // write has a version already published, so dropping its event would
+      // leave caches permanently stale in the destructor race window.
+      if (queue_.empty()) return;
+      event = std::move(queue_.front());
+      queue_.pop_front();
+      dispatching_ = true;
+    }
+    std::vector<WriteListener> listeners;
+    {
+      std::lock_guard<std::mutex> lock(listeners_mu_);
+      listeners = listeners_;
+    }
+    for (const auto& listener : listeners) listener(event);
+    {
+      std::lock_guard<std::mutex> lock(notify_mu_);
+      dispatching_ = false;
+    }
+    notify_cv_.notify_all();
+  }
+}
+
+void Catalog::DrainWrites() {
+  std::unique_lock<std::mutex> lock(notify_mu_);
+  notify_cv_.wait(lock, [&] { return queue_.empty() && !dispatching_; });
 }
 
 Status Catalog::RegisterTable(TablePtr table) {
   std::string key = ToLower(table->name());
+  WriteEvent event;
+  event.kind = WriteEvent::Kind::kRegister;
+  event.table = key;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     if (tables_.count(key) > 0) {
       return Status::AlreadyExists(StrCat("table ", table->name()));
     }
-    table->set_version(BumpVersionLocked(key));
+    event.old_version = VersionBeforeLocked(key);
+    event.new_version = BumpVersionLocked(key);
+    table->set_version(event.new_version);
     tables_[key] = std::move(table);
+    EnqueueWrite(std::move(event));
   }
-  NotifyWrite(key);
   return Status::OK();
 }
 
 void Catalog::RegisterOrReplaceTable(TablePtr table) {
   std::string key = ToLower(table->name());
+  WriteEvent event;
+  event.kind = WriteEvent::Kind::kReplace;
+  event.table = key;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    table->set_version(BumpVersionLocked(key));
+    event.old_version = VersionBeforeLocked(key);
+    event.new_version = BumpVersionLocked(key);
+    table->set_version(event.new_version);
     tables_[key] = std::move(table);
+    EnqueueWrite(std::move(event));
   }
-  NotifyWrite(key);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
@@ -69,6 +131,9 @@ bool Catalog::HasTable(const std::string& name) const {
 
 Status Catalog::DropTable(const std::string& name) {
   std::string key = ToLower(name);
+  WriteEvent event;
+  event.kind = WriteEvent::Kind::kDrop;
+  event.table = key;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = tables_.find(key);
@@ -76,9 +141,10 @@ Status Catalog::DropTable(const std::string& name) {
       return Status::NotFound(StrCat("table ", name, " not found in catalog"));
     }
     tables_.erase(it);
-    BumpVersionLocked(key);
+    event.old_version = VersionBeforeLocked(key);
+    event.new_version = BumpVersionLocked(key);
+    EnqueueWrite(std::move(event));
   }
-  NotifyWrite(key);
   return Status::OK();
 }
 
@@ -108,6 +174,10 @@ Status Catalog::InsertInto(const std::string& name,
     next->Reserve(old->num_rows() + rows.size());
     for (const Row& row : old->rows()) next->AppendRowUnchecked(row);
     for (const Row& row : rows) SL_RETURN_NOT_OK(next->AppendRow(row));
+    WriteEvent event;
+    event.kind = WriteEvent::Kind::kInsert;
+    event.table = key;
+    event.rows = std::make_shared<const std::vector<Row>>(rows);
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       auto it = tables_.find(key);
@@ -116,10 +186,12 @@ Status Catalog::InsertInto(const std::string& name,
             StrCat("table ", name, " not found in catalog"));
       }
       if (it->second != old) continue;  // lost a race: rebuild on the winner
-      next->set_version(BumpVersionLocked(key));
+      event.old_version = VersionBeforeLocked(key);
+      event.new_version = BumpVersionLocked(key);
+      next->set_version(event.new_version);
       it->second = std::move(next);
+      EnqueueWrite(std::move(event));
     }
-    NotifyWrite(key);
     return Status::OK();
   }
 }
@@ -139,8 +211,15 @@ std::vector<std::string> Catalog::ListTables() const {
 }
 
 void Catalog::AddWriteListener(WriteListener listener) {
-  std::lock_guard<std::mutex> lock(listeners_mu_);
-  listeners_.push_back(std::move(listener));
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    listeners_.push_back(std::move(listener));
+  }
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  if (!notifier_started_) {
+    notifier_started_ = true;
+    notifier_ = std::thread([this] { NotifierLoop(); });
+  }
 }
 
 }  // namespace sparkline

@@ -14,16 +14,30 @@
 // snapshot. Versions survive drops, so drop + recreate never reuses a
 // version, and the global counter means a stamp identifies one immutable
 // snapshot even across catalogs. The serve layer folds snapshot versions
-// into plan fingerprints and subscribes to write events to invalidate
-// cached results (docs/ARCHITECTURE.md: invalidation protocol).
+// into plan fingerprints and subscribes to write events to invalidate or
+// delta-maintain cached results (docs/ARCHITECTURE.md: invalidation
+// protocol, incremental maintenance).
+//
+// Write notification: events are *enqueued under the write lock* — so the
+// queue order equals the version order, per table and globally — but
+// *dispatched on a dedicated notifier thread*, so a slow listener (delta
+// maintenance classifying a large batch, say) never sits on a writer's
+// critical path and never blocks concurrent writers. Correctness does not
+// depend on delivery timing: table versions inside plan fingerprints make
+// stale cache hits impossible even if a notification is arbitrarily late.
+// DrainWrites() flushes the queue for tests and deterministic handoffs.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/table.h"
@@ -31,12 +45,35 @@
 
 namespace sparkline {
 
+/// \brief One catalog write, as observed by write listeners. Versions are
+/// the written name's version before and after the write; `rows` carries
+/// the inserted rows for kInsert (shared, immutable — the same snapshot the
+/// successor table appended) and is null for every other kind.
+struct WriteEvent {
+  enum class Kind : uint8_t { kRegister, kReplace, kInsert, kDrop };
+
+  Kind kind = Kind::kInsert;
+  std::string table;  ///< lower-cased catalog key
+  uint64_t old_version = 0;  ///< 0 when the name was never written before
+  uint64_t new_version = 0;
+  std::shared_ptr<const std::vector<Row>> rows;  ///< kInsert only
+};
+
 /// \brief Case-insensitive, thread-safe table registry with versions.
 class Catalog {
  public:
-  /// Called (outside the catalog lock) after every write with the
-  /// lower-cased name of the table that changed.
-  using WriteListener = std::function<void(const std::string&)>;
+  /// Called on the catalog's notifier thread — never on the writer's
+  /// thread, never under any catalog lock — once per write, in version
+  /// order. Listeners must not call back into this catalog's write methods
+  /// (a write enqueued from the notifier thread would deadlock
+  /// DrainWrites-style waits and can livelock the queue).
+  using WriteListener = std::function<void(const WriteEvent&)>;
+
+  Catalog() = default;
+  ~Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
 
   /// Registers a table; fails if the name is taken.
   Status RegisterTable(TablePtr table);
@@ -62,14 +99,24 @@ class Catalog {
 
   std::vector<std::string> ListTables() const;
 
-  /// Registers a write listener (invalidation hook for the result cache).
-  /// Listeners must not call back into this catalog's write methods.
+  /// Registers a write listener (cache invalidation / delta maintenance).
   void AddWriteListener(WriteListener listener);
+
+  /// Blocks until every write event enqueued before this call has been
+  /// dispatched to all listeners. Tests use it to observe the post-write
+  /// cache state deterministically; correctness never requires it.
+  void DrainWrites();
 
  private:
   /// Bumps and returns the version of `key` (callers hold the write lock).
   uint64_t BumpVersionLocked(const std::string& key);
-  void NotifyWrite(const std::string& key);
+  /// Version of `key` before a write, 0 if never written (write lock held).
+  uint64_t VersionBeforeLocked(const std::string& key) const;
+  /// Enqueues the event for the notifier thread. Called with the write lock
+  /// held so queue order equals version order; the enqueue itself is O(1)
+  /// plus one mutex, so writers are never blocked behind listener work.
+  void EnqueueWrite(WriteEvent event);
+  void NotifierLoop();
 
   mutable std::shared_mutex mu_;
   std::map<std::string, TablePtr> tables_;  // keyed by lower-cased name
@@ -77,6 +124,17 @@ class Catalog {
 
   mutable std::mutex listeners_mu_;
   std::vector<WriteListener> listeners_;
+
+  // Notifier queue. notify_mu_ orders enqueue/dequeue; dispatching_ covers
+  // the window where an event has left the queue but its listeners are
+  // still running (DrainWrites must wait that out too).
+  std::mutex notify_mu_;
+  std::condition_variable notify_cv_;
+  std::deque<WriteEvent> queue_;
+  bool dispatching_ = false;
+  bool stop_ = false;
+  bool notifier_started_ = false;
+  std::thread notifier_;
 };
 
 }  // namespace sparkline

@@ -28,11 +28,13 @@ namespace {
 ///   exec.stage_task    every other stage runner (project/filter/join/
 ///                      aggregate/sort — the generic per-task site)
 ///   serve.cache_insert ResultCache::Insert (degrades to uncached serving)
+///   serve.delta_apply  IncrementalMaintainer delta application (degrades
+///                      to invalidation — never a stale hit)
 ///   catalog.write      Catalog::InsertInto (copy-on-write publish)
 constexpr const char* kSites[] = {
     "exec.scan",          "exec.local_task", "exec.global_task",
     "exec.exchange",      "exec.stage_task", "serve.cache_insert",
-    "catalog.write",
+    "serve.delta_apply",  "catalog.write",
 };
 
 struct SiteState {

@@ -75,6 +75,11 @@ struct QueryMetrics {
   /// Time spent fingerprinting the plan + probing the cache (hit or miss);
   /// 0 when the cache is disabled or the plan is uncacheable.
   double cache_lookup_ms = 0;
+  /// On a cache hit: how many write deltas the served entry has absorbed
+  /// since it was first computed (serve/incremental.h). A nonzero value is
+  /// the proof a hit survived InsertInto traffic without a recompute;
+  /// always 0 on misses and with sparkline.cache.incremental off.
+  int64_t cache_delta_maintained = 0;
   /// Rows returned to the caller (executed or cached).
   int64_t rows_served = 0;
   /// Estimated bytes of the returned rows; computed only when the result

@@ -11,6 +11,15 @@ namespace serve {
 
 namespace {
 
+uint64_t Fnv1a(const std::string& s, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 /// Builds the canonical rendering of a plan tree (see fingerprint.h for
 /// what is normalized away). Appends into a flat string; structure is kept
 /// unambiguous with explicit parentheses/brackets.
@@ -158,15 +167,6 @@ class Canonicalizer {
   }
 
  private:
-  static uint64_t Fnv1a(const std::string& s, uint64_t seed) {
-    uint64_t h = seed;
-    for (unsigned char c : s) {
-      h ^= c;
-      h *= 0x100000001b3ull;
-    }
-    return h;
-  }
-
   /// ExprIds are minted fresh per analysis; map them to first-seen ordinals
   /// so identical queries canonicalize identically.
   int64_t NormalizeId(ExprId id) {
@@ -318,6 +318,19 @@ PlanFingerprint FingerprintPlan(const LogicalPlanPtr& analyzed) {
   Canonicalizer canon;
   canon.WritePlan(analyzed);
   return std::move(canon).Finish();
+}
+
+PlanFingerprint FingerprintFromCanonical(std::string canonical,
+                                         std::vector<std::string> tables) {
+  PlanFingerprint fp;
+  fp.cacheable = true;
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  fp.tables = std::move(tables);
+  fp.hash_hi = Fnv1a(canonical, 0xcbf29ce484222325ull);
+  fp.hash_lo = Fnv1a(canonical, 0x9e3779b97f4a7c15ull);
+  fp.canonical = std::move(canonical);
+  return fp;
 }
 
 }  // namespace serve

@@ -66,5 +66,15 @@ struct PlanFingerprint {
 /// on every write), not from the live catalog.
 PlanFingerprint FingerprintPlan(const LogicalPlanPtr& analyzed);
 
+/// Rebuilds a fingerprint from an already-canonical rendering — the
+/// re-keying primitive of incremental maintenance (serve/incremental.h):
+/// after a delta is applied, the entry's retained canonical has its
+/// `scan(table@oldver` token rewritten to the new version and is re-hashed
+/// here, producing exactly the key a fresh analysis of the same query
+/// against the new snapshot would compute. `tables` is the referenced-table
+/// list (it is sorted/deduplicated as FingerprintPlan does).
+PlanFingerprint FingerprintFromCanonical(std::string canonical,
+                                         std::vector<std::string> tables);
+
 }  // namespace serve
 }  // namespace sparkline

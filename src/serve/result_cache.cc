@@ -79,30 +79,35 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   return it->second.result;
 }
 
+void ResultCache::InsertLocked(Shard* shard, std::string key,
+                               std::shared_ptr<const CachedResult> entry,
+                               std::vector<std::string> tables) {
+  auto it = shard->entries.find(key);
+  if (it != shard->entries.end()) RemoveLocked(shard, it);
+
+  shard->lru.push_front(key);
+  Entry e;
+  e.result = std::move(entry);
+  e.tables = std::move(tables);
+  e.inserted_nanos = StopWatch::NowNanos();
+  e.lru_it = shard->lru.begin();
+  shard->bytes += e.result->bytes;
+  memory_.Grow(e.result->bytes);
+  for (const std::string& table : e.tables) {
+    shard->by_table[table].push_back(key);
+  }
+  shard->entries.emplace(std::move(key), std::move(e));
+  EvictToBudgetLocked(shard);
+}
+
 Status ResultCache::Insert(const PlanFingerprint& fp,
                            std::shared_ptr<const CachedResult> entry) {
   SL_FAILPOINT("serve.cache_insert");
   if (entry == nullptr || entry->bytes > PerShardBudget()) return Status::OK();
   Shard& shard = ShardFor(fp);
-  std::string key = fp.Key();
   std::lock_guard<std::mutex> lock(shard.mu);
   SweepExpiredTailLocked(&shard, StopWatch::NowNanos());
-  auto it = shard.entries.find(key);
-  if (it != shard.entries.end()) RemoveLocked(&shard, it);
-
-  shard.lru.push_front(key);
-  Entry e;
-  e.result = std::move(entry);
-  e.tables = fp.tables;
-  e.inserted_nanos = StopWatch::NowNanos();
-  e.lru_it = shard.lru.begin();
-  shard.bytes += e.result->bytes;
-  memory_.Grow(e.result->bytes);
-  for (const std::string& table : e.tables) {
-    shard.by_table[table].push_back(key);
-  }
-  shard.entries.emplace(std::move(key), std::move(e));
-  EvictToBudgetLocked(&shard);
+  InsertLocked(&shard, fp.Key(), std::move(entry), fp.tables);
   return Status::OK();
 }
 
@@ -121,6 +126,64 @@ void ResultCache::InvalidateTable(const std::string& table_name) {
       invalidations_.fetch_add(1);
     }
   }
+}
+
+std::vector<std::shared_ptr<const CachedResult>> ResultCache::EntriesForTable(
+    const std::string& table_name) {
+  std::vector<std::shared_ptr<const CachedResult>> out;
+  const int64_t now = StopWatch::NowNanos();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto t = shard.by_table.find(table_name);
+    if (t == shard.by_table.end()) continue;
+    for (const std::string& key : t->second) {
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end() || Expired(it->second, now)) continue;
+      out.push_back(it->second.result);
+    }
+  }
+  return out;
+}
+
+void ResultCache::Remove(const PlanFingerprint& fp,
+                         const std::shared_ptr<const CachedResult>& expected) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(fp.Key());
+  if (it == shard.entries.end() || it->second.result != expected) return;
+  RemoveLocked(&shard, it);
+  invalidations_.fetch_add(1);
+}
+
+bool ResultCache::Replace(const PlanFingerprint& old_fp,
+                          const std::shared_ptr<const CachedResult>& expected,
+                          std::shared_ptr<const CachedResult> next) {
+  if (next == nullptr || next->bytes > PerShardBudget()) {
+    // The successor does not fit the budget; the old entry describes a
+    // stale table version, so drop it rather than keep serving it.
+    Remove(old_fp, expected);
+    return false;
+  }
+  Shard* src = &ShardFor(old_fp);
+  Shard* dst = &ShardFor(next->fingerprint);
+  std::unique_lock<std::mutex> lock_a;
+  std::unique_lock<std::mutex> lock_b;
+  if (src == dst) {
+    lock_a = std::unique_lock<std::mutex>(src->mu);
+  } else {
+    // Both shards locked, in address order (the only two-lock path).
+    Shard* first = src < dst ? src : dst;
+    Shard* second = src < dst ? dst : src;
+    lock_a = std::unique_lock<std::mutex>(first->mu);
+    lock_b = std::unique_lock<std::mutex>(second->mu);
+  }
+  auto it = src->entries.find(old_fp.Key());
+  if (it == src->entries.end() || it->second.result != expected) return false;
+  RemoveLocked(src, it);
+  std::string new_key = next->fingerprint.Key();
+  std::vector<std::string> tables = next->fingerprint.tables;
+  InsertLocked(dst, std::move(new_key), std::move(next), std::move(tables));
+  return true;
 }
 
 void ResultCache::Clear() {

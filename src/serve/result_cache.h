@@ -47,13 +47,31 @@
 namespace sparkline {
 namespace serve {
 
+struct DeltaRecipe;  // serve/incremental.h
+
 /// \brief One cached result: the output header plus a shared immutable row
-/// snapshot.
+/// snapshot, and (when the plan shape supports it) the metadata incremental
+/// maintenance needs to evolve the entry under writes instead of dropping
+/// it. A CachedResult is immutable once published — maintenance builds a
+/// *successor* CachedResult and swaps it in via Replace().
 struct CachedResult {
   std::vector<Attribute> attrs;
   std::shared_ptr<const std::vector<Row>> rows;
   /// Estimated footprint charged against the byte budget.
   int64_t bytes = 0;
+  /// The fingerprint this entry is stored under (retained so maintenance
+  /// can rewrite the canonical's table version and re-key the successor).
+  PlanFingerprint fingerprint;
+  /// How to delta-maintain this entry under InsertInto; null = the plan
+  /// shape is invalidation-only.
+  std::shared_ptr<const DeltaRecipe> recipe;
+  /// Version of the scanned-table snapshot this entry reflects (only set
+  /// when `recipe` is; the maintainer advances it on every applied delta
+  /// and uses it to gate out-of-order/gapped write events).
+  uint64_t table_version = 0;
+  /// Write deltas this entry has absorbed since it was first computed
+  /// (surfaced as QueryMetrics::cache_delta_maintained on hits).
+  int64_t delta_count = 0;
 };
 
 /// \brief Sharded, TTL-aware, byte-budgeted LRU result cache.
@@ -96,6 +114,28 @@ class ResultCache {
   /// Drops exactly the entries whose fingerprint referenced `table_name`
   /// (lower-cased catalog key).
   void InvalidateTable(const std::string& table_name);
+
+  /// Snapshot of the resident (non-expired) entries whose fingerprint
+  /// references `table_name` — the incremental maintainer's work list.
+  /// Touches no LRU positions and no hit/miss counters.
+  std::vector<std::shared_ptr<const CachedResult>> EntriesForTable(
+      const std::string& table_name);
+
+  /// Removes the entry for `fp` iff its stored result is still `expected`
+  /// (compare-and-swap against concurrent Insert/Replace; a changed entry
+  /// is left alone). Counted as an invalidation when it removes.
+  void Remove(const PlanFingerprint& fp,
+              const std::shared_ptr<const CachedResult>& expected);
+
+  /// Atomically replaces the entry under `old_fp` — iff its stored result
+  /// is still `expected` — with `next`, keyed under next->fingerprint
+  /// (which may live in a different shard; both shard locks are taken in
+  /// address order). Returns false, modifying nothing, when the old entry
+  /// changed or vanished concurrently. Not counted as hit/miss/eviction;
+  /// the byte budget moves from the old entry's footprint to the new one's.
+  bool Replace(const PlanFingerprint& old_fp,
+               const std::shared_ptr<const CachedResult>& expected,
+               std::shared_ptr<const CachedResult> next);
 
   /// Drops everything.
   void Clear();
@@ -147,6 +187,11 @@ class ResultCache {
   /// Removes `it` from all shard structures; caller holds shard.mu.
   void RemoveLocked(Shard* shard,
                     std::unordered_map<std::string, Entry>::iterator it);
+  /// Admits `entry` under `key` (replacing any current entry) and evicts to
+  /// budget; caller holds shard.mu. Shared by Insert and Replace.
+  void InsertLocked(Shard* shard, std::string key,
+                    std::shared_ptr<const CachedResult> entry,
+                    std::vector<std::string> tables);
   /// Evicts LRU entries until the shard fits its budget; caller holds mu.
   void EvictToBudgetLocked(Shard* shard);
   /// Drops expired entries from the LRU tail (stops at the first live one);

@@ -833,5 +833,128 @@ Result<std::vector<Row>> ColumnarAllPairsSkyline(
   return MaterializeRows(input, survivors);
 }
 
+Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
+                                          const std::vector<Row>& batch,
+                                          const std::vector<BoundDimension>& dims,
+                                          const SkylineOptions& options) {
+  if (options.nulls != NullSemantics::kComplete) {
+    return Status::Invalid(
+        "DeltaClassify requires complete dominance semantics (incomplete "
+        "dominance is non-transitive, so the cached skyline is not a "
+        "sufficient witness set)");
+  }
+  SL_RETURN_NOT_OK(CheckDimensionLimit(dims));
+  DeltaClassification out;
+  const size_t n = skyline.size();
+  const size_t m = batch.size();
+  if (m == 0) return out;
+
+  // One combined projection — skyline rows first, batch rows after — so
+  // both sides share packed keys and one VARCHAR dictionary (codes are only
+  // comparable within a single matrix).
+  std::vector<Row> combined;
+  combined.reserve(n + m);
+  combined.insert(combined.end(), skyline.begin(), skyline.end());
+  combined.insert(combined.end(), batch.begin(), batch.end());
+  std::optional<DominanceMatrix> matrix =
+      DominanceMatrix::TryBuild(combined, dims);
+  if (matrix.has_value()) {
+    CountMatrixBuild(options);
+    if (matrix->has_nulls()) {
+      out.needs_fallback = true;
+      return out;
+    }
+  } else {
+    for (const Row& row : combined) {
+      if (NullBitmap(row, dims) != 0) {
+        out.needs_fallback = true;
+        return out;
+      }
+    }
+  }
+  ScopedReservation reservation(
+      options.memory, matrix.has_value() ? matrix->MemoryBytes() : 0);
+
+  const auto compare = [&](size_t a, size_t b) {
+    internal::CountTest(options);
+    if (matrix.has_value()) {
+      return matrix->Compare(static_cast<uint32_t>(a),
+                             static_cast<uint32_t>(b),
+                             NullSemantics::kComplete);
+    }
+    return CompareRows(combined[a], combined[b], dims,
+                       NullSemantics::kComplete);
+  };
+
+  // Phase A: a batch tuple survives iff no cached skyline point dominates
+  // it (sufficient by transitivity, see header). DISTINCT dim-equality with
+  // a cached point cannot be replayed exactly -> conservative fallback.
+  std::vector<uint32_t> candidates;
+  for (size_t j = 0; j < m; ++j) {
+    const size_t bj = n + j;
+    bool dominated = false;
+    for (size_t i = 0; i < n && !dominated; ++i) {
+      switch (compare(i, bj)) {
+        case Dominance::kLeftDominates:
+          dominated = true;
+          break;
+        case Dominance::kEqual:
+          if (options.distinct) {
+            out.needs_fallback = true;
+            return out;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (!dominated) candidates.push_back(static_cast<uint32_t>(j));
+  }
+
+  // Phase B: reduce the survivors to their own skyline — a tuple dominated
+  // only by another *new* tuple must not enter either. Pairwise elimination
+  // is exact under transitive dominance: every dominated candidate has an
+  // undominated (hence never-eliminated) dominator that removes it.
+  std::vector<char> dead(candidates.size(), 0);
+  for (size_t a = 0; a < candidates.size(); ++a) {
+    if (dead[a]) continue;
+    for (size_t b = a + 1; b < candidates.size() && !dead[a]; ++b) {
+      if (dead[b]) continue;
+      switch (compare(n + candidates[a], n + candidates[b])) {
+        case Dominance::kLeftDominates:
+          dead[b] = 1;
+          break;
+        case Dominance::kRightDominates:
+          dead[a] = 1;
+          break;
+        case Dominance::kEqual:
+          if (options.distinct) {
+            out.needs_fallback = true;
+            return out;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (!dead[a]) out.entering.push_back(candidates[a]);
+  }
+
+  // Phase C: cached points dominated by an entering tuple are evicted.
+  // kEqual never evicts: without DISTINCT equal tuples coexist, and
+  // DISTINCT equality already fell back above.
+  if (!out.entering.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t j : out.entering) {
+        if (compare(n + j, i) == Dominance::kLeftDominates) {
+          out.evicted.push_back(static_cast<uint32_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace skyline
 }  // namespace sparkline

@@ -548,5 +548,46 @@ Result<std::vector<Row>> ColumnarAllPairsSkyline(
     const std::vector<Row>& input, const std::vector<BoundDimension>& dims,
     const SkylineOptions& options);
 
+/// \brief Outcome of classifying a batch of inserted tuples against an
+/// already-computed skyline (the incremental-maintenance kernel,
+/// serve/incremental.h).
+struct DeltaClassification {
+  /// Batch indices (ascending) whose tuples enter the skyline.
+  std::vector<uint32_t> entering;
+  /// Skyline indices (ascending) evicted because an entering tuple
+  /// dominates them.
+  std::vector<uint32_t> evicted;
+  /// True when exactness cannot be certified and the caller must fall back
+  /// to recompute/invalidation: a NULL in a skyline dimension (complete
+  /// semantics over NULL placeholders is not what the engine's row path
+  /// computes), or — under DISTINCT — a batch tuple dim-equal to a cached
+  /// point or to another batch tuple (replaying the first-encountered
+  /// tie-break exactly would require the full input order, which the
+  /// cached skyline no longer carries).
+  bool needs_fallback = false;
+};
+
+/// \brief Classifies `batch` against `skyline` under complete dominance
+/// semantics: a batch tuple dominated by a cached point (or by another
+/// batch tuple) is discarded; the rest enter and evict the cached points
+/// they dominate. Exactness (tests/incremental_test.cc proves it
+/// differentially): because complete dominance is transitive and `skyline`
+/// is the skyline of its input T, any old tuple dominating a batch tuple q
+/// has a representative in `skyline` dominating q, so comparing against the
+/// cached skyline alone suffices — skyline(T ∪ B) =
+/// (skyline \ evicted) ∪ entering. This is NOT sound under incomplete
+/// semantics (non-transitive dominance: a dominated non-skyline tuple can
+/// dominate q while no skyline point does), so options.nulls must be
+/// kComplete — kIncomplete is rejected with Status::Invalid.
+///
+/// Uses one combined DominanceMatrix projection (skyline rows then batch
+/// rows) with the packed-key compare kernel, falling back to row
+/// comparisons when TryBuild refuses the shape. Cost: O((|S| + |B|)·|B|)
+/// dominance tests — independent of the table size.
+Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
+                                          const std::vector<Row>& batch,
+                                          const std::vector<BoundDimension>& dims,
+                                          const SkylineOptions& options);
+
 }  // namespace skyline
 }  // namespace sparkline

@@ -287,6 +287,42 @@ TEST_F(FaultInjectionTest, CacheInsertFaultDegradesToUncachedServing) {
   }
 }
 
+// A fault while delta-maintaining a cached skyline (serve.delta_apply)
+// degrades to invalidation: the faulted delta is discarded, the entry is
+// dropped, and the next query recomputes — a miss, never a stale hit.
+TEST_F(FaultInjectionTest, DeltaApplyFaultDegradesToInvalidation) {
+  for (const std::string spec : {"error(internal)", "throw"}) {
+    SCOPED_TRACE(spec);
+    Session session;
+    RegisterData(&session);
+    ASSERT_OK(session.SetConf("sparkline.cache.enabled", "true"));
+    const std::string sql = "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MAX";
+    ASSERT_OK_AND_ASSIGN(DataFrame df, session.Sql(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult warm, df.Collect());
+    EXPECT_GT(warm.num_rows(), 0u);
+
+    ASSERT_OK(session.SetConf("sparkline.failpoints",
+                              StrCat("serve.delta_apply=", spec)));
+    ASSERT_OK_AND_ASSIGN(TablePtr table, session.catalog()->GetTable("pts"));
+    ASSERT_OK(session.catalog()->InsertInto("pts", {table->rows().front()}));
+    session.catalog()->DrainWrites();
+    ASSERT_OK(session.SetConf("sparkline.failpoints", ""));
+
+    const auto stats = session.maintainer()->stats();
+    EXPECT_EQ(stats.maintained, 0);
+    EXPECT_GT(stats.fallbacks, 0);
+
+    // Re-parse so the fingerprint reflects the new table version; the
+    // result must be a miss that matches an uncached plan-level run.
+    ASSERT_OK_AND_ASSIGN(DataFrame df2, session.Sql(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult after, df2.Collect());
+    EXPECT_FALSE(after.metrics.cache_hit);
+    ASSERT_OK_AND_ASSIGN(std::vector<std::string> oracle,
+                         RunPlanLevel(&session, sql));
+    EXPECT_EQ(RowStrings(after.rows()), oracle);
+  }
+}
+
 // Catalog writes fail atomically under injection: no rows land, no version
 // bumps, and the table serves reads as if the write never happened.
 TEST_F(FaultInjectionTest, CatalogWriteFaultIsAtomic) {

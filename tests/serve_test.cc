@@ -4,6 +4,7 @@
 // brute-force oracle. A cache hit must be *bit-identical* to uncached
 // execution — same rows, same order, in fact the same shared snapshot.
 #include <future>
+#include <mutex>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -176,18 +177,41 @@ TEST(CatalogVersionTest, MonotonicPerTableVersions) {
   EXPECT_EQ(current->num_rows(), rows_before + 1);
 }
 
-TEST(CatalogVersionTest, WriteListenerFiresWithLowercasedKey) {
+TEST(CatalogVersionTest, WriteListenerObservesOrderedEventsWithPayload) {
   Catalog catalog;
-  std::vector<std::string> events;
-  catalog.AddWriteListener(
-      [&](const std::string& name) { events.push_back(name); });
+  // The listener runs on the notifier thread; DrainWrites makes the
+  // post-write state observable deterministically.
+  std::mutex mu;
+  std::vector<WriteEvent> events;
+  catalog.AddWriteListener([&](const WriteEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(event);
+  });
   ASSERT_OK(catalog.RegisterTable(SmallPoints("MixedCase")));
   ASSERT_OK(catalog.InsertInto(
       "mixedcase",
       {Row{Value::Int64(11), Value::Double(2.0), Value::Double(2.0)}}));
   ASSERT_OK(catalog.DropTable("MIXEDCASE"));
-  EXPECT_EQ(events,
-            (std::vector<std::string>{"mixedcase", "mixedcase", "mixedcase"}));
+  catalog.DrainWrites();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, WriteEvent::Kind::kRegister);
+  EXPECT_EQ(events[1].kind, WriteEvent::Kind::kInsert);
+  EXPECT_EQ(events[2].kind, WriteEvent::Kind::kDrop);
+  for (const WriteEvent& event : events) {
+    EXPECT_EQ(event.table, "mixedcase");  // lower-cased catalog key
+    EXPECT_GT(event.new_version, event.old_version);
+  }
+  // Events arrive in version order; an insert carries the inserted rows,
+  // the other kinds carry none.
+  EXPECT_EQ(events[0].new_version, events[1].old_version);
+  EXPECT_EQ(events[1].new_version, events[2].old_version);
+  EXPECT_EQ(events[0].rows, nullptr);
+  ASSERT_NE(events[1].rows, nullptr);
+  ASSERT_EQ(events[1].rows->size(), 1u);
+  EXPECT_EQ((*events[1].rows)[0][0].int64_value(), 11);
+  EXPECT_EQ(events[2].rows, nullptr);
 }
 
 // --- result cache mechanics -------------------------------------------------
@@ -355,6 +379,10 @@ TEST(CachedExecutionTest, HitIsBitIdenticalAndMetricsDistinguish) {
 TEST(CachedExecutionTest, InsertAndDropInvalidate) {
   Session session;
   ASSERT_OK(session.SetConf("sparkline.cache.enabled", "true"));
+  // Incremental maintenance off: this test pins the classic
+  // write-invalidates behaviour (the maintained path is covered by
+  // incremental_test.cc).
+  ASSERT_OK(session.SetConf("sparkline.cache.incremental", "false"));
   ASSERT_OK(session.catalog()->RegisterTable(SmallPoints()));
   const std::string sql = "SELECT * FROM pts SKYLINE OF x MIN, y MAX";
 
@@ -363,9 +391,10 @@ TEST(CachedExecutionTest, InsertAndDropInvalidate) {
   EXPECT_FALSE(r1.metrics.cache_hit);
 
   // The new point dominates everything: the cached result must not be
-  // served after the insert.
+  // served after the insert. Invalidation runs on the notifier thread.
   ASSERT_OK(session.catalog()->InsertInto(
       "pts", {Row{Value::Int64(7), Value::Double(0.0), Value::Double(99.0)}}));
+  session.catalog()->DrainWrites();
   EXPECT_GE(session.cache()->stats().invalidations, 1);
 
   ASSERT_OK_AND_ASSIGN(DataFrame df2, session.Sql(sql));
@@ -377,6 +406,7 @@ TEST(CachedExecutionTest, InsertAndDropInvalidate) {
   // Drop + recreate: stale entries must not resurface either.
   ASSERT_OK(session.catalog()->DropTable("pts"));
   ASSERT_OK(session.catalog()->RegisterTable(SmallPoints()));
+  session.catalog()->DrainWrites();
   ASSERT_OK_AND_ASSIGN(DataFrame df3, session.Sql(sql));
   ASSERT_OK_AND_ASSIGN(QueryResult r3, df3.Collect());
   EXPECT_FALSE(r3.metrics.cache_hit);
