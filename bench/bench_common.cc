@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace sparkline {
@@ -21,13 +22,20 @@ BenchConfig ParseArgs(int argc, char** argv) {
     } else if (arg == "--quick") {
       config.scale = 0.25;
       config.timeout_ms = 5000;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      config.json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--scale=X] [--timeout-ms=N] [--grid] [--quick]\n"
+          "usage: %s [--scale=X] [--timeout-ms=N] [--grid] [--quick] "
+          "[--json=PATH]\n"
           "  --scale=X       multiply dataset sizes by X (default 1.0)\n"
           "  --timeout-ms=N  per-query timeout (default 20000)\n"
           "  --grid          also run the appendix parameter grids\n"
-          "  --quick         scale 0.25 and a 5 s timeout\n",
+          "  --quick         scale 0.25 and a 5 s timeout\n"
+          "  --json=PATH     dump the metrics-registry JSON snapshot to PATH"
+          " at exit\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -36,6 +44,20 @@ BenchConfig ParseArgs(int argc, char** argv) {
     }
   }
   return config;
+}
+
+void MaybeDumpMetricsJson(const BenchConfig& config) {
+  if (config.json_path.empty()) return;
+  std::FILE* f = std::fopen(config.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for the metrics snapshot\n",
+                 config.json_path.c_str());
+    return;
+  }
+  const std::string json = metrics::MetricsRegistry::Global().JsonSnapshot();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics snapshot written to %s\n", config.json_path.c_str());
 }
 
 const std::vector<Algorithm>& CompleteAlgorithms() {

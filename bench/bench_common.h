@@ -34,9 +34,17 @@ struct BenchConfig {
   bool grid = false;
   /// Simulated per-executor memory overhead (MB).
   int64_t executor_overhead_mb = 64;
+  /// When non-empty: dump the process-wide metrics-registry JSON snapshot
+  /// to this path when the binary finishes (--json=PATH / --json PATH).
+  std::string json_path;
 };
 
 BenchConfig ParseArgs(int argc, char** argv);
+
+/// Writes MetricsRegistry::Global().JsonSnapshot() to config.json_path
+/// (no-op when the flag was not given). Called by benches at exit so runs
+/// leave a machine-readable counter/histogram trajectory next to the tables.
+void MaybeDumpMetricsJson(const BenchConfig& config);
 
 /// One of the four algorithms of paper section 6.3.
 struct Algorithm {

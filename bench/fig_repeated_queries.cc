@@ -346,5 +346,6 @@ int main(int argc, char** argv) {
     }
   }
   if (smoke) std::printf("\nsmoke checks passed\n");
+  MaybeDumpMetricsJson(config);
   return 0;
 }

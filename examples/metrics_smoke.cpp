@@ -1,0 +1,132 @@
+// CI smoke for the serve-tier observability surface: runs a few queries,
+// then asserts the Prometheus scrape (Session::MetricsText) is non-empty
+// and grammar-valid — every line is either a `# TYPE name kind` comment or
+// a `name[{labels}] value` sample. Exits non-zero (SL_CHECK aborts) on any
+// violation, so a build whose metrics wiring regressed fails the smoke job.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/dataframe.h"
+#include "api/session.h"
+#include "common/logging.h"
+#include "datagen/datagen.h"
+
+using namespace sparkline;  // NOLINT
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool IsMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// `# TYPE <name> counter|gauge|histogram`
+void CheckTypeLine(const std::string& line) {
+  SL_CHECK(line.rfind("# TYPE ", 0) == 0) << "bad comment line: " << line;
+  const std::string rest = line.substr(7);
+  const size_t space = rest.find(' ');
+  SL_CHECK(space != std::string::npos) << "bad TYPE line: " << line;
+  const std::string name = rest.substr(0, space);
+  const std::string kind = rest.substr(space + 1);
+  SL_CHECK(IsMetricName(name)) << "bad metric name in: " << line;
+  SL_CHECK(kind == "counter" || kind == "gauge" || kind == "histogram")
+      << "bad metric kind in: " << line;
+}
+
+/// `name value` or `name{k="v",...} value`
+void CheckSampleLine(const std::string& line) {
+  const size_t space = line.rfind(' ');
+  SL_CHECK(space != std::string::npos) << "no value in: " << line;
+  std::string series = line.substr(0, space);
+  SL_CHECK(IsNumber(line.substr(space + 1))) << "bad value in: " << line;
+  const size_t brace = series.find('{');
+  if (brace != std::string::npos) {
+    SL_CHECK(series.back() == '}') << "unterminated labels in: " << line;
+    const std::string labels =
+        series.substr(brace + 1, series.size() - brace - 2);
+    SL_CHECK(!labels.empty()) << "empty label block in: " << line;
+    series = series.substr(0, brace);
+  }
+  SL_CHECK(IsMetricName(series)) << "bad series name in: " << line;
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  SL_CHECK_OK(session.SetConf("sparkline.executors", "4"));
+  SL_CHECK_OK(session.SetConf("sparkline.cache.enabled", "true"));
+  SL_CHECK_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "smoke_pts", 500, 3, datagen::PointDistribution::kAntiCorrelated, 5)));
+
+  const char* queries[] = {
+      "SELECT id, d0, d1, d2 FROM smoke_pts SKYLINE OF d0 MIN, d1 MIN, d2 MIN",
+      // Same query again: must hit the result cache.
+      "SELECT id, d0, d1, d2 FROM smoke_pts SKYLINE OF d0 MIN, d1 MIN, d2 MIN",
+      "SELECT id, d0, d1 FROM smoke_pts SKYLINE OF d0 MIN, d1 MAX",
+  };
+  for (const char* sql : queries) {
+    auto df = session.Sql(sql);
+    SL_CHECK(df.ok()) << df.status().ToString();
+    auto result = df->Collect();
+    SL_CHECK(result.ok()) << result.status().ToString();
+    SL_CHECK(result->num_rows() > 0) << sql;
+  }
+
+  const std::string text = session.MetricsText();
+  SL_CHECK(!text.empty()) << "MetricsText() returned an empty scrape";
+
+  const std::vector<std::string> lines = SplitLines(text);
+  size_t samples = 0;
+  for (const std::string& line : lines) {
+    if (line[0] == '#') {
+      CheckTypeLine(line);
+    } else {
+      CheckSampleLine(line);
+      ++samples;
+    }
+  }
+  SL_CHECK(samples > 0) << "scrape has no samples";
+
+  // The queries above must have left their fingerprints.
+  for (const char* needle :
+       {"sparkline_cache_hits_total", "sparkline_cache_misses_total",
+        "sparkline_stage_us_bucket", "sparkline_stage_us_count"}) {
+    SL_CHECK(text.find(needle) != std::string::npos)
+        << "scrape is missing " << needle;
+  }
+
+  std::printf("metrics smoke OK: %zu lines, %zu samples\n", lines.size(),
+              samples);
+  return 0;
+}

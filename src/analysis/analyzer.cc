@@ -119,7 +119,8 @@ class Resolver {
       case PlanKind::kSkyline:
         return ResolveSkyline(static_cast<const SkylineNode&>(*plan), outer);
       case PlanKind::kDistinct:
-      case PlanKind::kLimit: {
+      case PlanKind::kLimit:
+      case PlanKind::kExplainAnalyze: {
         SL_ASSIGN_OR_RETURN(LogicalPlanPtr child,
                             Resolve(plan->children()[0], outer));
         return child == plan->children()[0] ? plan

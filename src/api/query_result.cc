@@ -7,39 +7,36 @@
 namespace sparkline {
 
 std::string QueryMetrics::ToString() const {
-  std::string out =
-      StrCat("wall=", DoubleToString(wall_ms), "ms simulated=",
-             DoubleToString(simulated_ms),
-             "ms peak_mem=", peak_memory_bytes / (1 << 20),
-             "MB dominance_tests=", dominance_tests,
-             " rows_shuffled=", rows_shuffled);
-  if (sfs_early_stops > 0 || sfs_rows_skipped > 0) {
-    out += StrCat(" sfs_skipped=", sfs_rows_skipped,
-                  " sfs_stops=", sfs_early_stops);
-  }
-  if (cache_lookup_ms > 0 || cache_hit) {
-    out += StrCat(" cache=", cache_hit ? "hit" : "miss",
-                  " cache_lookup=", DoubleToString(cache_lookup_ms), "ms");
-    if (cache_delta_maintained > 0) {
-      out += StrCat(" cache_deltas=", cache_delta_maintained);
-    }
-  }
-  if (projection_ms > 0 || decode_ms > 0 || !matrix_builds.empty() ||
-      !matrix_reuses.empty()) {
-    int64_t builds = 0;
-    int64_t reuses = 0;
-    for (const auto& [label, n] : matrix_builds) builds += n;
-    for (const auto& [label, n] : matrix_reuses) reuses += n;
-    out += StrCat(" projection=", DoubleToString(projection_ms),
-                  "ms decode=", DoubleToString(decode_ms),
-                  "ms matrix_builds=", builds, " matrix_reuses=", reuses);
-  }
-  if (tasks_retried > 0 || tasks_failed > 0) {
-    out += StrCat(" tasks_retried=", tasks_retried,
-                  " tasks_failed=", tasks_failed);
-  }
-  out += StrCat(" rows_served=", rows_served, " bytes_served=", bytes_served);
-  return out;
+  // Every field, every time, in a stable order (tests pin this format).
+  // Conditional fields proved to hide regressions: a counter that silently
+  // stopped printing looked identical to one that stopped counting.
+  int64_t builds = 0;
+  int64_t reuses = 0;
+  for (const auto& [label, n] : matrix_builds) builds += n;
+  for (const auto& [label, n] : matrix_reuses) reuses += n;
+  return StrCat(
+      "wall=", DoubleToString(wall_ms),
+      "ms simulated=", DoubleToString(simulated_ms),
+      "ms peak_mem=", peak_memory_bytes / (1 << 20),
+      "MB dominance_tests=", dominance_tests,
+      " rows_shuffled=", rows_shuffled,
+      " tasks_retried=", tasks_retried,
+      " tasks_failed=", tasks_failed,
+      " cache=", cache_hit ? "hit" : "miss",
+      " cache_lookup=", DoubleToString(cache_lookup_ms),
+      "ms cache_deltas=", cache_delta_maintained,
+      " projection=", DoubleToString(projection_ms),
+      "ms decode=", DoubleToString(decode_ms),
+      "ms matrix_builds=", builds,
+      " matrix_reuses=", reuses,
+      " sfs_skipped=", sfs_rows_skipped,
+      " sfs_stops=", sfs_early_stops,
+      " rows_served=", rows_served,
+      " bytes_served=", bytes_served);
+}
+
+std::string QueryResult::TraceJson() const {
+  return TraceChromeJson(trace.get());
 }
 
 int64_t EstimatedRowsBytes(const std::vector<Row>& rows) {

@@ -23,6 +23,16 @@ namespace sparkline {
 struct QueryResult {
   std::vector<Attribute> attrs;
   QueryMetrics metrics;
+  /// The query's span tree (root "query" span, one child per stage, one
+  /// grandchild per partition task). Null when tracing is disabled
+  /// (sparkline.trace.enabled = false) or the rows came from the result
+  /// cache (no execution happened). Shared: cache-hit results alias nothing
+  /// here, but copies of a QueryResult share one immutable tree.
+  std::shared_ptr<const TraceSpan> trace;
+
+  /// Chrome trace-event JSON of `trace` (loadable in chrome://tracing /
+  /// Perfetto); empty string when there is no trace.
+  std::string TraceJson() const;
 
   /// The result rows (empty before SetRows).
   const std::vector<Row>& rows() const {

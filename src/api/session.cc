@@ -3,6 +3,7 @@
 #include "api/dataframe.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "sql/parser.h"
@@ -201,6 +202,19 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     config_.cluster.memory_limit_bytes = n;
     return Status::OK();
   }
+  if (k == "sparkline.trace.enabled") {
+    SL_ASSIGN_OR_RETURN(config_.cluster.trace_enabled, ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.log.slow_query_ms") {
+    SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
+    if (n < 0) {
+      return Status::Invalid(
+          "sparkline.log.slow_query_ms must be >= 0 (0 = off)");
+    }
+    config_.log_slow_query_ms = n;
+    return Status::OK();
+  }
   if (k == "sparkline.failpoints") {
     // Process-wide, not per-session: failpoints model machine faults, which
     // do not respect session boundaries. Empty value disarms everything.
@@ -352,8 +366,164 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   return planner.Plan(optimized);
 }
 
+namespace {
+
+/// Renders one physical operator for EXPLAIN ANALYZE: the label annotated
+/// with the critical-path milliseconds actually spent in it, its output
+/// rows, and its matrix-build economy. Multi-stage operators (e.g.
+/// "GlobalSkyline [complete] [partial]"/"[merge]") aggregate their
+/// sub-stage entries and show the split inline. Entries are consumed from
+/// `remaining_ms` so two same-labelled nodes don't double-report (the
+/// topmost occurrence gets the charge — per-label metrics can't tell twins
+/// apart).
+std::string RenderAnalyzeNode(const PhysicalPlan& node, const QueryMetrics& m,
+                              std::map<std::string, double>* remaining_ms) {
+  const std::string label = node.label();
+  const std::string stage_prefix = label + " [";
+  auto belongs = [&](const std::string& key) {
+    return key == label ||
+           key.compare(0, stage_prefix.size(), stage_prefix) == 0;
+  };
+
+  double total_ms = 0;
+  std::vector<std::pair<std::string, double>> stages;
+  for (auto it = remaining_ms->begin(); it != remaining_ms->end();) {
+    if (belongs(it->first)) {
+      total_ms += it->second;
+      stages.emplace_back(it->first, it->second);
+      it = remaining_ms->erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::string line = StrCat(label, " (", FormatFixed(total_ms, 3), " ms");
+  auto rows_it = m.operator_rows.find(label);
+  if (rows_it != m.operator_rows.end()) {
+    line += StrCat(", rows=", rows_it->second);
+  }
+  int64_t builds = 0;
+  int64_t reuses = 0;
+  for (const auto& [key, n] : m.matrix_builds) {
+    if (belongs(key)) builds += n;
+  }
+  for (const auto& [key, n] : m.matrix_reuses) {
+    if (belongs(key)) reuses += n;
+  }
+  if (builds > 0) line += StrCat(", matrix_builds=", builds);
+  if (reuses > 0) line += StrCat(", matrix_reuses=", reuses);
+  line += ")";
+  if (stages.size() > 1) {
+    line += " {";
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += StrCat(stages[i].first, "=", FormatFixed(stages[i].second, 3),
+                     "ms");
+    }
+    line += "}";
+  }
+
+  for (const auto& child : node.children()) {
+    line += "\n";
+    line += Indent(RenderAnalyzeNode(*child, m, remaining_ms), 2);
+  }
+  return line;
+}
+
+/// The EXPLAIN ANALYZE report: the annotated physical tree, the per-stage
+/// critical-path breakdown (which sums to simulated_ms exactly — every
+/// AddStageTime charge lands in both), and the full metrics line.
+std::string RenderExplainAnalyze(const PhysicalPlan& root,
+                                 const QueryMetrics& m) {
+  std::map<std::string, double> remaining = m.operator_ms;
+  std::string out = "== Physical Plan (analyzed) ==\n";
+  out += RenderAnalyzeNode(root, m, &remaining);
+  out += "\n\n== Stage breakdown ==\n";
+  double total = 0;
+  for (const auto& [label, ms] : m.operator_ms) {
+    out += StrCat(label, ": ", FormatFixed(ms, 3), " ms\n");
+    total += ms;
+  }
+  out += StrCat("total (critical path): ", FormatFixed(total, 3),
+                " ms = simulated ", FormatFixed(m.simulated_ms, 3), " ms\n");
+  out += "\n== Query metrics ==\n";
+  out += m.ToString();
+  return out;
+}
+
+}  // namespace
+
+std::string Session::MetricsText() const {
+  return metrics::MetricsRegistry::Global().TextExposition();
+}
+
+void Session::MaybeLogSlowQuery(const serve::PlanFingerprint& fp,
+                                const QueryMetrics& m,
+                                const char* cache_disposition) const {
+  const int64_t threshold = config_.log_slow_query_ms;
+  if (threshold <= 0 || m.wall_ms < static_cast<double>(threshold)) return;
+  static metrics::Counter* slow_total =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_slow_queries_total");
+  slow_total->Increment();
+  // Versions are read at log time, not query time: the line says which
+  // snapshot the tables are at *now*, pairing with the fingerprint key
+  // (which pinned the versions the query actually saw).
+  std::string tables;
+  for (const auto& name : fp.tables) {
+    if (!tables.empty()) tables += ",";
+    tables += StrCat(name, "@", catalog_->TableVersion(name));
+  }
+  std::string stages;
+  for (const auto& [label, ms] : m.operator_ms) {
+    if (!stages.empty()) stages += ",";
+    stages += StrCat(label, "=", FormatFixed(ms, 3));
+  }
+  SL_LOG_WARN << "slow-query key=" << (fp.canonical.empty() ? "-" : fp.Key())
+              << " wall_ms=" << FormatFixed(m.wall_ms, 3)
+              << " simulated_ms=" << FormatFixed(m.simulated_ms, 3)
+              << " threshold_ms=" << threshold << " tables=[" << tables
+              << "] stages=[" << stages << "] cache=" << cache_disposition;
+}
+
 Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan) const {
   return Execute(plan, nullptr);
+}
+
+Result<QueryResult> Session::ExecuteUncached(
+    const LogicalPlanPtr& analyzed, const CancellationTokenPtr& cancel,
+    PhysicalPlanPtr* physical_out) const {
+  SL_ASSIGN_OR_RETURN(LogicalPlanPtr optimized, Optimize(analyzed));
+  SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
+
+  ExecContext ctx(config_.cluster);
+  if (cancel != nullptr) ctx.set_cancel_token(cancel);
+  StopWatch wall;
+  SL_ASSIGN_OR_RETURN(PartitionedRelation rel, physical->Execute(&ctx));
+
+  QueryResult result;
+  result.attrs = rel.attrs;
+  // The plan-root decode: a relation still in columnar-exchange form
+  // materializes its rows exactly here (timed into decode_ms).
+  const bool root_decode = rel.has_batches();
+  StopWatch decode;
+  result.SetRows(std::move(rel).Flatten());
+  if (root_decode) ctx.AddDecodeMs(decode.ElapsedMillis());
+  const double wall_ms = wall.ElapsedMillis();
+  result.metrics = ctx.Finish(wall_ms);
+  result.metrics.rows_served = static_cast<int64_t>(result.num_rows());
+  if (Trace* trace = ctx.trace()) {
+    // Query-level totals live on the root span; only known post-Finish.
+    trace->Annotate(nullptr, "dominance_tests",
+                    std::to_string(result.metrics.dominance_tests));
+    trace->Annotate(nullptr, "peak_memory_bytes",
+                    std::to_string(result.metrics.peak_memory_bytes));
+    trace->Annotate(nullptr, "rows_served",
+                    std::to_string(result.metrics.rows_served));
+  }
+  result.trace = ctx.TakeTrace(wall_ms);
+  if (physical_out != nullptr) *physical_out = std::move(physical);
+  return result;
 }
 
 Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
@@ -362,6 +532,28 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
     return Status::Cancelled("query cancelled before execution");
   }
   SL_ASSIGN_OR_RETURN(LogicalPlanPtr analyzed, Analyze(plan));
+
+  if (analyzed->kind() == PlanKind::kExplainAnalyze) {
+    // EXPLAIN ANALYZE: run the wrapped statement for real — never from the
+    // cache, the point is to measure — then return the annotated physical
+    // tree as the single result row. The child's metrics (and trace) ride
+    // along so callers can reconcile the rendered numbers programmatically.
+    const auto& node = static_cast<const ExplainAnalyzeNode&>(*analyzed);
+    PhysicalPlanPtr physical;
+    SL_ASSIGN_OR_RETURN(QueryResult executed,
+                        ExecuteUncached(node.child(), cancel, &physical));
+    MaybeLogSlowQuery(serve::FingerprintPlan(node.child()), executed.metrics,
+                      "bypass");
+    QueryResult result;
+    result.attrs = analyzed->output();
+    std::vector<Row> rows;
+    rows.push_back(
+        Row{Value::String(RenderExplainAnalyze(*physical, executed.metrics))});
+    result.SetRows(std::move(rows));
+    result.metrics = executed.metrics;
+    result.trace = executed.trace;
+    return result;
+  }
 
   // Consult the fingerprinted result cache (serve layer). The fingerprint
   // is computed post-analysis so lexically different but semantically
@@ -390,31 +582,20 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
         result.metrics.rows_served =
             static_cast<int64_t>(hit->rows->size());
         result.metrics.bytes_served = hit->bytes;
+        MaybeLogSlowQuery(fp, result.metrics, "hit");
         return result;
       }
     }
     // Uncacheable plans report cache_lookup_ms = 0: no probe happened.
+  } else if (config_.log_slow_query_ms > 0) {
+    // The slow-query line keys on the fingerprint even with the cache off;
+    // only worth computing when the log is armed.
+    fp = serve::FingerprintPlan(analyzed);
   }
 
-  SL_ASSIGN_OR_RETURN(LogicalPlanPtr optimized, Optimize(analyzed));
-  SL_ASSIGN_OR_RETURN(PhysicalPlanPtr physical, PlanPhysical(optimized));
-
-  ExecContext ctx(config_.cluster);
-  if (cancel != nullptr) ctx.set_cancel_token(cancel);
-  StopWatch wall;
-  SL_ASSIGN_OR_RETURN(PartitionedRelation rel, physical->Execute(&ctx));
-
-  QueryResult result;
-  result.attrs = rel.attrs;
-  // The plan-root decode: a relation still in columnar-exchange form
-  // materializes its rows exactly here (timed into decode_ms).
-  const bool root_decode = rel.has_batches();
-  StopWatch decode;
-  result.SetRows(std::move(rel).Flatten());
-  if (root_decode) ctx.AddDecodeMs(decode.ElapsedMillis());
-  result.metrics = ctx.Finish(wall.ElapsedMillis());
+  SL_ASSIGN_OR_RETURN(QueryResult result,
+                      ExecuteUncached(analyzed, cancel, nullptr));
   result.metrics.cache_lookup_ms = lookup_ms;
-  result.metrics.rows_served = static_cast<int64_t>(result.num_rows());
   // The byte estimate walks every result cell; only pay for it when the
   // cache needs it for budget charging.
   if (config_.cache_enabled) {
@@ -444,6 +625,9 @@ Result<QueryResult> Session::Execute(const LogicalPlanPtr& plan,
                   << cached.ToString();
     }
   }
+  MaybeLogSlowQuery(
+      fp, result.metrics,
+      use_cache ? "miss" : (config_.cache_enabled ? "uncacheable" : "off"));
   return result;
 }
 

@@ -47,6 +47,11 @@
 //                                           "exec.scan=error*2;
 //                                            exec.exchange=delay:5" —
 //                                           empty disarms all (testing only)
+//   sparkline.trace.enabled                 bool, record per-query trace
+//                                           spans (QueryResult::TraceJson)
+//   sparkline.log.slow_query_ms             wall-clock threshold above which
+//                                           a query emits one structured
+//                                           slow-query log line (0 = off)
 #pragma once
 
 #include <future>
@@ -139,6 +144,14 @@ struct SessionConfig {
   /// admission cap defaults to 4x this). Read when the service is first
   /// used. Key: sparkline.serve.max_concurrent.
   int serve_max_concurrent = 4;
+
+  // --- observability --------------------------------------------------------
+  /// Queries whose wall-clock time is at or above this threshold emit one
+  /// structured slow-query log line (fingerprint, table versions, stage
+  /// breakdown, cache disposition) and count into
+  /// sparkline_slow_queries_total. 0 disables the log. Key:
+  /// sparkline.log.slow_query_ms.
+  int64_t log_slow_query_ms = 0;
 };
 
 /// \brief Per-query EXPLAIN output: the plan after each pipeline stage of
@@ -222,7 +235,28 @@ class Session {
                               const CancellationTokenPtr& cancel) const;
   Result<ExplainInfo> Explain(const LogicalPlanPtr& plan) const;
 
+  /// Prometheus-style text exposition of the process-wide metrics registry
+  /// (counters, gauges, histograms from every layer: serve, cache,
+  /// incremental maintenance, catalog, execution). The registry is shared
+  /// across sessions in the process; this is merely the convenient scrape
+  /// point.
+  std::string MetricsText() const;
+
  private:
+  /// Optimize + plan + execute `analyzed`, bypassing the result cache; the
+  /// shared tail of the cache-miss path and EXPLAIN ANALYZE (which must
+  /// measure a real execution, never a cached one). When `physical_out` is
+  /// non-null the physical plan is handed back for rendering.
+  Result<QueryResult> ExecuteUncached(const LogicalPlanPtr& analyzed,
+                                      const CancellationTokenPtr& cancel,
+                                      PhysicalPlanPtr* physical_out) const;
+
+  /// Emits the structured slow-query line (and counts it) when the query's
+  /// wall time reaches config_.log_slow_query_ms (> 0).
+  void MaybeLogSlowQuery(const serve::PlanFingerprint& fp,
+                         const QueryMetrics& metrics,
+                         const char* cache_disposition) const;
+
   std::shared_ptr<Catalog> catalog_;
   SessionConfig config_;
 

@@ -3,7 +3,9 @@
 #include <atomic>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace sparkline {
 
@@ -14,6 +16,33 @@ namespace {
 // TablePtr is registered into several catalogs (re-stamping can only turn
 // cache hits into misses, never fabricate a colliding key).
 std::atomic<uint64_t> g_version_counter{0};
+
+void CountWrite(WriteEvent::Kind kind) {
+  using metrics::Counter;
+  using metrics::MetricsRegistry;
+  static Counter* reg = MetricsRegistry::Global().GetCounter(
+      "sparkline_catalog_writes_total", {{"kind", "register"}});
+  static Counter* rep = MetricsRegistry::Global().GetCounter(
+      "sparkline_catalog_writes_total", {{"kind", "replace"}});
+  static Counter* ins = MetricsRegistry::Global().GetCounter(
+      "sparkline_catalog_writes_total", {{"kind", "insert"}});
+  static Counter* drp = MetricsRegistry::Global().GetCounter(
+      "sparkline_catalog_writes_total", {{"kind", "drop"}});
+  switch (kind) {
+    case WriteEvent::Kind::kRegister:
+      reg->Increment();
+      break;
+    case WriteEvent::Kind::kReplace:
+      rep->Increment();
+      break;
+    case WriteEvent::Kind::kInsert:
+      ins->Increment();
+      break;
+    case WriteEvent::Kind::kDrop:
+      drp->Increment();
+      break;
+  }
+}
 }  // namespace
 
 Catalog::~Catalog() {
@@ -35,6 +64,9 @@ uint64_t Catalog::VersionBeforeLocked(const std::string& key) const {
 }
 
 void Catalog::EnqueueWrite(WriteEvent event) {
+  // Every committed write passes through here exactly once (listener-free
+  // catalogs included), so this is the single counting point.
+  CountWrite(event.kind);
   {
     // No listeners -> nothing to deliver; skip the queue entirely so
     // listener-free catalogs never grow one.
@@ -67,7 +99,12 @@ void Catalog::NotifierLoop() {
       std::lock_guard<std::mutex> lock(listeners_mu_);
       listeners = listeners_;
     }
+    static metrics::Histogram* dispatch_us =
+        metrics::MetricsRegistry::Global().GetHistogram(
+            "sparkline_catalog_listener_dispatch_us");
+    StopWatch dispatch;
     for (const auto& listener : listeners) listener(event);
+    dispatch_us->Observe(dispatch.ElapsedNanos() / 1000);
     {
       std::lock_guard<std::mutex> lock(notify_mu_);
       dispatching_ = false;

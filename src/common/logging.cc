@@ -1,14 +1,39 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace sparkline {
 namespace internal {
 
 namespace {
-std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+LogLevel LevelFromEnv(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  std::string lower;
+  for (const char* p = value; *p; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "fatal" || lower == "4") return LogLevel::kFatal;
+  return fallback;
+}
+
+// Meyers singleton so the SL_MIN_LOG_LEVEL env read happens exactly once,
+// on first use, regardless of static-init order.
+std::atomic<LogLevel>& MinLevel() {
+  static std::atomic<LogLevel> level{
+      LevelFromEnv(std::getenv("SL_MIN_LOG_LEVEL"), LogLevel::kWarning)};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,10 +50,11 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void SetMinLogLevel(LogLevel level) { g_min_level.store(level); }
-LogLevel GetMinLogLevel() { return g_min_level.load(); }
+void SetMinLogLevel(LogLevel level) { MinLevel().store(level); }
+LogLevel GetMinLogLevel() { return MinLevel().load(); }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -40,10 +66,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level.load() || level_ == LogLevel::kFatal) {
-    std::string line = stream_.str();
-    std::fprintf(stderr, "%s\n", line.c_str());
+  if (level_ >= MinLevel().load() || level_ == LogLevel::kFatal) {
+    stream_ << "\n";
+    // One fputs under the stdio stream lock: concurrent log lines never
+    // interleave mid-line.
+    const std::string line = stream_.str();
+    flockfile(stderr);
+    std::fputs(line.c_str(), stderr);
     std::fflush(stderr);
+    funlockfile(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -1,0 +1,246 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sparkline {
+namespace metrics {
+
+namespace {
+
+/// Position of the most significant set bit (v > 0).
+int MsbIndex(int64_t v) {
+  int o = 0;
+  for (uint64_t u = static_cast<uint64_t>(v); u > 1; u >>= 1) ++o;
+  return o;
+}
+
+/// Renders a label set as {k="v",...} with label names sorted, escaping
+/// backslash, double-quote and newline per the Prometheus text format.
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    for (char c : sorted[i].second) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Splices extra label text into a rendered label block: name + labels +
+/// {le="..."} must merge into one block for histogram bucket series.
+std::string WithExtraLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return StrCat("{", extra, "}");
+  return StrCat(labels.substr(0, labels.size() - 1), ",", extra, "}");
+}
+
+const char* KindName(uint8_t kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  if (v < 4) return static_cast<int>(v);  // exact buckets 1..3
+  int octave = MsbIndex(v);
+  if (octave > kLastOctave) octave = kLastOctave;
+  const int sub = static_cast<int>((v >> (octave - 2)) & 3);
+  return 4 + (octave - kFirstOctave) * 4 + sub;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index <= 3) return index;  // 0, 1, 2, 3
+  const int octave = kFirstOctave + (index - 4) / 4;
+  const int sub = (index - 4) % 4;
+  if (octave >= kLastOctave && sub == 3) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  // Bucket covers [(4+sub) << (octave-2), ((5+sub) << (octave-2)) - 1].
+  return ((static_cast<int64_t>(sub) + 5) << (octave - 2)) - 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_acquire);
+  s.sum = sum_.load(std::memory_order_acquire);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_acquire);
+  }
+  return s;
+}
+
+int64_t Histogram::Snapshot::Percentile(double q) const {
+  if (count <= 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the order statistic (1-based, ceil) the quantile asks for.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetLocked(
+    Kind kind, const std::string& name, const Labels& labels) {
+  const std::string rendered = RenderLabels(labels);
+  const std::string key = name + rendered;
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    SL_CHECK(it->second.kind == kind)
+        << "metric '" << key << "' already registered as "
+        << KindName(static_cast<uint8_t>(it->second.kind))
+        << ", requested as " << KindName(static_cast<uint8_t>(kind));
+    return &it->second;
+  }
+  Instrument inst;
+  inst.kind = kind;
+  inst.name = name;
+  inst.labels = rendered;
+  switch (kind) {
+    case Kind::kCounter:
+      inst.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      inst.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      inst.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &instruments_.emplace(key, std::move(inst)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(Kind::kCounter, name, labels)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(Kind::kGauge, name, labels)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(Kind::kHistogram, name, labels)->histogram.get();
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_typed_name;
+  for (const auto& [key, inst] : instruments_) {
+    if (inst.name != last_typed_name) {
+      out += StrCat("# TYPE ", inst.name, " ",
+                    KindName(static_cast<uint8_t>(inst.kind)), "\n");
+      last_typed_name = inst.name;
+    }
+    switch (inst.kind) {
+      case Kind::kCounter:
+        out += StrCat(inst.name, inst.labels, " ", inst.counter->value(), "\n");
+        break;
+      case Kind::kGauge:
+        out += StrCat(inst.name, inst.labels, " ", inst.gauge->value(), "\n");
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = inst.histogram->snapshot();
+        int64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (s.buckets[i] == 0) continue;  // sparse: skip empty buckets
+          cumulative += s.buckets[i];
+          const int64_t le = Histogram::BucketUpperBound(i);
+          const std::string le_text =
+              le == std::numeric_limits<int64_t>::max()
+                  ? std::string("+Inf")
+                  : std::to_string(le);
+          out += StrCat(
+              inst.name, "_bucket",
+              WithExtraLabel(inst.labels, StrCat("le=\"", le_text, "\"")), " ",
+              cumulative, "\n");
+        }
+        out += StrCat(inst.name, "_bucket",
+                      WithExtraLabel(inst.labels, "le=\"+Inf\""), " ", s.count,
+                      "\n");
+        out += StrCat(inst.name, "_sum", inst.labels, " ", s.sum, "\n");
+        out += StrCat(inst.name, "_count", inst.labels, " ", s.count, "\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, inst] : instruments_) {
+    if (!first) out += ",\n";
+    first = false;
+    std::string escaped;
+    for (char c : key) {
+      if (c == '\\' || c == '"') escaped += '\\';
+      escaped += c;
+    }
+    out += StrCat("  \"", escaped, "\": ");
+    switch (inst.kind) {
+      case Kind::kCounter:
+        out += std::to_string(inst.counter->value());
+        break;
+      case Kind::kGauge:
+        out += std::to_string(inst.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = inst.histogram->snapshot();
+        out += StrCat("{\"count\": ", s.count, ", \"sum\": ", s.sum,
+                      ", \"p50\": ", s.Percentile(0.50),
+                      ", \"p95\": ", s.Percentile(0.95),
+                      ", \"p99\": ", s.Percentile(0.99), "}");
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace sparkline

@@ -1,0 +1,164 @@
+// Process-wide metrics registry: named, labeled counters, gauges and
+// log-bucketed histograms with Prometheus-style text exposition.
+//
+// Design goals, in order:
+//   1. The hot path is cheap enough to leave on in release serving builds:
+//      a Counter::Increment is ONE relaxed atomic add — no lock, no map
+//      lookup, no string formatting. Components resolve their instruments
+//      once (at construction, or via a function-local static) and keep the
+//      raw pointer; instrument pointers are stable for the process lifetime
+//      because the registry never deletes an instrument.
+//   2. Histograms are log-bucketed (4 sub-buckets per power-of-two octave,
+//      <= 25% relative bucket width), so tail quantiles (p95/p99) come out
+//      of ~250 fixed atomic buckets instead of a reservoir — Observe is a
+//      handful of relaxed atomic adds and percentile extraction never
+//      touches the recording threads.
+//   3. Scraping (TextExposition / JsonSnapshot) takes the registry mutex
+//      only to walk the instrument map; instrument values are read with
+//      acquire loads, so a scrape observes every increment that
+//      happened-before it without ever blocking recorders.
+//
+// The registry is process-wide (MetricsRegistry::Global()), mirroring the
+// failpoint registry: serving metrics describe the process, not a session.
+// Sessions expose the scrape through Session::MetricsText(). Tests that
+// assert on counters must therefore compare before/after deltas, not
+// absolute values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sparkline {
+namespace metrics {
+
+/// \brief A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A value that can go up and down (e.g. in-flight queries).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Log-bucketed histogram over non-negative int64 observations
+/// (by convention: microseconds for latency instruments).
+///
+/// Bucket layout: bucket 0 holds v <= 0; buckets 1..3 hold the exact values
+/// 1, 2, 3; from v >= 4 on, each power-of-two octave [2^o, 2^(o+1)) is split
+/// into 4 sub-buckets by the top two mantissa bits. A bucket's width is at
+/// most 25% of its lower bound, so any quantile read from a bucket upper
+/// bound is within 25% of the true order statistic.
+class Histogram {
+ public:
+  /// Buckets: 1 zero/negative + 3 exact + 4 per octave for octaves 2..62.
+  static constexpr int kFirstOctave = 2;
+  static constexpr int kLastOctave = 62;
+  static constexpr int kNumBuckets =
+      4 + 4 * (kLastOctave - kFirstOctave + 1);
+
+  void Observe(int64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket `v` lands in.
+  static int BucketIndex(int64_t v);
+  /// Inclusive upper bound of bucket `index` (the Prometheus `le` value);
+  /// the last bucket reports INT64_MAX and is rendered as +Inf.
+  static int64_t BucketUpperBound(int index);
+
+  /// \brief A point-in-time copy of the bucket counts.
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t buckets[kNumBuckets] = {};
+
+    /// The upper bound of the bucket containing the q-quantile
+    /// (q in [0, 1]); 0 when empty. Within 25% of the true order statistic
+    /// by the bucket-width bound above.
+    int64_t Percentile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+
+  int64_t count() const { return count_.load(std::memory_order_acquire); }
+  int64_t sum() const { return sum_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> count_{0};
+};
+
+/// Label set of one instrument, e.g. {{"reason", "no_recipe"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief The process-wide instrument registry.
+///
+/// Instruments are identified by (name, labels). Getting an instrument that
+/// already exists returns the same pointer; instruments are never removed,
+/// so pointers may be cached indefinitely. Registering the same name with
+/// two different instrument types is a programming error and aborts.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition (one `# TYPE` comment per metric name;
+  /// histograms render cumulative `_bucket{le=...}` series for non-empty
+  /// buckets plus `+Inf`, `_sum` and `_count`).
+  std::string TextExposition() const;
+
+  /// JSON snapshot for the benchmark trajectory files: counters/gauges as
+  /// numbers, histograms as {count, sum, p50, p95, p99}.
+  std::string JsonSnapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    Kind kind;
+    std::string name;    ///< metric name without labels
+    std::string labels;  ///< rendered {k="v",...} or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* GetLocked(Kind kind, const std::string& name,
+                        const Labels& labels);
+
+  mutable std::mutex mu_;
+  /// Keyed by name + rendered labels; std::map so exposition output is
+  /// sorted and same-name series are adjacent.
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace metrics
+}  // namespace sparkline

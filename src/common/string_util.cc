@@ -64,6 +64,12 @@ std::string DoubleToString(double v) {
   return buf;
 }
 
+std::string FormatFixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
 std::string Indent(const std::string& s, int n) {
   std::string pad(static_cast<size_t>(n), ' ');
   std::string out;

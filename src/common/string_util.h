@@ -42,6 +42,9 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Renders a double without trailing noise ("3", "3.5", "3.141593").
 std::string DoubleToString(double v);
 
+/// Renders a double with exactly `digits` fraction digits ("3.500").
+std::string FormatFixed(double v, int digits);
+
 /// Indents every line of `s` by `n` spaces.
 std::string Indent(const std::string& s, int n);
 

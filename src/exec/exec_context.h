@@ -24,6 +24,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "exec/trace.h"
 #include "skyline/dominance.h"
 
 namespace sparkline {
@@ -49,6 +50,10 @@ struct ClusterConfig {
   /// with a clean Status::ResourceExhausted; the executor overhead bytes are
   /// a reporting add-on and do not count against this budget.
   int64_t memory_limit_bytes = 0;
+  /// Record a per-query TraceSpan tree (one span per stage, child spans per
+  /// partition task), exported via QueryResult::TraceJson(). Span recording
+  /// is stage/task-grained, never per-row (sparkline.trace.enabled).
+  bool trace_enabled = true;
 };
 
 /// \brief Everything measured while running one query.
@@ -118,6 +123,10 @@ struct QueryMetrics {
 
   /// Critical-path milliseconds per operator label.
   std::map<std::string, double> operator_ms;
+  /// Output rows per operator label (recorded when the stage's relation is
+  /// charged against the memory budget; cache hits and pure pass-through
+  /// stages have no entry).
+  std::map<std::string, int64_t> operator_rows;
 
   std::string ToString() const;
 };
@@ -133,6 +142,9 @@ class ExecContext {
       deadline_nanos_ = StopWatch::NowNanos() + config_.timeout_ms * 1000000;
     }
     memory_.set_limit_bytes(config_.memory_limit_bytes);
+    if (config_.trace_enabled) {
+      trace_ = std::make_unique<Trace>();
+    }
   }
 
   const ClusterConfig& config() const { return config_; }
@@ -140,6 +152,14 @@ class ExecContext {
   MemoryTracker* memory() { return &memory_; }
   skyline::DominanceCounter* dominance() { return &dominance_; }
   skyline::EarlyStopStats* early_stop() { return &early_stop_; }
+  /// The per-query span recorder, or null when tracing is disabled.
+  Trace* trace() { return trace_.get(); }
+  /// Closes the root "query" span and hands the tree over (null when
+  /// tracing is disabled or the trace was already taken).
+  std::unique_ptr<TraceSpan> TakeTrace(double wall_ms) {
+    if (trace_ == nullptr) return nullptr;
+    return trace_->Finish(wall_ms);
+  }
 
   /// Monotonic deadline in nanoseconds, 0 if none.
   int64_t deadline_nanos() const { return deadline_nanos_; }
@@ -201,6 +221,11 @@ class ExecContext {
     std::lock_guard<std::mutex> lock(mu_);
     rows_shuffled_ += rows;
   }
+  /// Records a stage's output row count under its operator label.
+  void AddStageRows(const std::string& label, int64_t rows) {
+    std::lock_guard<std::mutex> lock(mu_);
+    operator_rows_[label] += rows;
+  }
 
   // --- columnar exchange accounting (thread-safe; stage tasks call these
   // concurrently) -----------------------------------------------------------
@@ -241,12 +266,14 @@ class ExecContext {
     m.matrix_builds = matrix_builds_;
     m.matrix_reuses = matrix_reuses_;
     m.operator_ms = operator_ms_;
+    m.operator_rows = operator_rows_;
     return m;
   }
 
  private:
   ClusterConfig config_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Trace> trace_;
   MemoryTracker memory_;
   skyline::DominanceCounter dominance_;
   skyline::EarlyStopStats early_stop_;
@@ -258,6 +285,7 @@ class ExecContext {
   mutable std::mutex mu_;
   double simulated_ms_ = 0;
   std::map<std::string, double> operator_ms_;
+  std::map<std::string, int64_t> operator_rows_;
   int64_t rows_shuffled_ = 0;
   double projection_ms_ = 0;
   double decode_ms_ = 0;

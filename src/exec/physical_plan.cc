@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/subquery_expr.h"
 #include "expr/evaluator.h"
@@ -51,26 +52,55 @@ Status PhysicalPlan::RunStage(ExecContext* ctx, const std::string& stage_label,
   // Stage-boundary cancellation points: before dispatching any task and
   // after the barrier.
   SL_RETURN_NOT_OK(ctx->CheckInterrupt());
+  Trace* trace = ctx->trace();
+  TraceSpan* stage_span =
+      trace ? trace->StartSpan(nullptr, stage_label, "stage") : nullptr;
   std::vector<Status> statuses(num_partitions);
   std::vector<double> cpu_ms(num_partitions, 0.0);
   ParallelFor(ctx->pool(), num_partitions, [&](size_t i) {
+    TraceSpan* task_span =
+        trace ? trace->StartSpan(stage_span, StrCat("task ", i), "task",
+                                 static_cast<int64_t>(i))
+              : nullptr;
     ThreadCpuTimer timer;
-    statuses[i] = RunTask(ctx, stage_label, i, fn);
+    statuses[i] = RunTask(ctx, stage_label, i, fn, task_span);
     cpu_ms[i] = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+    if (task_span != nullptr) {
+      trace->Annotate(task_span, "cpu_ms", FormatFixed(cpu_ms[i], 3));
+      trace->EndSpan(task_span);
+    }
   });
   // Critical-path model: the stage takes as long as its slowest task
   // (retries included — a re-executed task lengthens its stage).
-  ctx->AddStageTime(stage_label,
-                    *std::max_element(cpu_ms.begin(), cpu_ms.end()));
+  const double critical_ms = *std::max_element(cpu_ms.begin(), cpu_ms.end());
+  ctx->AddStageTime(stage_label, critical_ms);
+  metrics::MetricsRegistry::Global()
+      .GetHistogram("sparkline_stage_us", {{"stage", stage_label}})
+      ->Observe(static_cast<int64_t>(critical_ms * 1000.0));
+  if (stage_span != nullptr) {
+    trace->Annotate(stage_span, "critical_path_ms",
+                    FormatFixed(critical_ms, 3));
+    trace->Annotate(stage_span, "tasks", std::to_string(num_partitions));
+    trace->EndSpan(stage_span);
+  }
   for (const auto& s : statuses) SL_RETURN_NOT_OK(s);
   return ctx->CheckInterrupt();
 }
 
 Status PhysicalPlan::RunTask(ExecContext* ctx, const std::string& stage_label,
                              size_t index,
-                             const std::function<Status(size_t)>& fn) const {
+                             const std::function<Status(size_t)>& fn,
+                             TraceSpan* span) const {
+  // Resolved once per process; Increment is one relaxed atomic add.
+  static metrics::Counter* retried_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_exec_tasks_retried_total");
+  static metrics::Counter* failed_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_exec_tasks_failed_total");
   const int retries = std::max(0, ctx->config().task_retries);
   int64_t backoff_ms = std::max<int64_t>(0, ctx->config().retry_backoff_ms);
+  int faults = 0;
   for (int attempt = 0;; ++attempt) {
     SL_RETURN_NOT_OK(ctx->CheckInterrupt());
     Status s;
@@ -80,6 +110,7 @@ Status PhysicalPlan::RunTask(ExecContext* ctx, const std::string& stage_label,
       // input partition. The bodies themselves never produce retryable
       // statuses, so fn(index) runs at most once to completion.
       s = fail::AnyArmed() ? fail::Hit(failpoint_site()) : Status::OK();
+      if (!s.ok()) ++faults;
       if (s.ok()) s = fn(index);
     } catch (const std::exception& e) {
       s = Status::Internal(StrCat("task ", index, " of stage '", stage_label,
@@ -88,12 +119,25 @@ Status PhysicalPlan::RunTask(ExecContext* ctx, const std::string& stage_label,
       s = Status::Internal(StrCat("task ", index, " of stage '", stage_label,
                                   "' threw a non-std::exception"));
     }
-    if (s.ok()) return s;
-    if (!s.IsRetryable() || attempt >= retries) {
-      ctx->AddTaskFailure();
+    if (s.ok() || !s.IsRetryable() || attempt >= retries) {
+      if (!s.ok()) {
+        ctx->AddTaskFailure();
+        failed_counter->Increment();
+      }
+      if (span != nullptr) {
+        Trace* trace = ctx->trace();
+        if (attempt > 0) {
+          trace->Annotate(span, "retries", std::to_string(attempt));
+        }
+        if (faults > 0) {
+          trace->Annotate(span, "failpoint_fires", std::to_string(faults));
+        }
+        if (!s.ok()) trace->Annotate(span, "error", s.ToString());
+      }
       return s;
     }
     ctx->AddTaskRetries(1);
+    retried_counter->Increment();
     if (backoff_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ms *= 2;
@@ -112,6 +156,11 @@ Status PhysicalPlan::ChargeOutput(ExecContext* ctx,
                ctx->memory()->limit_bytes(), " bytes in use)"));
   }
   out->charge = MemoryCharge(ctx->memory(), bytes);
+  const int64_t rows = static_cast<int64_t>(out->TotalRows());
+  ctx->AddStageRows(label(), rows);
+  if (Trace* trace = ctx->trace()) {
+    trace->AnnotateStage(label(), "rows", std::to_string(rows));
+  }
   // Unconditional side reservations (kernel matrices, hash tables) bypass
   // TryGrow; surface their overshoot here, at the operator boundary.
   return ctx->CheckMemoryLimit();

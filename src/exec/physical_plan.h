@@ -105,9 +105,11 @@ class PhysicalPlan {
 
  private:
   /// One task of a stage: the per-attempt failpoint, the throw guard, and
-  /// the transient-fault retry loop (see RunStage).
+  /// the transient-fault retry loop (see RunStage). `span` (nullable) is the
+  /// task's trace span; retries and fault fires are annotated onto it.
   Status RunTask(ExecContext* ctx, const std::string& stage_label,
-                 size_t index, const std::function<Status(size_t)>& fn) const;
+                 size_t index, const std::function<Status(size_t)>& fn,
+                 TraceSpan* span) const;
 };
 
 // --- leaves ----------------------------------------------------------------

@@ -241,6 +241,10 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanNode(
       return PlanSkyline(static_cast<const SkylineNode&>(*plan));
     case PlanKind::kUnresolvedRelation:
       break;
+    case PlanKind::kExplainAnalyze:
+      // Session::Execute peels the node off before planning; reaching the
+      // planner with it still attached is a routing bug.
+      break;
   }
   return Status::PlanError(
       StrCat("cannot create a physical plan for: ", plan->NodeString()));

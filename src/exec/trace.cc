@@ -1,0 +1,142 @@
+#include "exec/trace.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sparkline {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendSpanEvents(const TraceSpan& span, bool* first, std::string* out) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  // A "complete" event: ts/dur in integer microseconds.
+  *out += StrCat("  {\"name\": \"", JsonEscape(span.name), "\", \"cat\": \"",
+                 JsonEscape(span.kind), "\", \"ph\": \"X\", \"ts\": ",
+                 static_cast<int64_t>(span.start_ms * 1000.0),
+                 ", \"dur\": ", static_cast<int64_t>(span.dur_ms * 1000.0),
+                 ", \"pid\": 1, \"tid\": ", span.tid, ", \"args\": {");
+  for (size_t i = 0; i < span.attrs.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += StrCat("\"", JsonEscape(span.attrs[i].first), "\": \"",
+                   JsonEscape(span.attrs[i].second), "\"");
+  }
+  *out += "}}";
+  for (const auto& child : span.children) {
+    AppendSpanEvents(*child, first, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const TraceSpan*> TraceSpan::ChildrenOfKind(
+    const std::string& kind) const {
+  std::vector<const TraceSpan*> out;
+  for (const auto& child : children) {
+    if (child->kind == kind) out.push_back(child.get());
+  }
+  return out;
+}
+
+Trace::Trace() : origin_nanos_(StopWatch::NowNanos()) {
+  root_ = std::make_unique<TraceSpan>();
+  root_->name = "query";
+  root_->kind = "query";
+}
+
+double Trace::NowMs() const {
+  return static_cast<double>(StopWatch::NowNanos() - origin_nanos_) / 1e6;
+}
+
+TraceSpan* Trace::StartSpan(TraceSpan* parent, std::string name,
+                            std::string kind, int64_t tid) {
+  auto span = std::make_unique<TraceSpan>();
+  TraceSpan* raw = span.get();
+  raw->name = std::move(name);
+  raw->kind = std::move(kind);
+  raw->start_ms = NowMs();
+  raw->tid = tid;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parent == nullptr) parent = root_.get();
+  parent->children.push_back(std::move(span));
+  if (raw->kind == "stage") {
+    bool found = false;
+    for (auto& [stage_name, stage_span] : stages_) {
+      if (stage_name == raw->name) {
+        stage_span = raw;
+        found = true;
+        break;
+      }
+    }
+    if (!found) stages_.emplace_back(raw->name, raw);
+  }
+  return raw;
+}
+
+void Trace::EndSpan(TraceSpan* span) {
+  const double now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  span->dur_ms = now - span->start_ms;
+}
+
+void Trace::Annotate(TraceSpan* span, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr) span = root_.get();
+  span->attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Trace::AnnotateStage(const std::string& stage, std::string key,
+                          std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [stage_name, stage_span] : stages_) {
+    if (stage_name == stage) {
+      stage_span->attrs.emplace_back(std::move(key), std::move(value));
+      return;
+    }
+  }
+}
+
+std::unique_ptr<TraceSpan> Trace::Finish(double wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_->dur_ms = wall_ms;
+  stages_.clear();
+  return std::move(root_);
+}
+
+std::string TraceChromeJson(const TraceSpan* root) {
+  if (root == nullptr) return "";
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  AppendSpanEvents(*root, &first, &out);
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace sparkline

@@ -1,0 +1,85 @@
+// Per-query trace spans: a wall-clock span tree recorded while a query
+// executes, mirroring the paper's per-stage evaluation lens (Figs. 3-10
+// report exactly the per-stage breakdown these spans capture).
+//
+// Shape: one root "query" span; one child span per physical stage (the
+// stage label RunStage records critical-path time under); one grandchild
+// span per partition task. Attributes carry the non-timing facts — rows
+// produced, per-task CPU ms, retries, failpoint-induced faults — and the
+// root collects query-level totals (dominance tests, memory peak).
+//
+// Recording is gated by ClusterConfig::trace_enabled
+// (sparkline.trace.enabled); a disabled trace costs one null check per
+// stage. Span construction takes the trace mutex — stage tasks start/end
+// spans concurrently — but only at stage/task granularity, never per row.
+//
+// Export: QueryResult::TraceJson() renders the tree as Chrome trace-event
+// JSON ("complete" events), loadable in chrome://tracing or Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sparkline {
+
+/// \brief One node of the trace tree. Mutated only through Trace while the
+/// query runs; immutable once the trace is finalized into the QueryResult.
+struct TraceSpan {
+  std::string name;
+  std::string kind;  ///< "query" | "stage" | "task"
+  double start_ms = 0;  ///< wall clock, relative to the trace origin
+  double dur_ms = 0;
+  int64_t tid = 0;  ///< partition index for task spans, 0 otherwise
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  /// Child spans of `kind`, in creation order (test/inspection helper).
+  std::vector<const TraceSpan*> ChildrenOfKind(const std::string& kind) const;
+};
+
+/// \brief The per-query recorder. Owned by ExecContext; thread-safe.
+class Trace {
+ public:
+  Trace();
+
+  /// Milliseconds since the trace origin (the query's execution start).
+  double NowMs() const;
+
+  TraceSpan* root() { return root_.get(); }
+
+  /// Starts a child span of `parent` (the root if null) at the current
+  /// time. The returned pointer stays valid for the trace's lifetime.
+  TraceSpan* StartSpan(TraceSpan* parent, std::string name, std::string kind,
+                       int64_t tid = 0);
+  /// Closes `span` at the current time.
+  void EndSpan(TraceSpan* span);
+  /// Attaches a key/value attribute to `span` (the root if null).
+  void Annotate(TraceSpan* span, std::string key, std::string value);
+
+  /// Annotates the most recently started stage span named `stage` — the
+  /// hook operators use after their stage completed (e.g. output rows,
+  /// known only once the operator assembled its relation).
+  void AnnotateStage(const std::string& stage, std::string key,
+                     std::string value);
+
+  /// Closes the root at `wall_ms` and releases the tree.
+  std::unique_ptr<TraceSpan> Finish(double wall_ms);
+
+ private:
+  int64_t origin_nanos_;
+  std::mutex mu_;
+  std::unique_ptr<TraceSpan> root_;
+  /// Latest stage span per name (for AnnotateStage).
+  std::vector<std::pair<std::string, TraceSpan*>> stages_;
+};
+
+/// Chrome trace-event JSON (an array of "ph":"X" complete events, one per
+/// span; ts/dur in microseconds, pid 1, tid = span tid, attributes under
+/// "args"). Empty string for a null root.
+std::string TraceChromeJson(const TraceSpan* root);
+
+}  // namespace sparkline

@@ -297,4 +297,13 @@ std::string SkylineNode::NodeString() const {
                 complete_ ? " COMPLETE" : "", " [", JoinStrings(dims, ", "), "]");
 }
 
+std::vector<Attribute> ExplainAnalyzeNode::output() const {
+  // One stable synthetic column; minted once per node so repeated output()
+  // calls agree.
+  static const ExprId id = NextExprId();
+  return {Attribute{"plan", DataType::String(), false, id, ""}};
+}
+
+std::string ExplainAnalyzeNode::NodeString() const { return "ExplainAnalyze"; }
+
 }  // namespace sparkline

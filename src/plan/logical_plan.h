@@ -28,6 +28,7 @@ enum class PlanKind : uint8_t {
   kLimit,
   kDistinct,
   kSkyline,
+  kExplainAnalyze,
 };
 
 enum class JoinType : uint8_t { kInner, kLeftOuter, kCross, kLeftSemi, kLeftAnti };
@@ -455,6 +456,31 @@ class SkylineNode : public LogicalPlan {
   bool distinct_;
   bool complete_;
   std::vector<ExprPtr> dimensions_;
+  LogicalPlanPtr child_;
+};
+
+/// \brief EXPLAIN ANALYZE <stmt>: executes the child statement and returns
+/// one row with one string column — the physical plan tree annotated with
+/// the measured per-operator critical-path times, rows, matrix builds /
+/// reuses and SFS skips. Never cache-served (fingerprinting marks it
+/// uncacheable): the measurement IS the point.
+class ExplainAnalyzeNode : public LogicalPlan {
+ public:
+  explicit ExplainAnalyzeNode(LogicalPlanPtr child)
+      : LogicalPlan(PlanKind::kExplainAnalyze), child_(std::move(child)) {}
+  static LogicalPlanPtr Make(LogicalPlanPtr child) {
+    return std::make_shared<ExplainAnalyzeNode>(std::move(child));
+  }
+
+  const LogicalPlanPtr& child() const { return child_; }
+  std::vector<LogicalPlanPtr> children() const override { return {child_}; }
+  LogicalPlanPtr WithNewChildren(std::vector<LogicalPlanPtr> c) const override {
+    return std::make_shared<ExplainAnalyzeNode>(c[0]);
+  }
+  std::vector<Attribute> output() const override;
+  std::string NodeString() const override;
+
+ private:
   LogicalPlanPtr child_;
 };
 

@@ -137,6 +137,15 @@ class Canonicalizer {
         out_ += ")";
         return;
       }
+      case PlanKind::kExplainAnalyze: {
+        // Measurement statements must re-execute every time — serving a
+        // cached plan rendering would report stale timings.
+        out_ += "explain-analyze(";
+        WritePlan(static_cast<const ExplainAnalyzeNode&>(*plan).child());
+        out_ += ")";
+        cacheable_ = false;
+        return;
+      }
       case PlanKind::kSkyline: {
         const auto& node = static_cast<const SkylineNode&>(*plan);
         out_ += StrCat("skyline:", node.distinct() ? "d" : "-",

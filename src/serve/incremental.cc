@@ -198,9 +198,24 @@ Result<std::vector<Row>> ApplyRecipe(const DeltaRecipe& recipe,
   return out;
 }
 
+namespace {
+metrics::Counter* FallbackCounter(const char* reason) {
+  return metrics::MetricsRegistry::Global().GetCounter(
+      "sparkline_incremental_fallbacks_total", {{"reason", reason}});
+}
+}  // namespace
+
 IncrementalMaintainer::IncrementalMaintainer(Catalog* catalog,
                                              std::shared_ptr<ResultCache> cache)
-    : catalog_(catalog), cache_(std::move(cache)) {}
+    : catalog_(catalog),
+      cache_(std::move(cache)),
+      maintained_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_incremental_maintained_total")),
+      fb_oversized_batch_(FallbackCounter("oversized_batch")),
+      fb_no_recipe_(FallbackCounter("no_recipe")),
+      fb_version_gap_(FallbackCounter("version_gap")),
+      fb_classify_unsound_(FallbackCounter("classify_unsound")),
+      fb_apply_error_(FallbackCounter("apply_error")) {}
 
 void IncrementalMaintainer::OnWrite(const WriteEvent& event) {
   const bool insert =
@@ -212,8 +227,10 @@ void IncrementalMaintainer::OnWrite(const WriteEvent& event) {
     if (insert && enabled_.load()) {
       // An oversized batch is a policy fallback, not an invalidation the
       // write would have forced anyway; count it per affected entry.
-      fallbacks_.fetch_add(
-          static_cast<int64_t>(cache_->EntriesForTable(event.table).size()));
+      const int64_t affected =
+          static_cast<int64_t>(cache_->EntriesForTable(event.table).size());
+      fallbacks_.fetch_add(affected);
+      fb_oversized_batch_->Increment(affected);
     }
     cache_->InvalidateTable(event.table);
   } else {
@@ -246,17 +263,25 @@ void IncrementalMaintainer::OnWrite(const WriteEvent& event) {
 
 void IncrementalMaintainer::MaintainEntry(
     const std::shared_ptr<const CachedResult>& entry, const WriteEvent& event) {
-  if (entry->recipe == nullptr || entry->recipe->table != event.table ||
-      entry->table_version != event.old_version) {
-    // No recipe, or the entry reflects a different snapshot than the one
-    // this write replaced (gapped/out-of-order observation): fall back.
+  if (entry->recipe == nullptr || entry->recipe->table != event.table) {
+    // The plan shape is invalidation-only (no recipe was buildable).
     cache_->Remove(entry->fingerprint, entry);
     fallbacks_.fetch_add(1);
+    fb_no_recipe_->Increment();
+    return;
+  }
+  if (entry->table_version != event.old_version) {
+    // The entry reflects a different snapshot than the one this write
+    // replaced (gapped/out-of-order observation): fall back.
+    cache_->Remove(entry->fingerprint, entry);
+    fallbacks_.fetch_add(1);
+    fb_version_gap_->Increment();
     return;
   }
   Status status;
+  const char* reason = "apply_error";
   try {
-    status = ApplyDelta(entry, event);
+    status = ApplyDelta(entry, event, &reason);
   } catch (const std::exception& e) {
     // Injected "throw" faults (serve.delta_apply) and any classification bug
     // degrade to invalidation — the notifier thread must never die.
@@ -265,11 +290,15 @@ void IncrementalMaintainer::MaintainEntry(
   if (!status.ok()) {
     cache_->Remove(entry->fingerprint, entry);
     fallbacks_.fetch_add(1);
+    (reason == std::string("classify_unsound") ? fb_classify_unsound_
+                                               : fb_apply_error_)
+        ->Increment();
   }
 }
 
 Status IncrementalMaintainer::ApplyDelta(
-    const std::shared_ptr<const CachedResult>& entry, const WriteEvent& event) {
+    const std::shared_ptr<const CachedResult>& entry, const WriteEvent& event,
+    const char** fallback_reason) {
   SL_FAILPOINT("serve.delta_apply");
   const DeltaRecipe& recipe = *entry->recipe;
   SL_ASSIGN_OR_RETURN(std::vector<Row> batch,
@@ -280,6 +309,7 @@ Status IncrementalMaintainer::ApplyDelta(
       skyline::DeltaClassification delta,
       skyline::DeltaClassify(*entry->rows, batch, recipe.dims, options));
   if (delta.needs_fallback) {
+    *fallback_reason = "classify_unsound";
     return Status::Invalid("delta batch is not incrementally classifiable");
   }
 
@@ -338,6 +368,7 @@ Status IncrementalMaintainer::ApplyDelta(
   // (table, version) pair this successor describes — nothing to do.
   cache_->Replace(entry->fingerprint, entry, std::move(next));
   maintained_.fetch_add(1);
+  maintained_counter_->Increment();
   return Status::OK();
 }
 

@@ -184,9 +184,11 @@ class IncrementalMaintainer {
                      const WriteEvent& event);
   /// The fault-injectable core of MaintainEntry: classify + successor
   /// build + CAS replace. An error (including one injected at
-  /// serve.delta_apply) makes the caller invalidate the entry.
+  /// serve.delta_apply) makes the caller invalidate the entry;
+  /// `fallback_reason` is then set to the taxonomy label of the failure
+  /// ("classify_unsound" for an unsound batch, "apply_error" otherwise).
   Status ApplyDelta(const std::shared_ptr<const CachedResult>& entry,
-                    const WriteEvent& event);
+                    const WriteEvent& event, const char** fallback_reason);
   /// Updates one subscription for an event (insert -> classify; anything
   /// else or any uncertainty -> recompute). Returns the delta to deliver,
   /// or nullopt when the event is already reflected / changed nothing.
@@ -214,6 +216,16 @@ class IncrementalMaintainer {
   mutable std::atomic<int64_t> fallbacks_{0};
   mutable std::atomic<int64_t> resyncs_{0};
   mutable std::atomic<int64_t> deltas_delivered_{0};
+
+  // Registry mirrors (common/metrics.h), resolved once at construction.
+  // Fallbacks are additionally labeled by reason — the taxonomy the lumped
+  // fallbacks_ total hides: which soundness condition actually fired.
+  metrics::Counter* maintained_counter_;
+  metrics::Counter* fb_oversized_batch_;
+  metrics::Counter* fb_no_recipe_;
+  metrics::Counter* fb_version_gap_;
+  metrics::Counter* fb_classify_unsound_;
+  metrics::Counter* fb_apply_error_;
 };
 
 }  // namespace serve

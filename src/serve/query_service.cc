@@ -17,7 +17,15 @@ QueryService::QueryService(Session* session, const Options& options)
                        ? options.max_pending
                        : 4 * std::max(1, options.max_concurrent)),
       pool_(std::make_unique<ThreadPool>(
-          static_cast<size_t>(std::max(1, options.max_concurrent)))) {}
+          static_cast<size_t>(std::max(1, options.max_concurrent)))),
+      queue_wait_us_(metrics::MetricsRegistry::Global().GetHistogram(
+          "sparkline_serve_queue_wait_us")),
+      rejected_total_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_serve_rejected_total")),
+      shed_total_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_serve_shed_total")),
+      in_flight_gauge_(metrics::MetricsRegistry::Global().GetGauge(
+          "sparkline_serve_in_flight")) {}
 
 QueryService::~QueryService() {
   // ThreadPool's destructor drains the queue, so every admitted promise is
@@ -38,6 +46,9 @@ void QueryService::RunAdmitted(
     int64_t admitted_nanos,
     const std::shared_ptr<std::promise<Result<QueryResult>>>& promise) {
   bool was_shed = false;
+  // Queue wait: admission (Submit) to the moment a service thread picks the
+  // query up.
+  queue_wait_us_->Observe((StopWatch::NowNanos() - admitted_nanos) / 1000);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     const int64_t timeout_ms = session_->config().cluster.timeout_ms;
     if (token->cancelled()) {
@@ -72,6 +83,8 @@ void QueryService::RunAdmitted(
     if (was_shed) ++stats_.shed;
     --stats_.in_flight;
   }
+  if (was_shed) shed_total_->Increment();
+  in_flight_gauge_->Sub();
   promise->set_value(std::move(result));
 }
 
@@ -80,6 +93,7 @@ Result<QueryHandle> QueryService::Submit(std::string sql) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (stats_.in_flight >= max_pending_) {
       ++stats_.rejected;
+      rejected_total_->Increment();
       return Status::Unavailable(
           StrCat("query service admission cap reached (", max_pending_,
                  " queries in flight); retry later"));
@@ -87,6 +101,7 @@ Result<QueryHandle> QueryService::Submit(std::string sql) {
     ++stats_.submitted;
     ++stats_.in_flight;
   }
+  in_flight_gauge_->Add();
 
   QueryHandle handle;
   handle.token = std::make_shared<CancellationToken>();

@@ -36,6 +36,7 @@
 
 #include "api/query_result.h"
 #include "common/cancellation.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 
@@ -126,6 +127,14 @@ class QueryService {
   // submitted/completed/in_flight mid-update, breaking the invariant).
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  // Registry mirrors of the serving counters, resolved once at
+  // construction (see common/metrics.h): stats_ stays the test-facing
+  // consistent snapshot; these give the process-wide scrape.
+  metrics::Histogram* queue_wait_us_;
+  metrics::Counter* rejected_total_;
+  metrics::Counter* shed_total_;
+  metrics::Gauge* in_flight_gauge_;
 };
 
 }  // namespace serve

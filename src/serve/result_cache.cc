@@ -11,7 +11,17 @@ namespace serve {
 ResultCache::ResultCache(const Options& options)
     : shards_(static_cast<size_t>(std::max(1, options.num_shards))),
       capacity_bytes_(std::max<int64_t>(0, options.capacity_bytes)),
-      ttl_ms_(std::max<int64_t>(0, options.ttl_ms)) {}
+      ttl_ms_(std::max<int64_t>(0, options.ttl_ms)),
+      hits_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_cache_hits_total")),
+      misses_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_cache_misses_total")),
+      evictions_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_cache_evictions_total")),
+      expirations_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_cache_expirations_total")),
+      invalidations_counter_(metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_cache_invalidations_total")) {}
 
 bool ResultCache::Expired(const Entry& entry, int64_t now_nanos) const {
   const int64_t ttl = ttl_ms_.load();
@@ -40,6 +50,7 @@ void ResultCache::EvictToBudgetLocked(Shard* shard) {
     auto it = shard->entries.find(shard->lru.back());
     RemoveLocked(shard, it);
     evictions_.fetch_add(1);
+    evictions_counter_->Increment();
   }
 }
 
@@ -50,6 +61,7 @@ void ResultCache::SweepExpiredTailLocked(Shard* shard, int64_t now_nanos) {
     if (!Expired(it->second, now_nanos)) break;
     RemoveLocked(shard, it);
     expirations_.fetch_add(1);
+    expirations_counter_->Increment();
   }
 }
 
@@ -66,16 +78,20 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1);
+    misses_counter_->Increment();
     return nullptr;
   }
   if (Expired(it->second, now)) {
     RemoveLocked(&shard, it);
     expirations_.fetch_add(1);
+    expirations_counter_->Increment();
     misses_.fetch_add(1);
+    misses_counter_->Increment();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   hits_.fetch_add(1);
+  hits_counter_->Increment();
   return it->second.result;
 }
 
@@ -124,6 +140,7 @@ void ResultCache::InvalidateTable(const std::string& table_name) {
       if (it == shard.entries.end()) continue;
       RemoveLocked(&shard, it);
       invalidations_.fetch_add(1);
+      invalidations_counter_->Increment();
     }
   }
 }
@@ -153,6 +170,7 @@ void ResultCache::Remove(const PlanFingerprint& fp,
   if (it == shard.entries.end() || it->second.result != expected) return;
   RemoveLocked(&shard, it);
   invalidations_.fetch_add(1);
+  invalidations_counter_->Increment();
 }
 
 bool ResultCache::Replace(const PlanFingerprint& old_fp,
@@ -192,6 +210,7 @@ void ResultCache::Clear() {
     while (!shard.entries.empty()) {
       RemoveLocked(&shard, shard.entries.begin());
       evictions_.fetch_add(1);
+      evictions_counter_->Increment();
     }
   }
 }
@@ -211,6 +230,7 @@ void ResultCache::PurgeExpired() {
     for (const std::string& key : expired) {
       RemoveLocked(&shard, shard.entries.find(key));
       expirations_.fetch_add(1);
+      expirations_counter_->Increment();
     }
   }
 }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "expr/expression.h"
 #include "serve/fingerprint.h"
@@ -210,6 +211,15 @@ class ResultCache {
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> expirations_{0};
   std::atomic<int64_t> invalidations_{0};
+
+  // Process-wide registry mirrors of the counters above, resolved once at
+  // construction. The per-instance atomics stay: stats() reports one cache,
+  // the registry aggregates the process.
+  metrics::Counter* hits_counter_;
+  metrics::Counter* misses_counter_;
+  metrics::Counter* evictions_counter_;
+  metrics::Counter* expirations_counter_;
+  metrics::Counter* invalidations_counter_;
 };
 
 }  // namespace serve

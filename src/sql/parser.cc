@@ -24,11 +24,22 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<LogicalPlanPtr> ParseStatement() {
+    // EXPLAIN ANALYZE is a statement-level prefix, not a query production:
+    // it cannot appear in subqueries. Soft keywords, so EXPLAIN / ANALYZE
+    // stay usable as identifiers everywhere else.
+    bool explain_analyze = false;
+    if (MatchSoftKeyword("explain")) {
+      if (!MatchSoftKeyword("analyze")) {
+        return Unexpected("ANALYZE after EXPLAIN");
+      }
+      explain_analyze = true;
+    }
     SL_ASSIGN_OR_RETURN(LogicalPlanPtr plan, ParseQuery());
     if (Peek().type == TokenType::kSemicolon) Advance();
     if (Peek().type != TokenType::kEof) {
       return Unexpected("end of statement");
     }
+    if (explain_analyze) plan = ExplainAnalyzeNode::Make(std::move(plan));
     return plan;
   }
 

@@ -317,5 +317,56 @@ TEST(SqlE2eTest, ListingOneHotelQueryVerbatim) {
   EXPECT_DOUBLE_EQ(rows[0][0].double_value(), 80);
 }
 
+TEST(SqlE2eTest, ExplainAnalyzeRendersAnnotatedPlan) {
+  Session session;
+  TablePtr table = datagen::GeneratePoints(
+      "eapts", 300, 3, datagen::PointDistribution::kIndependent, 11);
+  ASSERT_OK(session.catalog()->RegisterTable(table));
+  ASSERT_OK(session.SetConf("sparkline.skyline.strategy", "distributed"));
+
+  auto df = session.Sql(
+      "EXPLAIN ANALYZE SELECT id, d0, d1, d2 FROM eapts "
+      "SKYLINE OF d0 MIN, d1 MIN, d2 MIN");
+  ASSERT_TRUE(df.ok()) << df.status().ToString();
+  auto result = df->Collect();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // One row, one "plan" string column.
+  ASSERT_EQ(result->attrs.size(), 1u);
+  EXPECT_EQ(result->attrs[0].name, "plan");
+  ASSERT_EQ(result->rows().size(), 1u);
+  const std::string text = result->rows()[0][0].ToString();
+  EXPECT_NE(text.find("== Physical Plan (analyzed) =="), std::string::npos);
+  EXPECT_NE(text.find("== Stage breakdown =="), std::string::npos);
+  EXPECT_NE(text.find("== Query metrics =="), std::string::npos);
+  EXPECT_NE(text.find("Skyline"), std::string::npos) << text;
+  EXPECT_NE(text.find("Scan eapts"), std::string::npos) << text;
+
+  // The per-stage latencies must sum (exactly: both sides are written by
+  // AddStageTime) to the simulated critical-path total.
+  double stage_sum = 0;
+  for (const auto& [label, ms] : result->metrics.operator_ms) stage_sum += ms;
+  EXPECT_NEAR(stage_sum, result->metrics.simulated_ms, 1e-6);
+}
+
+TEST(SqlE2eTest, ExplainAnalyzeBypassesTheResultCache) {
+  Session session;
+  ASSERT_OK(session.SetConf("sparkline.cache.enabled", "true"));
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "eacache", 100, 2, datagen::PointDistribution::kIndependent, 3)));
+  const std::string q =
+      "EXPLAIN ANALYZE SELECT id, d0, d1 FROM eacache SKYLINE OF d0 MIN, "
+      "d1 MIN";
+  for (int i = 0; i < 2; ++i) {
+    auto df = session.Sql(q);
+    ASSERT_TRUE(df.ok()) << df.status().ToString();
+    auto result = df->Collect();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Always re-executed: the annotations ARE the point of the statement.
+    EXPECT_FALSE(result->metrics.cache_hit) << "iteration " << i;
+    EXPECT_GT(result->metrics.simulated_ms, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace sparkline
