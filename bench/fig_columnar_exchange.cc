@@ -17,6 +17,9 @@
 //   project   aggregate projection ms (exchange path only)
 //   decode    aggregate batch->row decode ms (exchange path only)
 //   builds    DominanceMatrix projections across all stages
+//   ship_rows / ship_bytes
+//             gather-exchange traffic (columnar views count their
+//             selection, not their backing storage)
 //
 // Shapes to look for: `builds` drops to one per partition with the
 // exchange on (vs one per partition + one per global stage off), and the
@@ -42,6 +45,8 @@ struct ExchangeCell {
   double projection_ms = 0;
   double decode_ms = 0;
   int64_t builds = 0;
+  int64_t ship_rows = 0;
+  int64_t ship_bytes = 0;
 };
 
 ExchangeCell RunOnce(Session* session, const std::string& sql,
@@ -68,24 +73,34 @@ ExchangeCell RunOnce(Session* session, const std::string& sql,
   cell.projection_ms = m.projection_ms;
   cell.decode_ms = m.decode_ms;
   for (const auto& [label, n] : m.matrix_builds) cell.builds += n;
+  cell.ship_rows = m.exchange_rows_shipped;
+  cell.ship_bytes = m.exchange_bytes;
   return cell;
 }
 
 void Sweep(Session* session, const char* title, const std::string& sql,
            const std::string& strategy) {
   std::printf("\n%s | strategy: %s\n", title, strategy.c_str());
-  std::printf("%-10s %-22s %10s %10s %10s %10s %8s\n", "executors", "exchange",
-              "total_ms", "global_ms", "proj_ms", "decode_ms", "builds");
+  std::printf("%-10s %-22s %10s %10s %10s %10s %8s %10s %11s\n", "executors",
+              "exchange", "total_ms", "global_ms", "proj_ms", "decode_ms",
+              "builds", "ship_rows", "ship_bytes");
   for (int executors : kExecutorSteps) {
     ExchangeCell on = RunOnce(session, sql, strategy, executors, true);
     ExchangeCell off = RunOnce(session, sql, strategy, executors, false);
-    std::printf("%-10d %-22s %10.2f %10.2f %10.2f %10.2f %8lld\n", executors,
-                "on (build-once)", on.total_ms, on.global_ms, on.projection_ms,
-                on.decode_ms, static_cast<long long>(on.builds));
-    std::printf("%-10s %-22s %10.2f %10.2f %10.2f %10.2f %8lld\n", "",
-                "off (build-per-stage)", off.total_ms, off.global_ms,
+    std::printf("%-10d %-22s %10.2f %10.2f %10.2f %10.2f %8lld %10lld "
+                "%11lld\n",
+                executors, "on (build-once)", on.total_ms, on.global_ms,
+                on.projection_ms, on.decode_ms,
+                static_cast<long long>(on.builds),
+                static_cast<long long>(on.ship_rows),
+                static_cast<long long>(on.ship_bytes));
+    std::printf("%-10s %-22s %10.2f %10.2f %10.2f %10.2f %8lld %10lld "
+                "%11lld\n",
+                "", "off (build-per-stage)", off.total_ms, off.global_ms,
                 off.projection_ms, off.decode_ms,
-                static_cast<long long>(off.builds));
+                static_cast<long long>(off.builds),
+                static_cast<long long>(off.ship_rows),
+                static_cast<long long>(off.ship_bytes));
     std::printf("%-10s %-22s %9.1f%% %9.1f%%\n", "", "global-stage delta",
                 off.total_ms > 0
                     ? 100.0 * (off.total_ms - on.total_ms) / off.total_ms

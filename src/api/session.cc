@@ -94,6 +94,14 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(config_.skyline_incomplete_parallel, ParseBool(value));
     return Status::OK();
   }
+  if (k == "sparkline.skyline.broadcast_filter") {
+    SL_ASSIGN_OR_RETURN(config_.skyline_broadcast_filter, ParseBool(value));
+    return Status::OK();
+  }
+  if (k == "sparkline.scan.zone_maps") {
+    SL_ASSIGN_OR_RETURN(config_.scan_zone_maps, ParseBool(value));
+    return Status::OK();
+  }
   if (k == "sparkline.skyline.sfs.early_stop") {
     SL_ASSIGN_OR_RETURN(config_.skyline_sfs_early_stop, ParseBool(value));
     return Status::OK();
@@ -358,6 +366,8 @@ Result<PhysicalPlanPtr> Session::PlanPhysical(
   opts.skyline_columnar = config_.skyline_columnar;
   opts.skyline_columnar_exchange = config_.skyline_columnar_exchange;
   opts.skyline_incomplete_parallel = config_.skyline_incomplete_parallel;
+  opts.skyline_broadcast_filter = config_.skyline_broadcast_filter;
+  opts.scan_zone_maps = config_.scan_zone_maps;
   opts.skyline_partitioning = config_.skyline_partitioning;
   opts.sfs_early_stop = config_.skyline_sfs_early_stop;
   opts.sfs_sort_key = config_.skyline_sfs_sort_key;
@@ -412,6 +422,25 @@ std::string RenderAnalyzeNode(const PhysicalPlan& node, const QueryMetrics& m,
   }
   if (builds > 0) line += StrCat(", matrix_builds=", builds);
   if (reuses > 0) line += StrCat(", matrix_reuses=", reuses);
+  // Two-phase pruning annotations. The counters are query-global scalars,
+  // so each lands on the first (topmost) node of its operator family —
+  // exact for today's single-skyline plans, attribution-fuzzy only for
+  // nested skylines (like operator_rows above).
+  if (label == "BroadcastFilter") {
+    if (m.broadcast_filter_points > 0) {
+      line += StrCat(", filter_points=", m.broadcast_filter_points);
+    }
+    if (m.rows_pruned_pre_gather > 0) {
+      line += StrCat(", pruned_pre_gather=", m.rows_pruned_pre_gather);
+    }
+  }
+  if (label.compare(0, 12, "LocalSkyline") == 0 && m.partitions_skipped > 0) {
+    line += StrCat(", partitions_skipped=", m.partitions_skipped);
+  }
+  if (label.compare(0, 8, "Exchange") == 0 && m.exchange_rows_shipped > 0) {
+    line += StrCat(", shipped_rows=", m.exchange_rows_shipped,
+                   ", shipped_bytes=", m.exchange_bytes);
+  }
   line += ")";
   if (stages.size() > 1) {
     line += " {";

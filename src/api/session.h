@@ -19,6 +19,10 @@
 //                                           between skyline stages
 //   sparkline.skyline.incomplete.parallel   bool, round-based parallel
 //                                           incomplete global stage
+//   sparkline.skyline.broadcast_filter      bool, pre-gather broadcast-filter
+//                                           pruning (two-phase pruning, 1)
+//   sparkline.scan.zone_maps                bool, per-partition zone maps +
+//                                           partition skipping (phase 2)
 //   sparkline.skyline.partitioning          asis | roundrobin | angle
 //   sparkline.skyline.nonDistributedThreshold  rows; 0 disables (section 7)
 //   sparkline.optimizer.singleDimRewrite    bool
@@ -101,6 +105,22 @@ struct SessionConfig {
   /// Off = the paper's single-task all-pairs. Results are identical with
   /// the toggle on or off. Key: sparkline.skyline.incomplete.parallel.
   bool skyline_incomplete_parallel = true;
+  /// Phase one of two-phase distributed pruning: after the local skyline
+  /// stage, each partition nominates its SaLSa minmax-best points; the
+  /// union travels as a tiny broadcast filter and every partition prunes
+  /// its local skyline against it *before* the gather exchange pays for
+  /// shipping the rows. Strict-only elimination keeps results
+  /// bit-identical with the phase off; ineligible shapes (NULLs, DIFF
+  /// dims, row-mode partitions) pass through. Key:
+  /// sparkline.skyline.broadcast_filter.
+  bool skyline_broadcast_filter = true;
+  /// Phase two: scans build per-partition zone maps (per-column min/max +
+  /// null counts, maintained incrementally on INSERT); the local skyline
+  /// stage drops whole partitions whose best corner is strictly dominated
+  /// by another partition's worst corner, before projection. Auto-disables
+  /// under incomplete dominance and for non-numeric/NULL/DIFF dimensions.
+  /// Key: sparkline.scan.zone_maps.
+  bool scan_zone_maps = true;
   /// Local-stage partitioning for complete data. Key:
   /// sparkline.skyline.partitioning = asis | roundrobin | angle.
   SkylinePartitioning skyline_partitioning = SkylinePartitioning::kAsIs;

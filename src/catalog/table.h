@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/zone_map.h"
 #include "common/result.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -38,7 +39,9 @@ struct TableConstraints {
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        zone_map_(schema_.num_fields()) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -62,9 +65,29 @@ class Table {
   Status AppendRow(Row row);
 
   /// Appends without validation (used by trusted generators).
-  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendRowUnchecked(Row row) {
+    zone_map_.Observe(row);
+    rows_.push_back(std::move(row));
+  }
+
+  /// Bulk-copies another table's rows AND transplants its zone map — the
+  /// copy-on-write fast path of Catalog::InsertInto. The predecessor's
+  /// summaries are already exact for its rows, so the successor's zone map
+  /// is maintained incrementally (only newly appended rows get observed)
+  /// instead of being rebuilt O(rows x columns).
+  ///
+  /// \pre this table is empty and shares `other`'s schema.
+  void CopyRowsFrom(const Table& other) {
+    rows_ = other.rows_;
+    zone_map_ = other.zone_map_;
+  }
 
   void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Per-column min/max/null-count summaries over all rows, maintained on
+  /// every append. Consumed by the scan to seed per-partition zone maps and
+  /// by tests as the incremental-maintenance ground truth.
+  const ZoneMap& zone_map() const { return zone_map_; }
 
   /// Approximate bytes held by the table's rows.
   int64_t EstimatedBytes() const;
@@ -74,6 +97,7 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   TableConstraints constraints_;
+  ZoneMap zone_map_;
   std::atomic<uint64_t> version_{0};
 };
 

@@ -24,6 +24,8 @@ namespace {
 ///   exec.local_task    LocalSkylineExec partition tasks
 ///   exec.global_task   GlobalSkyline{,Incomplete}Exec stage tasks
 ///                      (partial/merge/candidates/validate/finalize)
+///   exec.broadcast     BroadcastFilterExec nominate/filter stages
+///                      (degrades to the unfiltered pre-gather path)
 ///   exec.exchange      ExchangeExec (row shuffle and columnar concat)
 ///   exec.stage_task    every other stage runner (project/filter/join/
 ///                      aggregate/sort — the generic per-task site)
@@ -33,8 +35,8 @@ namespace {
 ///   catalog.write      Catalog::InsertInto (copy-on-write publish)
 constexpr const char* kSites[] = {
     "exec.scan",          "exec.local_task", "exec.global_task",
-    "exec.exchange",      "exec.stage_task", "serve.cache_insert",
-    "serve.delta_apply",  "catalog.write",
+    "exec.broadcast",     "exec.exchange",   "exec.stage_task",
+    "serve.cache_insert", "serve.delta_apply", "catalog.write",
 };
 
 struct SiteState {

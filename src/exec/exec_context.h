@@ -64,6 +64,32 @@ struct QueryMetrics {
   int64_t dominance_tests = 0;
   int64_t rows_shuffled = 0;
 
+  // --- exchange / two-phase pruning counters --------------------------------
+  /// Rows that actually crossed an ExchangeExec stage boundary (batch rows
+  /// count their view, not their backing). rows_shuffled is the historical
+  /// superset counter; this one exists so the pre-gather pruning phases show
+  /// up as fewer rows shipped.
+  int64_t exchange_rows_shipped = 0;
+  /// Estimated bytes those rows occupied on the wire (row estimate, plus
+  /// packed matrix keys for batch partitions).
+  int64_t exchange_bytes = 0;
+  /// Filter points nominated and broadcast by BroadcastFilterExec
+  /// (sparkline.skyline.broadcast_filter); 0 when the phase is off or
+  /// ineligible.
+  int64_t broadcast_filter_points = 0;
+  /// Whole partitions dropped by a zone-map corner test — either
+  /// LocalSkylineExec's pairwise best/worst-corner skip or
+  /// BroadcastFilterExec's filter-point veto (sparkline.scan.zone_maps).
+  int64_t partitions_skipped = 0;
+  /// Local-skyline rows removed by the broadcast filter before the gather —
+  /// rows that would otherwise have shipped and lost at the merge.
+  int64_t rows_pruned_pre_gather = 0;
+  /// The post-gather share of dominance_tests: tests performed by the
+  /// GlobalSkyline* merge stages. Pre-gather pruning exists to shrink this
+  /// (fewer shipped rows, fewer merge comparisons); the local stages'
+  /// share is dominance_tests - merge_dominance_tests.
+  int64_t merge_dominance_tests = 0;
+
   // --- fault-tolerance counters ---------------------------------------------
   /// Stage-task attempts that failed with a transient (retryable) fault and
   /// were re-executed. A task that fails twice and then succeeds adds 2.
@@ -151,6 +177,10 @@ class ExecContext {
   ThreadPool* pool() { return pool_.get(); }
   MemoryTracker* memory() { return &memory_; }
   skyline::DominanceCounter* dominance() { return &dominance_; }
+  /// Separate counter for the post-gather GlobalSkyline* merge stages;
+  /// rolls up into QueryMetrics::dominance_tests alongside `dominance()`
+  /// and is also surfaced as merge_dominance_tests.
+  skyline::DominanceCounter* merge_dominance() { return &merge_dominance_; }
   skyline::EarlyStopStats* early_stop() { return &early_stop_; }
   /// The per-query span recorder, or null when tracing is disabled.
   Trace* trace() { return trace_.get(); }
@@ -221,6 +251,23 @@ class ExecContext {
     std::lock_guard<std::mutex> lock(mu_);
     rows_shuffled_ += rows;
   }
+  void AddExchangeShipped(int64_t rows, int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    exchange_rows_shipped_ += rows;
+    exchange_bytes_ += bytes;
+  }
+  void AddBroadcastFilterPoints(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    broadcast_filter_points_ += n;
+  }
+  void AddPartitionsSkipped(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_skipped_ += n;
+  }
+  void AddRowsPrunedPreGather(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_pruned_pre_gather_ += n;
+  }
   /// Records a stage's output row count under its operator label.
   void AddStageRows(const std::string& label, int64_t rows) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -255,8 +302,15 @@ class ExecContext {
         memory_.peak_bytes() +
         static_cast<int64_t>(config_.num_executors) *
             config_.executor_overhead_bytes;
-    m.dominance_tests = dominance_.tests.load();
+    m.dominance_tests =
+        dominance_.tests.load() + merge_dominance_.tests.load();
+    m.merge_dominance_tests = merge_dominance_.tests.load();
     m.rows_shuffled = rows_shuffled_;
+    m.exchange_rows_shipped = exchange_rows_shipped_;
+    m.exchange_bytes = exchange_bytes_;
+    m.broadcast_filter_points = broadcast_filter_points_;
+    m.partitions_skipped = partitions_skipped_;
+    m.rows_pruned_pre_gather = rows_pruned_pre_gather_;
     m.tasks_retried = tasks_retried_.load();
     m.tasks_failed = tasks_failed_.load();
     m.sfs_rows_skipped = early_stop_.rows_skipped.load();
@@ -276,6 +330,7 @@ class ExecContext {
   std::unique_ptr<Trace> trace_;
   MemoryTracker memory_;
   skyline::DominanceCounter dominance_;
+  skyline::DominanceCounter merge_dominance_;
   skyline::EarlyStopStats early_stop_;
   int64_t deadline_nanos_ = 0;
   CancellationTokenPtr cancel_ = std::make_shared<CancellationToken>();
@@ -287,6 +342,11 @@ class ExecContext {
   std::map<std::string, double> operator_ms_;
   std::map<std::string, int64_t> operator_rows_;
   int64_t rows_shuffled_ = 0;
+  int64_t exchange_rows_shipped_ = 0;
+  int64_t exchange_bytes_ = 0;
+  int64_t broadcast_filter_points_ = 0;
+  int64_t partitions_skipped_ = 0;
+  int64_t rows_pruned_pre_gather_ = 0;
   double projection_ms_ = 0;
   double decode_ms_ = 0;
   std::map<std::string, int64_t> matrix_builds_;

@@ -204,10 +204,11 @@ Result<ExprPtr> EvaluateSubqueries(const ExprPtr& e, ExecContext* ctx) {
 // --- ScanExec ---------------------------------------------------------------
 
 ScanExec::ScanExec(TablePtr table, std::vector<size_t> column_indices,
-                   std::vector<Attribute> output)
+                   std::vector<Attribute> output, bool build_zone_maps)
     : PhysicalPlan(std::move(output), {}),
       table_(std::move(table)),
-      column_indices_(std::move(column_indices)) {}
+      column_indices_(std::move(column_indices)),
+      build_zone_maps_(build_zone_maps) {}
 
 std::string ScanExec::label() const {
   return StrCat("Scan ", table_->name(), " [", column_indices_.size(),
@@ -220,6 +221,7 @@ Result<PartitionedRelation> ScanExec::Execute(ExecContext* ctx) const {
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.assign(n, {});
+  if (build_zone_maps_) out.zone_maps.assign(n, ZoneMap());
 
   // Contiguous chunks, like a data source with n splits.
   const size_t per = (rows.size() + n - 1) / n;
@@ -228,10 +230,15 @@ Result<PartitionedRelation> ScanExec::Execute(ExecContext* ctx) const {
     const size_t end = std::min(rows.size(), begin + per);
     auto& part = out.partitions[i];
     part.reserve(end - begin);
+    // Per-partition zone map over the *projected* output columns, folded in
+    // while the rows are copied anyway — the data-skipping metadata is free
+    // relative to the copy itself.
+    if (build_zone_maps_) out.zone_maps[i] = ZoneMap(column_indices_.size());
     for (size_t r = begin; r < end; ++r) {
       Row projected;
       projected.reserve(column_indices_.size());
       for (size_t c : column_indices_) projected.push_back(rows[r][c]);
+      if (build_zone_maps_) out.zone_maps[i].Observe(projected);
       part.push_back(std::move(projected));
     }
     return Status::OK();
@@ -302,6 +309,9 @@ Result<PartitionedRelation> FilterExec::Execute(ExecContext* ctx) const {
   PartitionedRelation out;
   out.attrs = output_;
   out.partitions.assign(in.partitions.size(), {});
+  // A filter keeps each partition a row subset with unchanged columns, so
+  // the scan's zone maps stay conservative bounds and travel through.
+  out.zone_maps = std::move(in.zone_maps);
   SL_RETURN_NOT_OK(RunStage(ctx, in.partitions.size(), [&](size_t i) -> Status {
     auto& part = out.partitions[i];
     for (Row& row : in.partitions[i]) {
@@ -317,6 +327,22 @@ Result<PartitionedRelation> FilterExec::Execute(ExecContext* ctx) const {
 // --- ExchangeExec ----------------------------------------------------------------
 
 namespace {
+
+/// Wire-size estimate of a relation crossing an exchange: row partitions as
+/// in EstimateRelationBytes (one sampled row times the count), batch
+/// partitions additionally ship their packed matrix keys (the view's rows
+/// are already counted by the row estimate; null bitmaps and dictionaries
+/// are noise next to the keys).
+int64_t EstimateShippedBytes(const PartitionedRelation& rel) {
+  int64_t total = EstimateRelationBytes(rel);
+  for (const auto& b : rel.batches) {
+    if (!b.has_value()) continue;
+    total += static_cast<int64_t>(b->num_rows() * b->matrix().num_dims() *
+                                  sizeof(double));
+  }
+  return total;
+}
+
 /// 32-bit mix (murmur3 finalizer) so distinct null bitmaps spread over
 /// executors even when numerically adjacent.
 uint32_t MixHash(uint32_t h) {
@@ -416,6 +442,20 @@ Result<PartitionedRelation> ExchangeExec::Execute(ExecContext* ctx) const {
   SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
   const int64_t moved = static_cast<int64_t>(in.TotalRows());
   ctx->AddRowsShuffled(moved);
+  // Exchange observability: what actually crosses the stage boundary, per
+  // query (QueryMetrics) and process-wide (the registry). This is the
+  // scorecard of the pre-gather pruning phases — fewer rows/bytes here is
+  // the point of BroadcastFilterExec and zone-map skipping.
+  const int64_t shipped_bytes = EstimateShippedBytes(in);
+  ctx->AddExchangeShipped(moved, shipped_bytes);
+  static metrics::Counter* shipped_rows_total =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_exchange_rows_shipped_total");
+  static metrics::Counter* shipped_bytes_total =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_exchange_bytes_total");
+  shipped_rows_total->Increment(moved);
+  shipped_bytes_total->Increment(shipped_bytes);
 
   PartitionedRelation out;
   out.attrs = output_;

@@ -118,8 +118,12 @@ class PhysicalPlan {
 /// applying column pruning while copying.
 class ScanExec : public PhysicalPlan {
  public:
+  /// With `build_zone_maps` (sparkline.scan.zone_maps) each output chunk
+  /// gets a per-partition ZoneMap over the *projected* columns, built while
+  /// the rows are copied — the data-skipping metadata LocalSkylineExec and
+  /// BroadcastFilterExec consult (see partitioned.h).
   ScanExec(TablePtr table, std::vector<size_t> column_indices,
-           std::vector<Attribute> output);
+           std::vector<Attribute> output, bool build_zone_maps = false);
   std::string label() const override;
   const char* failpoint_site() const override { return "exec.scan"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
@@ -127,6 +131,7 @@ class ScanExec : public PhysicalPlan {
  private:
   TablePtr table_;
   std::vector<size_t> column_indices_;
+  bool build_zone_maps_;
 };
 
 /// \brief Emits in-memory rows as a single partition.
@@ -371,6 +376,14 @@ class NestedLoopJoinExec : public PhysicalPlan {
 /// reuses. Partitions whose shape TryBuild refuses fall back to rows
 /// individually. SFS runs tag their output views score-sorted so the global
 /// stage can inherit the sort order.
+///
+/// With `zone_map_skipping` (sparkline.scan.zone_maps) and zone maps on the
+/// input relation, a partition whose per-dim *best corner* is strictly
+/// dominated by another partition's *worst corner* is dropped whole — before
+/// projection, not per-row (the vector generalization of the SaLSa
+/// stop-bound corner test; see docs/ARCHITECTURE.md for the soundness
+/// argument). Only sound under complete dominance over NULL-free numeric
+/// MIN/MAX dimensions; the skip auto-disables everywhere else.
 class LocalSkylineExec : public PhysicalPlan {
  public:
   LocalSkylineExec(std::vector<skyline::BoundDimension> dims, bool distinct,
@@ -378,7 +391,8 @@ class LocalSkylineExec : public PhysicalPlan {
                    SkylineKernel kernel = SkylineKernel::kBlockNestedLoop,
                    bool columnar = true, bool columnar_exchange = true,
                    bool sfs_early_stop = true,
-                   skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum);
+                   skyline::SfsSortKey sfs_sort_key = skyline::SfsSortKey::kSum,
+                   bool zone_map_skipping = false);
   std::string label() const override;
   const char* failpoint_site() const override { return "exec.local_task"; }
   Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
@@ -392,6 +406,45 @@ class LocalSkylineExec : public PhysicalPlan {
   bool columnar_exchange_;
   bool sfs_early_stop_;
   skyline::SfsSortKey sfs_sort_key_;
+  bool zone_map_skipping_;
+};
+
+/// \brief Phase one of two-phase distributed pruning
+/// (sparkline.skyline.broadcast_filter; ROADMAP item 2, after Ciaccia &
+/// Martinenghi): sits between LocalSkylineExec and the gather exchange on
+/// the distributed complete path.
+///
+///   [nominate]  each partition nominates its k strongest skyline points —
+///               the SaLSa minmax-best tuples, whose small max-coordinate
+///               makes them dominate the largest boxes — and their packed
+///               normalized keys are unioned into a tiny FilterPointSet
+///               (the broadcast; normalized keys compare across matrices,
+///               so no re-projection travels with it).
+///   [filter]    every partition prunes its local skyline against the
+///               union *before* the gather: first the partition's zone-map
+///               best corner against the filter points (a strictly
+///               dominated corner drops the whole partition), then row by
+///               row via PruneAgainstFilter. Only *strictly* dominated rows
+///               are removed — DISTINCT ties survive to the merge, so
+///               results stay bit-identical with the phase off.
+///
+/// Eligibility is per-relation: every non-empty partition must carry a
+/// batch projected for these dimensions over an all-numeric, NULL-free,
+/// DIFF-free matrix (cross-matrix key comparability); anything else passes
+/// through unchanged. Faults at "exec.broadcast" degrade the same way:
+/// transient/injected errors fall back to the unfiltered input (never a
+/// wrong result), while cancellation/timeout/memory errors propagate.
+class BroadcastFilterExec : public PhysicalPlan {
+ public:
+  BroadcastFilterExec(std::vector<skyline::BoundDimension> dims,
+                      PhysicalPlanPtr child, size_t points_per_partition = 2);
+  std::string label() const override { return "BroadcastFilter"; }
+  const char* failpoint_site() const override { return "exec.broadcast"; }
+  Result<PartitionedRelation> Execute(ExecContext* ctx) const override;
+
+ private:
+  std::vector<skyline::BoundDimension> dims_;
+  size_t points_per_partition_;
 };
 
 /// \brief Global skyline for complete data over the single gathered

@@ -174,8 +174,9 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanNode(
   switch (plan->kind()) {
     case PlanKind::kScan: {
       const auto& scan = static_cast<const Scan&>(*plan);
-      return PhysicalPlanPtr(std::make_shared<ScanExec>(
-          scan.table(), scan.column_indices(), scan.output()));
+      return PhysicalPlanPtr(
+          std::make_shared<ScanExec>(scan.table(), scan.column_indices(),
+                                     scan.output(), options_.scan_zone_maps));
     }
     case PlanKind::kLocalRelation: {
       const auto& rel = static_cast<const LocalRelation&>(*plan);
@@ -523,7 +524,14 @@ Result<PhysicalPlanPtr> PhysicalPlanner::PlanSkyline(
           dims, sky.distinct(), skyline::NullSemantics::kComplete,
           std::move(local_input), options_.skyline_kernel,
           options_.skyline_columnar, exchange_columnar,
-          options_.sfs_early_stop, options_.sfs_sort_key);
+          options_.sfs_early_stop, options_.sfs_sort_key,
+          options_.scan_zone_maps);
+      if (options_.skyline_broadcast_filter) {
+        // Phase one of two-phase pruning: prune every local skyline against
+        // the broadcast union of nominated points *before* the gather pays
+        // for shipping them. Ineligible inputs pass through unchanged.
+        local = std::make_shared<BroadcastFilterExec>(dims, std::move(local));
+      }
       result = std::make_shared<GlobalSkylineExec>(
           dims, sky.distinct(), EnsureSinglePartition(std::move(local)),
           options_.skyline_kernel, options_.skyline_columnar,

@@ -28,6 +28,8 @@
 #include <limits>
 #include <memory>
 
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/physical_plan.h"
 #include "skyline/columnar.h"
@@ -107,6 +109,55 @@ std::vector<size_t> ChunkBounds(size_t n, size_t chunks) {
   return bounds;
 }
 
+/// Normalized zone-map corners for one partition over the skyline
+/// dimensions, in DominanceMatrix key space ("smaller is better": MAX
+/// values are negated). `best` is the most optimistic coordinate any row of
+/// the partition can have per dimension; `worst` the most pessimistic every
+/// row is at least as good as. Returns false when the zone cannot support a
+/// sound corner test for these dimensions: invalid / shape-poisoned zone, a
+/// dimension with no numeric range, a NULL anywhere in a skyline dimension
+/// (NULL coordinates escape the min/max summary), or a DIFF goal (its
+/// dictionary codes carry no order).
+bool ZoneCorners(const ZoneMap& zone,
+                 const std::vector<skyline::BoundDimension>& dims,
+                 std::vector<double>* best, std::vector<double>* worst) {
+  if (!zone.valid()) return false;
+  best->clear();
+  worst->clear();
+  best->reserve(dims.size());
+  worst->reserve(dims.size());
+  for (const auto& dim : dims) {
+    if (dim.goal == SkylineGoal::kDiff) return false;
+    if (dim.ordinal >= zone.columns.size()) return false;
+    const ColumnZone& col = zone.columns[dim.ordinal];
+    if (!col.has_range() || col.null_count > 0) return false;
+    if (dim.goal == SkylineGoal::kMax) {
+      best->push_back(-col.max);
+      worst->push_back(-col.min);
+    } else {
+      best->push_back(col.min);
+      worst->push_back(col.max);
+    }
+  }
+  return true;
+}
+
+/// True when the partition behind `worst` strictly dominates every possible
+/// row of the partition behind `best`: worst <= best componentwise with at
+/// least one strict dimension. Any row r of the witness and any row s of
+/// the candidate satisfy r[d] <= worst[d] <= best[d] <= s[d], strictly at
+/// the witness dimension — classic zone-map pruning lifted from scalar
+/// ranges to the dominance lattice.
+bool CornerDominates(const std::vector<double>& worst,
+                     const std::vector<double>& best) {
+  bool strict = false;
+  for (size_t d = 0; d < worst.size(); ++d) {
+    if (worst[d] > best[d]) return false;
+    if (worst[d] < best[d]) strict = true;
+  }
+  return strict;
+}
+
 }  // namespace
 
 LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
@@ -114,7 +165,8 @@ LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
                                    PhysicalPlanPtr child, SkylineKernel kernel,
                                    bool columnar, bool columnar_exchange,
                                    bool sfs_early_stop,
-                                   skyline::SfsSortKey sfs_sort_key)
+                                   skyline::SfsSortKey sfs_sort_key,
+                                   bool zone_map_skipping)
     : PhysicalPlan(child->output(), {child}),
       dims_(std::move(dims)),
       distinct_(distinct),
@@ -123,7 +175,8 @@ LocalSkylineExec::LocalSkylineExec(std::vector<skyline::BoundDimension> dims,
       columnar_(columnar),
       columnar_exchange_(columnar_exchange),
       sfs_early_stop_(sfs_early_stop),
-      sfs_sort_key_(sfs_sort_key) {}
+      sfs_sort_key_(sfs_sort_key),
+      zone_map_skipping_(zone_map_skipping) {}
 
 std::string LocalSkylineExec::label() const {
   return StrCat("LocalSkyline [",
@@ -160,7 +213,70 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   out.partitions.assign(n, {});
   if (emit_batches) out.batches.assign(n, std::nullopt);
 
+  // --- Phase-two pruning: zone-map partition skipping -----------------------
+  // Drop whole partitions before projection when another partition's zone
+  // proves total strict dominance: if the witness partition's worst corner
+  // dominates the candidate's best corner (componentwise <=, strict
+  // somewhere), every row of the witness strictly dominates every row of
+  // the candidate, so the candidate contributes nothing to any skyline.
+  // Strict-only elimination keeps DISTINCT ties intact, and mutual or
+  // cyclic skipping is impossible because strict corner dominance is a
+  // strict partial order. Sound only under complete semantics — incomplete
+  // dominance is non-transitive and NULL coordinates escape the min/max
+  // summary — so the test auto-disables there. Witnesses must still hold
+  // rows: a Filter may have emptied a partition whose scan-time zone still
+  // claims a range.
+  std::vector<char> skip(n, 0);
+  if (zone_map_skipping_ && nulls_ == skyline::NullSemantics::kComplete &&
+      n > 1 && in.zone_maps.size() == n) {
+    std::vector<std::vector<double>> best(n);
+    std::vector<std::vector<double>> worst(n);
+    std::vector<char> eligible(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      eligible[i] =
+          in.PartitionRows(i) > 0 &&
+          ZoneCorners(in.zone_maps[i], dims_, &best[i], &worst[i]);
+    }
+    int64_t skipped = 0;
+    for (size_t q = 0; q < n; ++q) {
+      if (!eligible[q]) continue;
+      for (size_t p = 0; p < n; ++p) {
+        if (p == q || !eligible[p]) continue;
+        if (CornerDominates(worst[p], best[q])) {
+          skip[q] = 1;
+          ++skipped;
+          break;
+        }
+      }
+    }
+    if (skipped > 0) {
+      ctx->AddPartitionsSkipped(skipped);
+      static metrics::Counter* skipped_counter =
+          metrics::MetricsRegistry::Global().GetCounter(
+              "sparkline_partitions_skipped_total");
+      skipped_counter->Increment(skipped);
+    }
+  }
+  if (in.zone_maps.size() == n) {
+    // Output partitions are row subsets of the input partitions with the
+    // same columns, so the scan-time zones remain conservative bounds for
+    // them. Skipped partitions ship no rows; clear their zones so the
+    // broadcast phase never counts a veto against an already-empty
+    // partition.
+    out.zone_maps = std::move(in.zone_maps);
+    for (size_t i = 0; i < n; ++i) {
+      if (skip[i]) out.zone_maps[i] = ZoneMap();
+    }
+  }
+
   SL_RETURN_NOT_OK(RunStage(ctx, n, [&](size_t i) -> Status {
+    if (skip[i]) {
+      // Zone-skipped: drop the rows before the projection. The normal path
+      // below then runs over zero rows, producing the same (empty) batch
+      // shape and sort/stop-bound flags as an actually-empty partition, so
+      // the gather's all-batches columnar path survives.
+      in.partitions[i].clear();
+    }
     if (emit_batches) {
       // Project this partition exactly once; every downstream skyline stage
       // reuses the matrix through the batch.
@@ -211,6 +327,186 @@ Result<PartitionedRelation> LocalSkylineExec::Execute(ExecContext* ctx) const {
   return out;
 }
 
+// --- BroadcastFilterExec ----------------------------------------------------
+
+BroadcastFilterExec::BroadcastFilterExec(
+    std::vector<skyline::BoundDimension> dims, PhysicalPlanPtr child,
+    size_t points_per_partition)
+    : PhysicalPlan(child->output(), {child}),
+      dims_(std::move(dims)),
+      points_per_partition_(points_per_partition) {}
+
+Result<PartitionedRelation> BroadcastFilterExec::Execute(
+    ExecContext* ctx) const {
+  SL_ASSIGN_OR_RETURN(PartitionedRelation in, children_[0]->Execute(ctx));
+
+  // Eligibility (see the class comment): every non-empty partition must
+  // carry a batch projected for these dimensions whose matrix supports
+  // cross-matrix key comparison. Anything else — row partitions, refused
+  // shapes, NULL bitmaps, DIFF dimensions — passes through unchanged; the
+  // gather and global merge compute the same result, just without the
+  // pre-gather discount.
+  const size_t n = in.partitions.size();
+  size_t non_empty = 0;
+  bool eligible = n > 1 && in.batches.size() == n && points_per_partition_ > 0;
+  for (size_t i = 0; eligible && i < n; ++i) {
+    if (in.PartitionRows(i) == 0) continue;
+    ++non_empty;
+    const std::optional<skyline::ColumnarBatch>& b = in.batches[i];
+    eligible = b.has_value() && b->ProjectedFor(dims_) &&
+               b->matrix().all_numeric_minmax() && !b->matrix().has_nulls() &&
+               b->matrix().diff_mask() == 0;
+  }
+  if (!eligible || non_empty < 2) return in;
+
+  // Degradation contract: the filter is a shuffle discount, never a
+  // correctness dependency. Cancellation, timeout and memory exhaustion
+  // keep their meaning and propagate; any other stage failure (including
+  // injected "exec.broadcast" faults that outlive the retry budget) falls
+  // back to the unfiltered input. Both stages only read `in` and write
+  // side vectors, so the fallback input is untouched.
+  auto degradable = [](const Status& s) {
+    return !s.IsCancelled() && !s.IsTimeout() && !s.IsResourceExhausted();
+  };
+
+  skyline::SkylineOptions options;
+  options.counter = ctx->dominance();
+  options.deadline_nanos = ctx->deadline_nanos();
+  options.cancel = ctx->cancel_token();
+
+  // [nominate]: each partition offers its k SaLSa minmax-best points; the
+  // union is the broadcast filter set.
+  std::vector<skyline::FilterPointSet> nominated(n);
+  Status status =
+      RunStage(ctx, StrCat(label(), " [nominate]"), n, [&](size_t i) -> Status {
+        if (in.PartitionRows(i) == 0) return Status::OK();
+        skyline::NominateFilterPoints(in.batches[i]->matrix(),
+                                      in.batches[i]->indices(),
+                                      points_per_partition_, &nominated[i]);
+        return Status::OK();
+      });
+  if (!status.ok()) {
+    if (!degradable(status)) return status;
+    SL_LOG_WARN << "broadcast filter [nominate] degraded to pass-through: "
+                << status.ToString();
+    return in;
+  }
+
+  skyline::FilterPointSet filter;
+  for (const auto& part : nominated) {
+    if (part.num_points() == 0) continue;
+    if (filter.num_dims == 0) filter.num_dims = part.num_dims;
+    filter.keys.insert(filter.keys.end(), part.keys.begin(), part.keys.end());
+  }
+  const int64_t filter_points = static_cast<int64_t>(filter.num_points());
+  if (filter_points == 0) return in;
+  ctx->AddBroadcastFilterPoints(filter_points);
+  static metrics::Counter* points_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "sparkline_broadcast_filter_points_total");
+  points_counter->Increment(filter_points);
+
+  // Zone veto corners: with zone maps still attached (Scan -> Filter ->
+  // LocalSkyline chains preserve them), a filter point strictly dominating
+  // a partition's *best corner* strictly dominates every row the partition
+  // could hold — the whole partition drops without touching a row. A
+  // partition can never veto itself (its own rows are >= its best corner
+  // componentwise, so at best they compare kEqual), and mutual vetoes are
+  // impossible for the same order-theoretic reason as mutual zone skips.
+  std::vector<std::vector<double>> best(n);
+  std::vector<char> corner_ok(n, 0);
+  if (in.zone_maps.size() == n) {
+    std::vector<double> worst;
+    for (size_t i = 0; i < n; ++i) {
+      if (in.PartitionRows(i) == 0) continue;
+      corner_ok[i] = ZoneCorners(in.zone_maps[i], dims_, &best[i], &worst) &&
+                     best[i].size() == filter.num_dims;
+    }
+  }
+
+  // [filter]: every partition prunes against the union before the gather.
+  std::vector<std::vector<uint32_t>> pruned(n);
+  std::vector<char> veto(n, 0);
+  status =
+      RunStage(ctx, StrCat(label(), " [filter]"), n, [&](size_t i) -> Status {
+        if (in.PartitionRows(i) == 0) return Status::OK();
+        if (corner_ok[i]) {
+          for (size_t p = 0; p < filter.num_points(); ++p) {
+            if (skyline::CompareKeySpansComplete(filter.point(p),
+                                                 best[i].data(),
+                                                 filter.num_dims) ==
+                skyline::Dominance::kLeftDominates) {
+              veto[i] = 1;
+              return Status::OK();
+            }
+          }
+        }
+        SL_ASSIGN_OR_RETURN(
+            pruned[i],
+            skyline::PruneAgainstFilter(in.batches[i]->matrix(),
+                                        in.batches[i]->indices(), filter,
+                                        options));
+        return Status::OK();
+      });
+  if (!status.ok()) {
+    if (!degradable(status)) return status;
+    SL_LOG_WARN << "broadcast filter [filter] degraded to pass-through: "
+                << status.ToString();
+    return in;
+  }
+
+  // Apply only after both stages fully succeeded. Pruned views stay
+  // subsequences of the input views, so the SFS sort flag, sort key and
+  // stop bound all remain valid: a pruned bound witness is itself strictly
+  // dominated by a filter point whose domination chain terminates at a
+  // surviving row, so every bound-based elimination downstream keeps a
+  // surviving witness by transitivity.
+  PartitionedRelation out;
+  out.attrs = output_;
+  out.partitions.assign(n, {});
+  out.batches.assign(n, std::nullopt);
+  out.zone_maps = std::move(in.zone_maps);
+
+  int64_t vetoed = 0;
+  int64_t rows_pruned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (in.PartitionRows(i) == 0) {
+      out.partitions[i] = std::move(in.partitions[i]);
+      if (in.batches[i].has_value()) out.batches[i] = std::move(in.batches[i]);
+      continue;
+    }
+    const skyline::ColumnarBatch& b = *in.batches[i];
+    if (veto[i]) {
+      ++vetoed;
+      rows_pruned += static_cast<int64_t>(b.num_rows());
+      out.batches[i] = b.WithSelection({}, b.score_sorted(), b.sort_key(),
+                                       b.stop_bound());
+      if (out.zone_maps.size() == n) out.zone_maps[i] = ZoneMap();
+      continue;
+    }
+    rows_pruned += static_cast<int64_t>(b.num_rows() - pruned[i].size());
+    out.batches[i] = b.WithSelection(std::move(pruned[i]), b.score_sorted(),
+                                     b.sort_key(), b.stop_bound());
+  }
+
+  if (vetoed > 0) {
+    ctx->AddPartitionsSkipped(vetoed);
+    static metrics::Counter* skipped_counter =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "sparkline_partitions_skipped_total");
+    skipped_counter->Increment(vetoed);
+  }
+  if (rows_pruned > 0) {
+    ctx->AddRowsPrunedPreGather(rows_pruned);
+    static metrics::Counter* pruned_counter =
+        metrics::MetricsRegistry::Global().GetCounter(
+            "sparkline_rows_pruned_pre_gather_total");
+    pruned_counter->Increment(rows_pruned);
+  }
+  SL_RETURN_NOT_OK(ChargeOutput(ctx, &out));
+  return out;
+}
+
 // --- GlobalSkylineExec ------------------------------------------------------
 
 GlobalSkylineExec::GlobalSkylineExec(std::vector<skyline::BoundDimension> dims,
@@ -233,7 +529,7 @@ Result<PartitionedRelation> GlobalSkylineExec::ExecuteColumnar(
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kComplete;
-  options.counter = ctx->dominance();
+  options.counter = ctx->merge_dominance();
   options.deadline_nanos = ctx->deadline_nanos();
   options.cancel = ctx->cancel_token();
   options.memory = ctx->memory();
@@ -385,7 +681,7 @@ Result<PartitionedRelation> GlobalSkylineExec::Execute(ExecContext* ctx) const {
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kComplete;
-  options.counter = ctx->dominance();
+  options.counter = ctx->merge_dominance();
   options.deadline_nanos = ctx->deadline_nanos();
   options.cancel = ctx->cancel_token();
   options.sfs_early_stop = sfs_early_stop_;
@@ -468,7 +764,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::ExecuteColumnar(
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kIncomplete;
-  options.counter = ctx->dominance();
+  options.counter = ctx->merge_dominance();
   options.deadline_nanos = ctx->deadline_nanos();
   options.cancel = ctx->cancel_token();
   options.memory = ctx->memory();
@@ -573,7 +869,7 @@ Result<PartitionedRelation> GlobalSkylineIncompleteExec::Execute(
   skyline::SkylineOptions options;
   options.distinct = distinct_;
   options.nulls = skyline::NullSemantics::kIncomplete;
-  options.counter = ctx->dominance();
+  options.counter = ctx->merge_dominance();
   options.deadline_nanos = ctx->deadline_nanos();
   options.cancel = ctx->cancel_token();
 

@@ -344,6 +344,50 @@ std::vector<uint32_t> MergeByScore(const DominanceMatrix& matrix,
 double ComputeStopBound(const DominanceMatrix& matrix,
                         const std::vector<uint32_t>& view);
 
+/// \brief The pre-gather broadcast filter set (two-phase distributed
+/// pruning): the packed normalized keys of a few strong skyline points,
+/// nominated per partition and unioned. Because keys are MIN/MAX-normalized
+/// at projection time, they are comparable *across* independently built
+/// matrices — unlike DIFF dictionary codes — so a point nominated from one
+/// partition's matrix prunes rows of every other partition directly via
+/// CompareKeySpansComplete. Valid only for all-numeric MIN/MAX matrices
+/// without NULL bitmaps and with diff_mask() == 0; producers must check.
+struct FilterPointSet {
+  size_t num_dims = 0;
+  /// Row-major packed keys, num_points() * num_dims entries.
+  std::vector<double> keys;
+
+  size_t num_points() const {
+    return num_dims == 0 ? 0 : keys.size() / num_dims;
+  }
+  const double* point(size_t i) const { return keys.data() + i * num_dims; }
+};
+
+/// \brief Nominates up to `k` rows of `view` with the smallest MaxKey — the
+/// SaLSa minmax-best tuples, whose stop-point coordinate makes them the
+/// strongest single-point pruners a partition can offer — and appends their
+/// packed keys to `out` (initializing out->num_dims on first use).
+///
+/// \pre the matrix is all-numeric MIN/MAX, NULL-free, diff_mask() == 0
+/// (MinKey/MaxKey preconditions); `view` holds valid row indices.
+void NominateFilterPoints(const DominanceMatrix& matrix,
+                          const std::vector<uint32_t>& view, size_t k,
+                          FilterPointSet* out);
+
+/// \brief Returns the sub-view of `view` whose rows are not *strictly*
+/// dominated by any filter point. kEqual never eliminates: a nominated
+/// point meeting itself survives, and under DISTINCT the first-encountered
+/// tie-break belongs to the merge stage, which only works if ties still
+/// reach it — strict-only elimination is what keeps this sound for both
+/// DISTINCT settings (see docs/ARCHITECTURE.md). Each comparison counts as
+/// one dominance test in options.counter; honours options.deadline_nanos.
+///
+/// \pre same matrix preconditions as NominateFilterPoints, and
+/// filter.num_dims == matrix.num_dims().
+Result<std::vector<uint32_t>> PruneAgainstFilter(
+    const DominanceMatrix& matrix, const std::vector<uint32_t>& view,
+    const FilterPointSet& filter, const SkylineOptions& options);
+
 /// \brief Index-based grid-filter skyline: cell-level pruning over the
 /// normalized keys (all dimensions MIN after negation, so no bucket
 /// mirroring is needed), then ColumnarBlockNestedLoop over the survivors.

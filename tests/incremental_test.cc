@@ -250,6 +250,94 @@ TEST_F(IncrementalSessionTest, MaintainedEntrySurvivesWrites) {
   EXPECT_EQ(session_->cache()->stats().invalidations, 0);
 }
 
+// --- zone maps under writes --------------------------------------------------
+
+// Catalog::InsertInto maintains table zone maps incrementally (the CoW copy
+// transplants the old map and only the inserted rows are observed — a
+// min/max merge, never a rebuild). Pin both halves of the contract: after
+// an arbitrary insert sequence (a) the maintained zone map is bit-identical
+// to one rebuilt from scratch over the final rows, and (b) delta-maintained
+// cache entries and zone-map-pruned cold execution agree on the skyline of
+// the post-write table.
+TEST_F(IncrementalSessionTest, ZoneMapsStayExactUnderWrites) {
+  ASSERT_OK(session_->SetConf("sparkline.executors", "8"));
+  // Skyline columns stay non-nullable so the auto strategy keeps complete
+  // dominance (the delta-maintained path); the `note` column is where the
+  // NULL facets of the zone map get exercised.
+  Schema schema({Field{"id", DataType::Int64(), false},
+                 Field{"x", DataType::Double(), false},
+                 Field{"y", DataType::Double(), false},
+                 Field{"note", DataType::Double(), true}});
+  auto seeded = std::make_shared<Table>("t", schema);
+  Rng rng(/*seed=*/77);
+  for (int64_t i = 0; i < 600; ++i) {
+    const double base = rng.Uniform(0.0, 10.0);
+    ASSERT_OK(seeded->AppendRow(
+        {Value::Int64(i), Value::Double(base + rng.Uniform(0.0, 1.0)),
+         Value::Double(base + rng.Uniform(0.0, 1.0)),
+         Value::Double(rng.Uniform(0.0, 1.0))}));
+  }
+  ASSERT_OK(session_->catalog()->RegisterTable(seeded));
+  const std::string sql = "SELECT * FROM t SKYLINE OF x MIN, y MIN";
+  const auto warm = Rows(session_.get(), sql);  // populates the cache entry
+  ASSERT_FALSE(warm.empty());
+
+  // Insert batches that stretch every zone facet: dominated interior
+  // points, new global extremes (min and max movers), and NULL notes.
+  int64_t next_id = 1000000;
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 5; ++i) {
+      Row row{Value::Int64(next_id++)};
+      for (int d = 0; d < 2; ++d) {
+        const double u = rng.Uniform(0.0, 1.0);
+        if (u < 0.15) {
+          row.push_back(Value::Double(rng.Uniform(-6.0, -5.0)));  // new min
+        } else if (u < 0.3) {
+          row.push_back(Value::Double(rng.Uniform(50.0, 51.0)));  // new max
+        } else {
+          row.push_back(Value::Double(rng.Uniform(0.0, 10.0)));
+        }
+      }
+      row.push_back(rng.Bernoulli(0.3)
+                        ? Value::Null(DataType::Double())
+                        : Value::Double(rng.Uniform(0.0, 1.0)));
+      rows.push_back(std::move(row));
+    }
+    ASSERT_OK(session_->catalog()->InsertInto("t", rows));
+  }
+  session_->catalog()->DrainWrites();
+
+  // (a) Incrementally-merged map == rebuilt map, facet by facet.
+  ASSERT_OK_AND_ASSIGN(TablePtr table, session_->catalog()->GetTable("t"));
+  const ZoneMap& maintained = table->zone_map();
+  const ZoneMap rebuilt =
+      ZoneMap::Build(table->rows(), table->schema().num_fields());
+  ASSERT_EQ(maintained.columns.size(), rebuilt.columns.size());
+  EXPECT_EQ(maintained.num_rows, rebuilt.num_rows);
+  for (size_t c = 0; c < rebuilt.columns.size(); ++c) {
+    SCOPED_TRACE(StrCat("column ", c));
+    EXPECT_EQ(maintained.columns[c].numeric, rebuilt.columns[c].numeric);
+    EXPECT_EQ(maintained.columns[c].null_count, rebuilt.columns[c].null_count);
+    if (rebuilt.columns[c].has_range()) {
+      EXPECT_EQ(maintained.columns[c].min, rebuilt.columns[c].min);
+      EXPECT_EQ(maintained.columns[c].max, rebuilt.columns[c].max);
+    }
+  }
+
+  // (b) The delta-maintained entry and zone-map-pruned cold execution agree.
+  ASSERT_OK_AND_ASSIGN(auto df, session_->Sql(sql));
+  ASSERT_OK_AND_ASSIGN(QueryResult served, df.Collect());
+  Session cold;
+  ASSERT_OK(cold.SetConf("sparkline.executors", "8"));
+  ASSERT_OK(cold.catalog()->RegisterTable(table));
+  const auto fresh = Rows(&cold, sql);
+  EXPECT_SAME_ROWS(served.rows(), fresh);
+  ASSERT_OK(cold.SetConf("sparkline.scan.zone_maps", "false"));
+  ASSERT_OK(cold.SetConf("sparkline.skyline.broadcast_filter", "false"));
+  EXPECT_SAME_ROWS(fresh, Rows(&cold, sql));
+}
+
 TEST_F(IncrementalSessionTest, IncrementalOffInvalidates) {
   ASSERT_OK(session_->SetConf("sparkline.cache.incremental", "false"));
   ASSERT_OK(session_->catalog()->RegisterTable(TriSkyline("t")));

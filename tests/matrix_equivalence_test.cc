@@ -82,35 +82,53 @@ TEST_P(ConfigMatrix, AllConfigurationsAgreeWithBruteForce) {
         for (const char* exchange : {"true", "false"}) {
           for (const char* partitioning : {"asis", "roundrobin", "angle"}) {
             for (const char* executors : {"1", "3", "8"}) {
-              ASSERT_OK(session.SetConf("sparkline.skyline.strategy", strategy));
-              ASSERT_OK(
-                  session.SetConf("sparkline.skyline.kernel", kernel.kernel));
-              ASSERT_OK(session.SetConf("sparkline.skyline.sfs.early_stop",
-                                        kernel.early_stop));
-              ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key",
-                                        kernel.sort_key));
-              ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
-              ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
-                                        exchange));
-              ASSERT_OK(session.SetConf("sparkline.skyline.partitioning",
-                                        partitioning));
-              ASSERT_OK(session.SetConf("sparkline.executors", executors));
-              auto rows = RowStrings(Rows(&session, query));
-              ASSERT_EQ(expected, rows)
-                  << "strategy=" << strategy << " kernel=" << kernel.kernel
-                  << " early_stop=" << kernel.early_stop
-                  << " sort_key=" << kernel.sort_key
-                  << " columnar=" << columnar << " exchange=" << exchange
-                  << " partitioning=" << partitioning
-                  << " executors=" << executors;
-              ++combinations;
+              // Two-phase pruning axes (broadcast filter × zone maps): both
+              // phases claim bit-identical results, so they join the full
+              // cross rather than getting their own narrower sweep.
+              const std::pair<const char*, const char*> pruning_axis[] = {
+                  {"true", "true"},
+                  {"true", "false"},
+                  {"false", "true"},
+                  {"false", "false"}};
+              for (const auto& pruning : pruning_axis) {
+                ASSERT_OK(
+                    session.SetConf("sparkline.skyline.strategy", strategy));
+                ASSERT_OK(
+                    session.SetConf("sparkline.skyline.kernel", kernel.kernel));
+                ASSERT_OK(session.SetConf("sparkline.skyline.sfs.early_stop",
+                                          kernel.early_stop));
+                ASSERT_OK(session.SetConf("sparkline.skyline.sfs.sort_key",
+                                          kernel.sort_key));
+                ASSERT_OK(
+                    session.SetConf("sparkline.skyline.columnar", columnar));
+                ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
+                                          exchange));
+                ASSERT_OK(session.SetConf("sparkline.skyline.partitioning",
+                                          partitioning));
+                ASSERT_OK(session.SetConf("sparkline.executors", executors));
+                ASSERT_OK(session.SetConf("sparkline.skyline.broadcast_filter",
+                                          pruning.first));
+                ASSERT_OK(session.SetConf("sparkline.scan.zone_maps",
+                                          pruning.second));
+                auto rows = RowStrings(Rows(&session, query));
+                ASSERT_EQ(expected, rows)
+                    << "strategy=" << strategy << " kernel=" << kernel.kernel
+                    << " early_stop=" << kernel.early_stop
+                    << " sort_key=" << kernel.sort_key
+                    << " columnar=" << columnar << " exchange=" << exchange
+                    << " partitioning=" << partitioning
+                    << " executors=" << executors
+                    << " broadcast_filter=" << pruning.first
+                    << " zone_maps=" << pruning.second;
+                ++combinations;
+              }
             }
           }
         }
       }
     }
   }
-  EXPECT_GE(combinations, 2 * 6 * 2 * 2 * 3 * 3);
+  EXPECT_GE(combinations, 2 * 6 * 2 * 2 * 3 * 3 * 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -172,19 +190,71 @@ TEST_P(IncompleteParallel, MatchesBruteForceOracle) {
     for (const char* columnar : {"true", "false"}) {
       for (const char* exchange : {"true", "false"}) {
         for (const std::string& executors : executor_counts) {
-          ASSERT_OK(session.SetConf("sparkline.skyline.incomplete.parallel",
-                                    parallel));
-          ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
-          ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
-                                    exchange));
-          ASSERT_OK(session.SetConf("sparkline.executors", executors));
-          ASSERT_EQ(expected, RowStrings(Rows(&session, query)))
-              << "parallel=" << parallel << " columnar=" << columnar
-              << " exchange=" << exchange << " executors=" << executors;
+          // The two-phase pruning flags must be inert here: zone-map
+          // skipping and the broadcast filter are complete-dominance-only
+          // optimizations and auto-disable under incomplete semantics.
+          const std::pair<const char*, const char*> pruning_axis[] = {
+              {"true", "true"}, {"false", "false"}};
+          for (const auto& pruning : pruning_axis) {
+            ASSERT_OK(session.SetConf("sparkline.skyline.incomplete.parallel",
+                                      parallel));
+            ASSERT_OK(session.SetConf("sparkline.skyline.columnar", columnar));
+            ASSERT_OK(session.SetConf("sparkline.skyline.exchange.columnar",
+                                      exchange));
+            ASSERT_OK(session.SetConf("sparkline.executors", executors));
+            ASSERT_OK(session.SetConf("sparkline.skyline.broadcast_filter",
+                                      pruning.first));
+            ASSERT_OK(
+                session.SetConf("sparkline.scan.zone_maps", pruning.second));
+            ASSERT_EQ(expected, RowStrings(Rows(&session, query)))
+                << "parallel=" << parallel << " columnar=" << columnar
+                << " exchange=" << exchange << " executors=" << executors
+                << " broadcast_filter=" << pruning.first
+                << " zone_maps=" << pruning.second;
+          }
         }
       }
     }
   }
+}
+
+// Zone-map partition skipping is a complete-dominance optimization: under
+// incomplete semantics (non-transitive dominance, NULL coordinates outside
+// the min/max summary) it must auto-disable even with both pruning flags
+// on. Pinned through QueryMetrics: no partition is ever skipped and no
+// broadcast filter point is nominated, while the same flags on complete
+// data do fire (guarding against the pin passing vacuously).
+TEST(TwoPhasePruning, AutoDisablesUnderIncompleteDominance) {
+  Session session;
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts_null", 1200, 3, datagen::PointDistribution::kCorrelated, 7,
+      /*null_probability=*/0.4)));
+  ASSERT_OK(session.catalog()->RegisterTable(datagen::GeneratePoints(
+      "pts_full", 1200, 3, datagen::PointDistribution::kCorrelated, 7,
+      /*null_probability=*/0.0)));
+  ASSERT_OK(session.SetConf("sparkline.executors", "8"));
+  ASSERT_OK(session.SetConf("sparkline.skyline.broadcast_filter", "true"));
+  ASSERT_OK(session.SetConf("sparkline.scan.zone_maps", "true"));
+
+  auto metrics_for = [&](const char* strategy, const char* table) {
+    SL_CHECK_OK(session.SetConf("sparkline.skyline.strategy", strategy));
+    auto df = session.Sql(StrCat("SELECT * FROM ", table,
+                                 " SKYLINE OF d0 MIN, d1 MIN, d2 MIN"));
+    SL_CHECK(df.ok());
+    auto r = df->Collect();
+    SL_CHECK(r.ok()) << r.status().ToString();
+    return r->metrics;
+  };
+
+  const QueryMetrics incomplete = metrics_for("incomplete", "pts_null");
+  EXPECT_EQ(incomplete.partitions_skipped, 0);
+  EXPECT_EQ(incomplete.broadcast_filter_points, 0);
+  EXPECT_EQ(incomplete.rows_pruned_pre_gather, 0);
+
+  // Control: the same flags on complete correlated data fire both phases
+  // (correlated clusters give partitions strictly dominating corners).
+  const QueryMetrics complete = metrics_for("distributed", "pts_full");
+  EXPECT_GT(complete.broadcast_filter_points, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
