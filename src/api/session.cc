@@ -144,7 +144,7 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
   if (k == "sparkline.cache.enabled") {
     SL_ASSIGN_OR_RETURN(config_.cache_enabled, ParseBool(value));
     if (!config_.cache_enabled) {
-      std::lock_guard<std::mutex> lock(serve_mu_);
+      sl::MutexLock lock(&serve_mu_);
       if (cache_ != nullptr) cache_->Clear();
     }
     return Status::OK();
@@ -155,7 +155,7 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
       return Status::Invalid("sparkline.cache.capacity_bytes must be >= 0");
     }
     config_.cache_capacity_bytes = n;
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    sl::MutexLock lock(&serve_mu_);
     if (cache_ != nullptr) cache_->set_capacity_bytes(n);
     return Status::OK();
   }
@@ -163,13 +163,13 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
     SL_ASSIGN_OR_RETURN(int64_t n, ParseInt(value));
     if (n < 0) return Status::Invalid("sparkline.cache.ttl_ms must be >= 0");
     config_.cache_ttl_ms = n;
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    sl::MutexLock lock(&serve_mu_);
     if (cache_ != nullptr) cache_->set_ttl_ms(n);
     return Status::OK();
   }
   if (k == "sparkline.cache.incremental") {
     SL_ASSIGN_OR_RETURN(config_.cache_incremental, ParseBool(value));
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    sl::MutexLock lock(&serve_mu_);
     if (maintainer_ != nullptr) {
       maintainer_->set_enabled(config_.cache_incremental);
     }
@@ -181,7 +181,7 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
       return Status::Invalid("sparkline.cache.max_delta_batch must be >= 0");
     }
     config_.cache_max_delta_batch = n;
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    sl::MutexLock lock(&serve_mu_);
     if (maintainer_ != nullptr) maintainer_->set_max_delta_batch(n);
     return Status::OK();
   }
@@ -234,7 +234,7 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
       return Status::Invalid("sparkline.serve.max_concurrent must be in [1, 1024]");
     }
     {
-      std::lock_guard<std::mutex> lock(serve_mu_);
+      sl::MutexLock lock(&serve_mu_);
       if (service_ != nullptr) {
         return Status::Invalid(
             "sparkline.serve.max_concurrent cannot change after the query "
@@ -248,7 +248,7 @@ Status Session::SetConf(const std::string& key, const std::string& value) {
 }
 
 serve::ResultCache* Session::cache() const {
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  sl::MutexLock lock(&serve_mu_);
   if (cache_ == nullptr) {
     serve::ResultCache::Options options;
     options.capacity_bytes = config_.cache_capacity_bytes;
@@ -273,7 +273,7 @@ serve::ResultCache* Session::cache() const {
 
 serve::IncrementalMaintainer* Session::maintainer() const {
   cache();  // creates the maintainer + registers the write listener
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  sl::MutexLock lock(&serve_mu_);
   return maintainer_.get();
 }
 
@@ -298,7 +298,7 @@ Status Session::Unsubscribe(uint64_t id) {
   // holding serve_mu_ across that couples unrelated lock orders.
   std::shared_ptr<serve::IncrementalMaintainer> maintainer;
   {
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    sl::MutexLock lock(&serve_mu_);
     maintainer = maintainer_;
   }
   if (maintainer == nullptr) {
@@ -309,7 +309,7 @@ Status Session::Unsubscribe(uint64_t id) {
 }
 
 serve::QueryService* Session::service() {
-  std::lock_guard<std::mutex> lock(serve_mu_);
+  sl::MutexLock lock(&serve_mu_);
   if (service_ == nullptr) {
     serve::QueryService::Options options;
     options.max_concurrent = config_.serve_max_concurrent;

@@ -60,12 +60,12 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "api/query_result.h"
 #include "catalog/catalog.h"
+#include "common/thread_safety.h"
 #include "exec/planner.h"
 #include "optimizer/optimizer.h"
 #include "serve/incremental.h"
@@ -284,12 +284,13 @@ class Session {
   // sessions without caching/async use should pay nothing. Destruction
   // order matters: service_ runs queries against this session, so it is
   // declared last and therefore destroyed first.
-  mutable std::mutex serve_mu_;
-  mutable std::shared_ptr<serve::ResultCache> cache_;
+  mutable sl::Mutex serve_mu_;
+  mutable std::shared_ptr<serve::ResultCache> cache_ SL_GUARDED_BY(serve_mu_);
   /// Created with cache_ (the write listener holds both weakly); shared so
   /// in-flight notifier dispatches survive session teardown.
-  mutable std::shared_ptr<serve::IncrementalMaintainer> maintainer_;
-  std::unique_ptr<serve::QueryService> service_;
+  mutable std::shared_ptr<serve::IncrementalMaintainer> maintainer_
+      SL_GUARDED_BY(serve_mu_);
+  std::unique_ptr<serve::QueryService> service_ SL_GUARDED_BY(serve_mu_);
 };
 
 }  // namespace sparkline

@@ -46,12 +46,18 @@ void CountWrite(WriteEvent::Kind kind) {
 }  // namespace
 
 Catalog::~Catalog() {
+  // Move the thread handle out under the lock, join outside it: joining
+  // while holding notify_mu_ would deadlock against the notifier's own
+  // re-acquisitions, and touching notifier_ unlocked would be an unguarded
+  // access to a notify_mu_-guarded field.
+  std::thread notifier;
   {
-    std::lock_guard<std::mutex> lock(notify_mu_);
+    sl::MutexLock lock(&notify_mu_);
     stop_ = true;
+    notifier = std::move(notifier_);
   }
-  notify_cv_.notify_all();
-  if (notifier_.joinable()) notifier_.join();
+  notify_cv_.NotifyAll();
+  if (notifier.joinable()) notifier.join();
 }
 
 uint64_t Catalog::BumpVersionLocked(const std::string& key) {
@@ -70,22 +76,22 @@ void Catalog::EnqueueWrite(WriteEvent event) {
   {
     // No listeners -> nothing to deliver; skip the queue entirely so
     // listener-free catalogs never grow one.
-    std::lock_guard<std::mutex> lock(listeners_mu_);
+    sl::MutexLock lock(&listeners_mu_);
     if (listeners_.empty()) return;
   }
   {
-    std::lock_guard<std::mutex> lock(notify_mu_);
+    sl::MutexLock lock(&notify_mu_);
     queue_.push_back(std::move(event));
   }
-  notify_cv_.notify_all();
+  notify_cv_.NotifyAll();
 }
 
 void Catalog::NotifierLoop() {
   for (;;) {
     WriteEvent event;
     {
-      std::unique_lock<std::mutex> lock(notify_mu_);
-      notify_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      sl::MutexLock lock(&notify_mu_);
+      while (!(stop_ || !queue_.empty())) notify_cv_.Wait(&notify_mu_);
       // Drain the remaining queue even when stopping: a listener-visible
       // write has a version already published, so dropping its event would
       // leave caches permanently stale in the destructor race window.
@@ -96,7 +102,7 @@ void Catalog::NotifierLoop() {
     }
     std::vector<WriteListener> listeners;
     {
-      std::lock_guard<std::mutex> lock(listeners_mu_);
+      sl::MutexLock lock(&listeners_mu_);
       listeners = listeners_;
     }
     static metrics::Histogram* dispatch_us =
@@ -106,16 +112,16 @@ void Catalog::NotifierLoop() {
     for (const auto& listener : listeners) listener(event);
     dispatch_us->Observe(dispatch.ElapsedNanos() / 1000);
     {
-      std::lock_guard<std::mutex> lock(notify_mu_);
+      sl::MutexLock lock(&notify_mu_);
       dispatching_ = false;
     }
-    notify_cv_.notify_all();
+    notify_cv_.NotifyAll();
   }
 }
 
 void Catalog::DrainWrites() {
-  std::unique_lock<std::mutex> lock(notify_mu_);
-  notify_cv_.wait(lock, [&] { return queue_.empty() && !dispatching_; });
+  sl::MutexLock lock(&notify_mu_);
+  while (!(queue_.empty() && !dispatching_)) notify_cv_.Wait(&notify_mu_);
 }
 
 Status Catalog::RegisterTable(TablePtr table) {
@@ -124,7 +130,7 @@ Status Catalog::RegisterTable(TablePtr table) {
   event.kind = WriteEvent::Kind::kRegister;
   event.table = key;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     if (tables_.count(key) > 0) {
       return Status::AlreadyExists(StrCat("table ", table->name()));
     }
@@ -143,7 +149,7 @@ void Catalog::RegisterOrReplaceTable(TablePtr table) {
   event.kind = WriteEvent::Kind::kReplace;
   event.table = key;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     event.old_version = VersionBeforeLocked(key);
     event.new_version = BumpVersionLocked(key);
     table->set_version(event.new_version);
@@ -153,7 +159,7 @@ void Catalog::RegisterOrReplaceTable(TablePtr table) {
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  sl::SharedLock lock(&mu_);
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) {
     return Status::NotFound(StrCat("table ", name, " not found in catalog"));
@@ -162,7 +168,7 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  sl::SharedLock lock(&mu_);
   return tables_.count(ToLower(name)) > 0;
 }
 
@@ -172,7 +178,7 @@ Status Catalog::DropTable(const std::string& name) {
   event.kind = WriteEvent::Kind::kDrop;
   event.table = key;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     auto it = tables_.find(key);
     if (it == tables_.end()) {
       return Status::NotFound(StrCat("table ", name, " not found in catalog"));
@@ -198,7 +204,7 @@ Status Catalog::InsertInto(const std::string& name,
     // publish only if no other writer got there first.
     TablePtr old;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      sl::SharedLock lock(&mu_);
       auto it = tables_.find(key);
       if (it == tables_.end()) {
         return Status::NotFound(
@@ -219,7 +225,7 @@ Status Catalog::InsertInto(const std::string& name,
     event.table = key;
     event.rows = std::make_shared<const std::vector<Row>>(rows);
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      sl::MutexLock lock(&mu_);
       auto it = tables_.find(key);
       if (it == tables_.end()) {
         return Status::NotFound(
@@ -237,13 +243,13 @@ Status Catalog::InsertInto(const std::string& name,
 }
 
 uint64_t Catalog::TableVersion(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  sl::SharedLock lock(&mu_);
   auto it = versions_.find(ToLower(name));
   return it == versions_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  sl::SharedLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [k, v] : tables_) out.push_back(v->name());
@@ -252,10 +258,10 @@ std::vector<std::string> Catalog::ListTables() const {
 
 void Catalog::AddWriteListener(WriteListener listener) {
   {
-    std::lock_guard<std::mutex> lock(listeners_mu_);
+    sl::MutexLock lock(&listeners_mu_);
     listeners_.push_back(std::move(listener));
   }
-  std::lock_guard<std::mutex> lock(notify_mu_);
+  sl::MutexLock lock(&notify_mu_);
   if (!notifier_started_) {
     notifier_started_ = true;
     notifier_ = std::thread([this] { NotifierLoop(); });

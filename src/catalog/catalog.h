@@ -28,20 +28,18 @@
 // DrainWrites() flushes the queue for tests and deterministic handoffs.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "catalog/table.h"
 #include "common/result.h"
+#include "common/thread_safety.h"
 
 namespace sparkline {
 
@@ -109,32 +107,35 @@ class Catalog {
 
  private:
   /// Bumps and returns the version of `key` (callers hold the write lock).
-  uint64_t BumpVersionLocked(const std::string& key);
+  uint64_t BumpVersionLocked(const std::string& key) SL_REQUIRES(mu_);
   /// Version of `key` before a write, 0 if never written (write lock held).
-  uint64_t VersionBeforeLocked(const std::string& key) const;
+  uint64_t VersionBeforeLocked(const std::string& key) const
+      SL_REQUIRES_SHARED(mu_);
   /// Enqueues the event for the notifier thread. Called with the write lock
   /// held so queue order equals version order; the enqueue itself is O(1)
   /// plus one mutex, so writers are never blocked behind listener work.
-  void EnqueueWrite(WriteEvent event);
-  void NotifierLoop();
+  void EnqueueWrite(WriteEvent event) SL_REQUIRES(mu_)
+      SL_EXCLUDES(listeners_mu_, notify_mu_);
+  void NotifierLoop() SL_EXCLUDES(notify_mu_, listeners_mu_);
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, TablePtr> tables_;  // keyed by lower-cased name
-  std::map<std::string, uint64_t> versions_;
+  mutable sl::SharedMutex mu_;
+  // keyed by lower-cased name
+  std::map<std::string, TablePtr> tables_ SL_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> versions_ SL_GUARDED_BY(mu_);
 
-  mutable std::mutex listeners_mu_;
-  std::vector<WriteListener> listeners_;
+  mutable sl::Mutex listeners_mu_;
+  std::vector<WriteListener> listeners_ SL_GUARDED_BY(listeners_mu_);
 
   // Notifier queue. notify_mu_ orders enqueue/dequeue; dispatching_ covers
   // the window where an event has left the queue but its listeners are
   // still running (DrainWrites must wait that out too).
-  std::mutex notify_mu_;
-  std::condition_variable notify_cv_;
-  std::deque<WriteEvent> queue_;
-  bool dispatching_ = false;
-  bool stop_ = false;
-  bool notifier_started_ = false;
-  std::thread notifier_;
+  sl::Mutex notify_mu_;
+  sl::CondVar notify_cv_;
+  std::deque<WriteEvent> queue_ SL_GUARDED_BY(notify_mu_);
+  bool dispatching_ SL_GUARDED_BY(notify_mu_) = false;
+  bool stop_ SL_GUARDED_BY(notify_mu_) = false;
+  bool notifier_started_ SL_GUARDED_BY(notify_mu_) = false;
+  std::thread notifier_ SL_GUARDED_BY(notify_mu_);
 };
 
 }  // namespace sparkline

@@ -3,13 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/string_util.h"
+#include "common/thread_safety.h"
 
 namespace sparkline {
 namespace fail {
@@ -48,8 +48,8 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, SiteState> sites;
+  sl::Mutex mu;
+  std::map<std::string, SiteState> sites SL_GUARDED_BY(mu);
 
   Registry() {
     for (const char* s : kSites) sites.emplace(s, SiteState{});
@@ -86,7 +86,7 @@ Status Hit(const char* site) {
   bool fires = false;
   {
     Registry& reg = GetRegistry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    sl::MutexLock lock(&reg.mu);
     auto it = reg.sites.find(site);
     if (it == reg.sites.end()) {
       SL_DCHECK(false) << "SL_FAILPOINT site '" << site
@@ -127,7 +127,7 @@ Status Hit(const char* site) {
 
 Status Arm(const std::string& site, const FailpointSpec& spec) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sl::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) {
     return Status::NotFound(
@@ -145,7 +145,7 @@ Status Arm(const std::string& site, const FailpointSpec& spec) {
 
 void Disarm(const std::string& site) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sl::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -154,7 +154,7 @@ void Disarm(const std::string& site) {
 
 void DisarmAll() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sl::MutexLock lock(&reg.mu);
   for (auto& [name, state] : reg.sites) {
     if (state.armed) g_armed_count.fetch_sub(1);
     state = SiteState{};
@@ -169,7 +169,7 @@ std::vector<std::string> RegisteredSites() {
 
 int64_t FireCount(const std::string& site) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sl::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.fires;
 }

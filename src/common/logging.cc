@@ -30,8 +30,12 @@ LogLevel LevelFromEnv(const char* value, LogLevel fallback) {
 // Meyers singleton so the SL_MIN_LOG_LEVEL env read happens exactly once,
 // on first use, regardless of static-init order.
 std::atomic<LogLevel>& MinLevel() {
-  static std::atomic<LogLevel> level{
-      LevelFromEnv(std::getenv("SL_MIN_LOG_LEVEL"), LogLevel::kWarning)};
+  // The magic-static initializer runs exactly once under the compiler's
+  // guard, and nothing in the process calls setenv, so the getenv here
+  // cannot race a concurrent environment write.
+  static std::atomic<LogLevel> level{LevelFromEnv(
+      std::getenv("SL_MIN_LOG_LEVEL"),  // NOLINT(concurrency-mt-unsafe)
+      LogLevel::kWarning)};
   return level;
 }
 

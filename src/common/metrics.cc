@@ -147,24 +147,24 @@ MetricsRegistry::Instrument* MetricsRegistry::GetLocked(
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   return GetLocked(Kind::kCounter, name, labels)->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   return GetLocked(Kind::kGauge, name, labels)->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   return GetLocked(Kind::kHistogram, name, labels)->histogram.get();
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   std::string out;
   std::string last_typed_name;
   for (const auto& [key, inst] : instruments_) {
@@ -209,7 +209,7 @@ std::string MetricsRegistry::TextExposition() const {
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   std::string out = "{\n";
   bool first = true;
   for (const auto& [key, inst] : instruments_) {

@@ -29,10 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace sparkline {
 namespace metrics {
@@ -152,12 +153,12 @@ class MetricsRegistry {
   };
 
   Instrument* GetLocked(Kind kind, const std::string& name,
-                        const Labels& labels);
+                        const Labels& labels) SL_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable sl::Mutex mu_;
   /// Keyed by name + rendered labels; std::map so exposition output is
   /// sorted and same-name series are adjacent.
-  std::map<std::string, Instrument> instruments_;
+  std::map<std::string, Instrument> instruments_ SL_GUARDED_BY(mu_);
 };
 
 }  // namespace metrics

@@ -13,8 +13,9 @@ namespace sparkline {
 ///
 /// Construction from T or from a (non-OK) Status is implicit so that
 /// functions can `return value;` or `return Status::Invalid(...)`.
+/// [[nodiscard]] at class level: a dropped Result drops the error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a successful value.
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -38,7 +38,9 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (no allocation) and is intended to
 /// be propagated with the SL_RETURN_NOT_OK / SL_ASSIGN_OR_RETURN macros.
-class Status {
+/// [[nodiscard]] at class level: silently dropping a returned Status swallows
+/// the error (tools/sl_lint.py additionally checks the declarations).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

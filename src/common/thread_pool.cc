@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -28,24 +28,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     SL_CHECK(!shutdown_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  sl::MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      sl::MutexLock lock(&mu_);
+      while (!(shutdown_ || !queue_.empty())) task_ready_.Wait(&mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -70,9 +70,9 @@ void ThreadPool::WorkerLoop() {
                       "tasks must report errors via Status";
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      sl::MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -85,8 +85,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
     return;
   }
   std::atomic<size_t> remaining{n};
-  std::mutex mu;
-  std::condition_variable done;
+  sl::Mutex mu;
+  sl::CondVar done;
   for (size_t i = 0; i < n; ++i) {
     pool->Submit([&, i] {
       // fn(i) throwing must not skip the decrement below, or the waiter
@@ -104,12 +104,12 @@ void ParallelFor(ThreadPool* pool, size_t n,
       // before acquiring it lets the waiter observe completion, return and
       // destroy mu/done while this worker is still about to lock/notify —
       // a use-after-free of stack synchronization objects.
-      std::lock_guard<std::mutex> lock(mu);
-      if (remaining.fetch_sub(1) == 1) done.notify_all();
+      sl::MutexLock lock(&mu);
+      if (remaining.fetch_sub(1) == 1) done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&] { return remaining.load() == 0; });
+  sl::MutexLock lock(&mu);
+  while (remaining.load() != 0) done.Wait(&mu);
 }
 
 }  // namespace sparkline

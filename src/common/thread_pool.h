@@ -1,13 +1,13 @@
 // Fixed-size worker pool used to run per-partition tasks of a query stage.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace sparkline {
 
@@ -26,23 +26,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SL_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have finished.
-  void WaitIdle();
+  void WaitIdle() SL_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SL_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  sl::Mutex mu_;
+  sl::CondVar task_ready_;
+  sl::CondVar all_done_;
+  std::deque<std::function<void()>> queue_ SL_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ SL_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SL_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs fn(0) .. fn(n-1) on the pool and waits for completion.

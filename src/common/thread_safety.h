@@ -1,0 +1,181 @@
+// Clang Thread Safety Analysis wrappers: capability-annotated mutex types
+// that let the compiler machine-check the engine's locking discipline at
+// build time (-Wthread-safety; CI promotes it to -Werror=thread-safety).
+//
+// Discipline (docs/ARCHITECTURE.md "Concurrency discipline & static
+// analysis"):
+//   - Every mutex-protected field is declared SL_GUARDED_BY(mu_); the
+//     analysis then rejects any read or write outside a critical section.
+//   - Private helpers that assume the caller holds a lock are annotated
+//     SL_REQUIRES(mu_) instead of re-locking — the "Locked" suffix naming
+//     convention becomes compiler-enforced.
+//   - Public entry points that must NOT be called with a lock held (they
+//     acquire it themselves) may add SL_EXCLUDES(mu_) to turn self-deadlock
+//     into a compile error.
+//   - Condition-variable wait loops are written as explicit
+//     `while (!pred) cv.Wait(&mu);` loops so the predicate's guarded reads
+//     are visible to the analysis (a predicate lambda would be analyzed as
+//     a separate, lockless function).
+//
+// Under compilers without the attributes (GCC) every macro expands to
+// nothing and the wrappers behave exactly like std::mutex /
+// std::shared_mutex / std::scoped_lock — zero overhead, zero semantic
+// difference; the analysis is a Clang-only build gate, not a runtime
+// mechanism.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SL_THREAD_ANNOTATION
+#define SL_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "shared_mutex").
+#define SL_CAPABILITY(x) SL_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires in its ctor / releases in its dtor.
+#define SL_SCOPED_CAPABILITY SL_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding `x`.
+#define SL_GUARDED_BY(x) SL_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) may only be touched while holding `x`.
+#define SL_PT_GUARDED_BY(x) SL_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (exclusively / shared).
+#define SL_ACQUIRE(...) SL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SL_ACQUIRE_SHARED(...) \
+  SL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (RELEASE also releases a shared hold —
+/// Clang treats it as a generic release, which is what scoped-lock
+/// destructors need).
+#define SL_RELEASE(...) SL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SL_RELEASE_SHARED(...) \
+  SL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Caller must already hold the capability (exclusively / shared).
+#define SL_REQUIRES(...) SL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SL_REQUIRES_SHARED(...) \
+  SL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (the function acquires it itself).
+#define SL_EXCLUDES(...) SL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code whose locking the analysis cannot follow; every
+/// use carries a comment justifying why it is correct by hand.
+#define SL_NO_THREAD_SAFETY_ANALYSIS \
+  SL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sparkline {
+namespace sl {
+
+/// \brief std::mutex with capability annotations. Prefer sl::MutexLock over
+/// calling Lock/Unlock directly; the manual API exists for the rare
+/// non-scoped pattern and stays analysis-visible either way.
+class SL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SL_ACQUIRE() { mu_.lock(); }
+  void Unlock() SL_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex with capability annotations: exclusive
+/// (writer) and shared (reader) modes.
+class SL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SL_ACQUIRE() { mu_.lock(); }
+  void Unlock() SL_RELEASE() { mu_.unlock(); }
+  void LockShared() SL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SL_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock over a Mutex or a SharedMutex (writer side).
+class SL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  explicit MutexLock(SharedMutex* mu) SL_ACQUIRE(mu) : smu_(mu) {
+    smu_->Lock();
+  }
+  ~MutexLock() SL_RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    } else {
+      smu_->Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex* mu_ = nullptr;
+  SharedMutex* smu_ = nullptr;
+};
+
+/// \brief RAII shared (reader) lock over a SharedMutex.
+class SL_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex* mu) SL_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~SharedLock() SL_RELEASE() { mu_->UnlockShared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// \brief Condition variable paired with sl::Mutex.
+///
+/// Wait() atomically releases and re-acquires `mu`, so from the analysis's
+/// point of view the capability is held across the call — which is exactly
+/// the caller's contract. Write wait loops manually:
+///
+///   sl::MutexLock lock(&mu_);
+///   while (!(shutdown_ || !queue_.empty())) cv_.Wait(&mu_);
+///
+/// so the predicate's SL_GUARDED_BY reads stay inside the analyzed critical
+/// section (a predicate lambda would be analyzed as an unlocked function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; spurious wakeups happen, always re-check the
+  /// predicate in a loop. Caller must hold `mu` exclusively.
+  void Wait(Mutex* mu) SL_REQUIRES(mu) SL_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking, so the caller's
+    // MutexLock destructor still performs the one real unlock.
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sl
+}  // namespace sparkline

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/thread_safety.h"
 #include "common/timer.h"
 #include "exec/trace.h"
 #include "skyline/dominance.h"
@@ -243,58 +244,65 @@ class ExecContext {
 
   /// Records one stage's critical-path time under an operator label.
   void AddStageTime(const std::string& label, double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     simulated_ms_ += ms;
     operator_ms_[label] += ms;
   }
   void AddRowsShuffled(int64_t rows) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     rows_shuffled_ += rows;
   }
   void AddExchangeShipped(int64_t rows, int64_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     exchange_rows_shipped_ += rows;
     exchange_bytes_ += bytes;
   }
   void AddBroadcastFilterPoints(int64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     broadcast_filter_points_ += n;
   }
   void AddPartitionsSkipped(int64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     partitions_skipped_ += n;
   }
   void AddRowsPrunedPreGather(int64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     rows_pruned_pre_gather_ += n;
   }
   /// Records a stage's output row count under its operator label.
   void AddStageRows(const std::string& label, int64_t rows) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     operator_rows_[label] += rows;
   }
 
   // --- columnar exchange accounting (thread-safe; stage tasks call these
   // concurrently) -----------------------------------------------------------
   void AddProjectionMs(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     projection_ms_ += ms;
   }
   void AddDecodeMs(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     decode_ms_ += ms;
   }
   void AddMatrixBuilds(const std::string& stage_label, int64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     matrix_builds_[stage_label] += n;
   }
   void AddMatrixReuse(const std::string& stage_label) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sl::MutexLock lock(&mu_);
     matrix_reuses_[stage_label] += 1;
   }
 
-  /// Finalizes the metrics (called once by the session).
-  QueryMetrics Finish(double wall_ms) const {
+  /// Finalizes the metrics (called once by the session). Takes the
+  /// accumulator mutex: the serving tier calls Finish on the submitting
+  /// thread while stage tasks may still be draining (a cancelled or
+  /// timed-out query's pool tasks finish asynchronously), so the unlocked
+  /// reads this method used to do raced AddStageTime and friends — the
+  /// first genuine bug the thread-safety analysis surfaced
+  /// (tests/exec_context_test.cc pins the fix).
+  QueryMetrics Finish(double wall_ms) const SL_EXCLUDES(mu_) {
+    sl::MutexLock lock(&mu_);
     QueryMetrics m;
     m.wall_ms = wall_ms;
     m.simulated_ms = simulated_ms_;
@@ -337,20 +345,20 @@ class ExecContext {
   std::atomic<int64_t> tasks_retried_{0};
   std::atomic<int64_t> tasks_failed_{0};
 
-  mutable std::mutex mu_;
-  double simulated_ms_ = 0;
-  std::map<std::string, double> operator_ms_;
-  std::map<std::string, int64_t> operator_rows_;
-  int64_t rows_shuffled_ = 0;
-  int64_t exchange_rows_shipped_ = 0;
-  int64_t exchange_bytes_ = 0;
-  int64_t broadcast_filter_points_ = 0;
-  int64_t partitions_skipped_ = 0;
-  int64_t rows_pruned_pre_gather_ = 0;
-  double projection_ms_ = 0;
-  double decode_ms_ = 0;
-  std::map<std::string, int64_t> matrix_builds_;
-  std::map<std::string, int64_t> matrix_reuses_;
+  mutable sl::Mutex mu_;
+  double simulated_ms_ SL_GUARDED_BY(mu_) = 0;
+  std::map<std::string, double> operator_ms_ SL_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> operator_rows_ SL_GUARDED_BY(mu_);
+  int64_t rows_shuffled_ SL_GUARDED_BY(mu_) = 0;
+  int64_t exchange_rows_shipped_ SL_GUARDED_BY(mu_) = 0;
+  int64_t exchange_bytes_ SL_GUARDED_BY(mu_) = 0;
+  int64_t broadcast_filter_points_ SL_GUARDED_BY(mu_) = 0;
+  int64_t partitions_skipped_ SL_GUARDED_BY(mu_) = 0;
+  int64_t rows_pruned_pre_gather_ SL_GUARDED_BY(mu_) = 0;
+  double projection_ms_ SL_GUARDED_BY(mu_) = 0;
+  double decode_ms_ SL_GUARDED_BY(mu_) = 0;
+  std::map<std::string, int64_t> matrix_builds_ SL_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> matrix_reuses_ SL_GUARDED_BY(mu_);
 };
 
 }  // namespace sparkline

@@ -66,6 +66,7 @@ std::vector<const TraceSpan*> TraceSpan::ChildrenOfKind(
 }
 
 Trace::Trace() : origin_nanos_(StopWatch::NowNanos()) {
+  sl::MutexLock lock(&mu_);
   root_ = std::make_unique<TraceSpan>();
   root_->name = "query";
   root_->kind = "query";
@@ -83,7 +84,7 @@ TraceSpan* Trace::StartSpan(TraceSpan* parent, std::string name,
   raw->kind = std::move(kind);
   raw->start_ms = NowMs();
   raw->tid = tid;
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   if (parent == nullptr) parent = root_.get();
   parent->children.push_back(std::move(span));
   if (raw->kind == "stage") {
@@ -102,19 +103,19 @@ TraceSpan* Trace::StartSpan(TraceSpan* parent, std::string name,
 
 void Trace::EndSpan(TraceSpan* span) {
   const double now = NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   span->dur_ms = now - span->start_ms;
 }
 
 void Trace::Annotate(TraceSpan* span, std::string key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   if (span == nullptr) span = root_.get();
   span->attrs.emplace_back(std::move(key), std::move(value));
 }
 
 void Trace::AnnotateStage(const std::string& stage, std::string key,
                           std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   for (auto& [stage_name, stage_span] : stages_) {
     if (stage_name == stage) {
       stage_span->attrs.emplace_back(std::move(key), std::move(value));
@@ -124,7 +125,7 @@ void Trace::AnnotateStage(const std::string& stage, std::string key,
 }
 
 std::unique_ptr<TraceSpan> Trace::Finish(double wall_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sl::MutexLock lock(&mu_);
   root_->dur_ms = wall_ms;
   stages_.clear();
   return std::move(root_);

@@ -19,10 +19,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace sparkline {
 
@@ -49,7 +50,13 @@ class Trace {
   /// Milliseconds since the trace origin (the query's execution start).
   double NowMs() const;
 
-  TraceSpan* root() { return root_.get(); }
+  /// The root span. Takes the trace mutex: root_ is released by Finish(),
+  /// and stage tasks may be annotating concurrently — an unlocked read here
+  /// was the kind of unguarded access the thread-safety analysis rejects.
+  TraceSpan* root() SL_EXCLUDES(mu_) {
+    sl::MutexLock lock(&mu_);
+    return root_.get();
+  }
 
   /// Starts a child span of `parent` (the root if null) at the current
   /// time. The returned pointer stays valid for the trace's lifetime.
@@ -71,10 +78,10 @@ class Trace {
 
  private:
   int64_t origin_nanos_;
-  std::mutex mu_;
-  std::unique_ptr<TraceSpan> root_;
+  sl::Mutex mu_;
+  std::unique_ptr<TraceSpan> root_ SL_GUARDED_BY(mu_);
   /// Latest stage span per name (for AnnotateStage).
-  std::vector<std::pair<std::string, TraceSpan*>> stages_;
+  std::vector<std::pair<std::string, TraceSpan*>> stages_ SL_GUARDED_BY(mu_);
 };
 
 /// Chrome trace-event JSON (an array of "ph":"X" complete events, one per

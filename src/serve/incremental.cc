@@ -249,7 +249,7 @@ void IncrementalMaintainer::OnWrite(const WriteEvent& event) {
   std::vector<std::pair<std::shared_ptr<SubscriptionCallback>, SkylineDelta>>
       deliveries;
   {
-    std::lock_guard<std::mutex> lock(subs_mu_);
+    sl::MutexLock lock(&subs_mu_);
     for (auto& [id, sub] : subs_) {
       if (sub.recipe->table != event.table) continue;
       std::optional<SkylineDelta> delta = AdvanceSubscription(&sub, event);
@@ -482,7 +482,7 @@ uint64_t IncrementalMaintainer::Subscribe(
     std::shared_ptr<const DeltaRecipe> recipe, SubscriptionCallback callback) {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(subs_mu_);
+    sl::MutexLock lock(&subs_mu_);
     id = next_sub_id_++;
   }
   Subscription sub;
@@ -497,13 +497,13 @@ uint64_t IncrementalMaintainer::Subscribe(
   SkylineDelta initial = ResyncSubscription(&sub, sub.recipe->table);
   const std::shared_ptr<SubscriptionCallback> cb = sub.callback;
   (*cb)(initial);
-  std::lock_guard<std::mutex> lock(subs_mu_);
+  sl::MutexLock lock(&subs_mu_);
   subs_.emplace(id, std::move(sub));
   return id;
 }
 
 void IncrementalMaintainer::Unsubscribe(uint64_t id) {
-  std::lock_guard<std::mutex> lock(subs_mu_);
+  sl::MutexLock lock(&subs_mu_);
   subs_.erase(id);
 }
 

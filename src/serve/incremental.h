@@ -54,12 +54,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_safety.h"
 #include "expr/expression.h"
 #include "plan/logical_plan.h"
 #include "serve/result_cache.h"
@@ -208,9 +208,9 @@ class IncrementalMaintainer {
   std::atomic<bool> enabled_{true};
   std::atomic<int64_t> max_delta_batch_{1024};
 
-  std::mutex subs_mu_;
-  std::map<uint64_t, Subscription> subs_;
-  uint64_t next_sub_id_ = 1;
+  sl::Mutex subs_mu_;
+  std::map<uint64_t, Subscription> subs_ SL_GUARDED_BY(subs_mu_);
+  uint64_t next_sub_id_ SL_GUARDED_BY(subs_mu_) = 1;
 
   mutable std::atomic<int64_t> maintained_{0};
   mutable std::atomic<int64_t> fallbacks_{0};

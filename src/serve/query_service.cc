@@ -78,7 +78,7 @@ void QueryService::RunAdmitted(
   // Counters flip before the future unblocks so that a caller observing
   // future.get() sees them settled.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sl::MutexLock lock(&stats_mu_);
     ++stats_.completed;
     if (was_shed) ++stats_.shed;
     --stats_.in_flight;
@@ -90,7 +90,7 @@ void QueryService::RunAdmitted(
 
 Result<QueryHandle> QueryService::Submit(std::string sql) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sl::MutexLock lock(&stats_mu_);
     if (stats_.in_flight >= max_pending_) {
       ++stats_.rejected;
       rejected_total_->Increment();
@@ -121,7 +121,7 @@ Result<QueryResult> QueryService::Execute(const std::string& sql) {
 }
 
 QueryService::Stats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  sl::MutexLock lock(&stats_mu_);
   return stats_;
 }
 

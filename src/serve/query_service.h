@@ -31,7 +31,6 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/query_result.h"
@@ -39,6 +38,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/thread_safety.h"
 
 namespace sparkline {
 
@@ -125,8 +125,8 @@ class QueryService {
   // All counters share one mutex so stats() can return a consistent
   // snapshot (the previous per-counter atomics allowed readers to observe
   // submitted/completed/in_flight mid-update, breaking the invariant).
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable sl::Mutex stats_mu_;
+  Stats stats_ SL_GUARDED_BY(stats_mu_);
 
   // Registry mirrors of the serving counters, resolved once at
   // construction (see common/metrics.h): stats_ stays the test-facing

@@ -70,7 +70,7 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   Shard& shard = ShardFor(fp);
   const std::string key = fp.Key();
   const int64_t now = StopWatch::NowNanos();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sl::MutexLock lock(&shard.mu);
   // Release the reservations of cold expired entries even when they are
   // never probed again — an expired entry must not occupy the byte budget
   // (or the per-table reverse index) until LRU pressure pushes it out.
@@ -121,7 +121,7 @@ Status ResultCache::Insert(const PlanFingerprint& fp,
   SL_FAILPOINT("serve.cache_insert");
   if (entry == nullptr || entry->bytes > PerShardBudget()) return Status::OK();
   Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sl::MutexLock lock(&shard.mu);
   SweepExpiredTailLocked(&shard, StopWatch::NowNanos());
   InsertLocked(&shard, fp.Key(), std::move(entry), fp.tables);
   return Status::OK();
@@ -129,7 +129,7 @@ Status ResultCache::Insert(const PlanFingerprint& fp,
 
 void ResultCache::InvalidateTable(const std::string& table_name) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     auto t = shard.by_table.find(table_name);
     if (t == shard.by_table.end()) continue;
     // RemoveLocked edits by_table; detach the key list first.
@@ -150,7 +150,7 @@ std::vector<std::shared_ptr<const CachedResult>> ResultCache::EntriesForTable(
   std::vector<std::shared_ptr<const CachedResult>> out;
   const int64_t now = StopWatch::NowNanos();
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     auto t = shard.by_table.find(table_name);
     if (t == shard.by_table.end()) continue;
     for (const std::string& key : t->second) {
@@ -165,7 +165,7 @@ std::vector<std::shared_ptr<const CachedResult>> ResultCache::EntriesForTable(
 void ResultCache::Remove(const PlanFingerprint& fp,
                          const std::shared_ptr<const CachedResult>& expected) {
   Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sl::MutexLock lock(&shard.mu);
   auto it = shard.entries.find(fp.Key());
   if (it == shard.entries.end() || it->second.result != expected) return;
   RemoveLocked(&shard, it);
@@ -184,17 +184,29 @@ bool ResultCache::Replace(const PlanFingerprint& old_fp,
   }
   Shard* src = &ShardFor(old_fp);
   Shard* dst = &ShardFor(next->fingerprint);
-  std::unique_lock<std::mutex> lock_a;
-  std::unique_lock<std::mutex> lock_b;
+  // Three explicit branches instead of conditionally-deferred locks: the
+  // thread-safety analysis tracks capabilities syntactically, so each
+  // acquisition order (same shard / src-first / dst-first) must be its own
+  // scope. The cross-shard branches take both locks in address order — the
+  // engine's only two-lock path.
   if (src == dst) {
-    lock_a = std::unique_lock<std::mutex>(src->mu);
-  } else {
-    // Both shards locked, in address order (the only two-lock path).
-    Shard* first = src < dst ? src : dst;
-    Shard* second = src < dst ? dst : src;
-    lock_a = std::unique_lock<std::mutex>(first->mu);
-    lock_b = std::unique_lock<std::mutex>(second->mu);
+    sl::MutexLock lock(&src->mu);
+    return ReplaceLocked(src, src, old_fp, expected, std::move(next));
   }
+  if (src < dst) {
+    sl::MutexLock lock_src(&src->mu);
+    sl::MutexLock lock_dst(&dst->mu);
+    return ReplaceLocked(src, dst, old_fp, expected, std::move(next));
+  }
+  sl::MutexLock lock_dst(&dst->mu);
+  sl::MutexLock lock_src(&src->mu);
+  return ReplaceLocked(src, dst, old_fp, expected, std::move(next));
+}
+
+bool ResultCache::ReplaceLocked(
+    Shard* src, Shard* dst, const PlanFingerprint& old_fp,
+    const std::shared_ptr<const CachedResult>& expected,
+    std::shared_ptr<const CachedResult> next) {
   auto it = src->entries.find(old_fp.Key());
   if (it == src->entries.end() || it->second.result != expected) return false;
   RemoveLocked(src, it);
@@ -206,7 +218,7 @@ bool ResultCache::Replace(const PlanFingerprint& old_fp,
 
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     while (!shard.entries.empty()) {
       RemoveLocked(&shard, shard.entries.begin());
       evictions_.fetch_add(1);
@@ -219,7 +231,7 @@ void ResultCache::PurgeExpired() {
   if (ttl_ms_.load() <= 0) return;
   const int64_t now = StopWatch::NowNanos();
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     // An entry's LRU position is decoupled from its insertion time (hits
     // refresh the position, not the clock), so the full purge scans the
     // map rather than walking the list from the tail.
@@ -238,7 +250,7 @@ void ResultCache::PurgeExpired() {
 void ResultCache::set_capacity_bytes(int64_t bytes) {
   capacity_bytes_.store(std::max<int64_t>(0, bytes));
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     EvictToBudgetLocked(&shard);
   }
 }
@@ -252,7 +264,7 @@ ResultCache::Stats ResultCache::stats() const {
   s.invalidations = invalidations_.load();
   s.resident_bytes = memory_.current_bytes();
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sl::MutexLock lock(&shard.mu);
     s.entries += static_cast<int64_t>(shard.entries.size());
   }
   return s;

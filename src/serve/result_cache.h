@@ -30,10 +30,10 @@
 // All public methods are thread-safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +41,7 @@
 #include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "expr/expression.h"
 #include "serve/fingerprint.h"
 #include "types/value.h"
@@ -170,13 +171,14 @@ class ResultCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable sl::Mutex mu;
     /// Most-recently-used at the front.
-    std::list<std::string> lru;
-    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru SL_GUARDED_BY(mu);
+    std::unordered_map<std::string, Entry> entries SL_GUARDED_BY(mu);
     /// table name -> keys of resident entries referencing it.
-    std::unordered_map<std::string, std::vector<std::string>> by_table;
-    int64_t bytes = 0;
+    std::unordered_map<std::string, std::vector<std::string>> by_table
+        SL_GUARDED_BY(mu);
+    int64_t bytes SL_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const PlanFingerprint& fp) {
@@ -187,18 +189,28 @@ class ResultCache {
   }
   /// Removes `it` from all shard structures; caller holds shard.mu.
   void RemoveLocked(Shard* shard,
-                    std::unordered_map<std::string, Entry>::iterator it);
+                    std::unordered_map<std::string, Entry>::iterator it)
+      SL_REQUIRES(shard->mu);
   /// Admits `entry` under `key` (replacing any current entry) and evicts to
   /// budget; caller holds shard.mu. Shared by Insert and Replace.
   void InsertLocked(Shard* shard, std::string key,
                     std::shared_ptr<const CachedResult> entry,
-                    std::vector<std::string> tables);
+                    std::vector<std::string> tables) SL_REQUIRES(shard->mu);
   /// Evicts LRU entries until the shard fits its budget; caller holds mu.
-  void EvictToBudgetLocked(Shard* shard);
+  void EvictToBudgetLocked(Shard* shard) SL_REQUIRES(shard->mu);
   /// Drops expired entries from the LRU tail (stops at the first live one);
   /// caller holds mu. Runs on every lookup and insert so cold expired
   /// entries release their reservation without waiting for budget pressure.
-  void SweepExpiredTailLocked(Shard* shard, int64_t now_nanos);
+  void SweepExpiredTailLocked(Shard* shard, int64_t now_nanos)
+      SL_REQUIRES(shard->mu);
+  /// Swaps `old_fp`'s entry (iff still `expected`) for `next` keyed under
+  /// next->fingerprint; caller holds BOTH src->mu and dst->mu (the same
+  /// lock held once when the shards coincide — callers in that branch must
+  /// pass the same pointer twice so the analysis sees one capability).
+  bool ReplaceLocked(Shard* src, Shard* dst, const PlanFingerprint& old_fp,
+                     const std::shared_ptr<const CachedResult>& expected,
+                     std::shared_ptr<const CachedResult> next)
+      SL_REQUIRES(src->mu, dst->mu);
   bool Expired(const Entry& entry, int64_t now_nanos) const;
 
   std::vector<Shard> shards_;

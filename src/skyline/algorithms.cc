@@ -399,6 +399,9 @@ Result<std::vector<Row>> GridFilterSkyline(
 
 std::vector<Row> FlawedGulzarGlobal(const std::vector<Row>& input,
                                     const std::vector<BoundDimension>& dims) {
+  // sl-lint: allow(kernel-deadline) — deliberately-flawed reference
+  // implementation reproduced for the paper's counterexample tests only;
+  // it never runs inside a query and takes no SkylineOptions to poll.
   // Cluster by null bitmap, in bitmap order (the order is immaterial for the
   // flaw; any fixed order exhibits it).
   std::map<uint32_t, std::vector<Row>> clusters;
@@ -444,6 +447,10 @@ std::vector<Row> FlawedGulzarGlobal(const std::vector<Row>& input,
 std::vector<Row> BruteForceSkyline(const std::vector<Row>& input,
                                    const std::vector<BoundDimension>& dims,
                                    const SkylineOptions& options) {
+  // sl-lint: allow(kernel-deadline) — infallible-by-contract oracle (tests
+  // and the maintainer's subscription resync); its std::vector return
+  // cannot propagate a Status, and resync batches are already bounded by
+  // sparkline.cache.max_delta_batch upstream.
   std::vector<Row> result;
   std::vector<uint32_t> bitmaps(input.size());
   for (size_t i = 0; i < input.size(); ++i) {

@@ -948,6 +948,11 @@ Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
                        NullSemantics::kComplete);
   };
 
+  // Maintenance runs on the catalog notifier thread, but the classify is
+  // still O(|skyline| * |batch|): poll the deadline/cancel state like every
+  // other kernel loop so an oversized classify cannot wedge the notifier.
+  DeadlineChecker deadline(options);
+
   // Phase A: a batch tuple survives iff no cached skyline point dominates
   // it (sufficient by transitivity, see header). DISTINCT dim-equality with
   // a cached point cannot be replayed exactly -> conservative fallback.
@@ -956,6 +961,7 @@ Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
     const size_t bj = n + j;
     bool dominated = false;
     for (size_t i = 0; i < n && !dominated; ++i) {
+      SL_RETURN_NOT_OK(deadline.Check());
       switch (compare(i, bj)) {
         case Dominance::kLeftDominates:
           dominated = true;
@@ -982,6 +988,7 @@ Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
     if (dead[a]) continue;
     for (size_t b = a + 1; b < candidates.size() && !dead[a]; ++b) {
       if (dead[b]) continue;
+      SL_RETURN_NOT_OK(deadline.Check());
       switch (compare(n + candidates[a], n + candidates[b])) {
         case Dominance::kLeftDominates:
           dead[b] = 1;
@@ -1007,6 +1014,7 @@ Result<DeltaClassification> DeltaClassify(const std::vector<Row>& skyline,
   // DISTINCT equality already fell back above.
   if (!out.entering.empty()) {
     for (size_t i = 0; i < n; ++i) {
+      SL_RETURN_NOT_OK(deadline.Check());
       for (uint32_t j : out.entering) {
         if (compare(n + j, i) == Dominance::kLeftDominates) {
           out.evicted.push_back(static_cast<uint32_t>(i));

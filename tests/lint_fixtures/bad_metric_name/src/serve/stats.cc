@@ -1,0 +1,15 @@
+// Fixture: one metric name breaks the Prometheus grammar (embedded
+// spaces), another lacks the sparkline_ prefix — the metric-names rule must
+// flag both.
+namespace sparkline {
+
+void RecordStats() {
+  auto* bad = metrics::MetricsRegistry::Global().GetCounter(
+      "sparkline cache hits");
+  bad->Increment();
+  auto* unprefixed = metrics::MetricsRegistry::Global().GetHistogram(
+      "serve_latency_us");
+  unprefixed->Observe(1);
+}
+
+}  // namespace sparkline

@@ -1,0 +1,11 @@
+namespace sparkline {
+namespace fail {
+namespace {
+
+constexpr const char* kSites[] = {
+    "exec.scan",
+};
+
+}  // namespace
+}  // namespace fail
+}  // namespace sparkline

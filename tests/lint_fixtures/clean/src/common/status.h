@@ -1,0 +1,12 @@
+// Fixture: everything in this miniature repo follows the rules; the
+// selftest asserts the lint stays silent on it (no false positives).
+#pragma once
+
+namespace sparkline {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace sparkline

@@ -1,0 +1,10 @@
+namespace sparkline {
+
+void RunScan() {
+  SL_FAILPOINT("exec.scan");
+  auto* scans = metrics::MetricsRegistry::Global().GetCounter(
+      "sparkline_scan_tasks_total");
+  scans->Increment();
+}
+
+}  // namespace sparkline

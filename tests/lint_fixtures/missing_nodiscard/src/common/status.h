@@ -1,0 +1,12 @@
+// Fixture: a Status class without [[nodiscard]] — the nodiscard rule must
+// flag it, or the rule has gone vacuous.
+#pragma once
+
+namespace sparkline {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace sparkline

@@ -1,0 +1,14 @@
+// Fixture: sparkline.serve.hiddenKnob is read but has no README row — the
+// flag-docs rule must flag it.
+namespace sparkline {
+
+void SetConf(const std::string& k, const std::string& v) {
+  if (k == "sparkline.exec.partitions") {
+    return;
+  }
+  if (k == "sparkline.serve.hiddenknob") {
+    return;
+  }
+}
+
+}  // namespace sparkline

@@ -1,0 +1,12 @@
+// Fixture registry: only exec.scan is registered.
+namespace sparkline {
+namespace fail {
+namespace {
+
+constexpr const char* kSites[] = {
+    "exec.scan",
+};
+
+}  // namespace
+}  // namespace fail
+}  // namespace sparkline

@@ -1,0 +1,11 @@
+// Fixture: exec.bogus is a typo'd site that is not in kSites — Arm() would
+// reject it and the chaos sweep would never fire it. The failpoint-registry
+// rule must flag it.
+namespace sparkline {
+
+void RunScan() {
+  SL_FAILPOINT("exec.scan");
+  SL_FAILPOINT("exec.bogus");
+}
+
+}  // namespace sparkline

@@ -1,0 +1,33 @@
+// Clean twin of unguarded_access.cc: identical shape, but every access to
+// the guarded field holds the mutex. Must compile under
+// -Werror=thread-safety — it guards the harness against mistaking an
+// unrelated compile error (header typo, flag typo) for a thread-safety
+// rejection. Not part of any build target.
+#include "common/thread_safety.h"
+
+namespace sparkline {
+
+class Counter {
+ public:
+  void Increment() {
+    sl::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Peek() const {
+    sl::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable sl::Mutex mu_;
+  int value_ SL_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Increment();
+  return c.Peek();
+}
+
+}  // namespace sparkline

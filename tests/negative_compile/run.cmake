@@ -1,0 +1,38 @@
+# Negative-compile harness for the thread-safety annotations. Invoked as a
+# CTest script (see CMakeLists.txt) with:
+#   -DCLANGXX=<path to clang++>  -DREPO_ROOT=<source dir>
+# Asserts that the clean twin compiles and the unguarded twin is rejected
+# *for a thread-safety reason* under -Werror=thread-safety.
+
+set(FLAGS -std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I ${REPO_ROOT}/src)
+set(DIR ${REPO_ROOT}/tests/negative_compile)
+
+execute_process(
+  COMMAND ${CLANGXX} ${FLAGS} ${DIR}/guarded_access.cc
+  RESULT_VARIABLE clean_rc
+  ERROR_VARIABLE clean_err)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR
+          "guarded_access.cc (the clean twin) failed to compile — the "
+          "harness itself is broken, so the negative result below would be "
+          "meaningless:\n${clean_err}")
+endif()
+
+execute_process(
+  COMMAND ${CLANGXX} ${FLAGS} ${DIR}/unguarded_access.cc
+  RESULT_VARIABLE bad_rc
+  ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR
+          "unguarded_access.cc compiled cleanly: an unguarded access to a "
+          "GUARDED_BY field was NOT rejected — -Werror=thread-safety is not "
+          "being enforced")
+endif()
+if(NOT bad_err MATCHES "thread-safety|guarded by|requires holding")
+  message(FATAL_ERROR
+          "unguarded_access.cc failed for a reason other than thread "
+          "safety:\n${bad_err}")
+endif()
+
+message(STATUS "negative-compile: thread-safety annotations are enforced")

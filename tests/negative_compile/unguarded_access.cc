@@ -1,0 +1,31 @@
+// Negative-compile fixture: reading a GUARDED_BY field without holding its
+// mutex. Under clang's -Werror=thread-safety this translation unit MUST
+// fail to compile; tests/negative_compile/run.cmake asserts exactly that
+// (and that the guarded twin still compiles), proving the annotations are
+// enforced rather than decorative. Not part of any build target.
+#include "common/thread_safety.h"
+
+namespace sparkline {
+
+class Counter {
+ public:
+  void Increment() {
+    sl::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without mu_ — clang must reject this.
+  int Peek() const { return value_; }
+
+ private:
+  mutable sl::Mutex mu_;
+  int value_ SL_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Increment();
+  return c.Peek();
+}
+
+}  // namespace sparkline
